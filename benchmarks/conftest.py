@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one exhibit of the paper (see DESIGN.md
+section 4), asserts its *shape* claims (who wins, monotone trends), and
+records the rendered rows under ``benchmarks/results/`` so EXPERIMENTS.md
+can cite exact numbers.
+
+Knobs (environment):
+
+* ``REPRO_BENCH_FULL=1`` — the paper's full alpha/k/r grids instead of
+  the fast 3-point grids;
+* ``REPRO_BENCH_TIME_LIMIT`` — per-enumeration cap in seconds
+  (default 15).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.experiments.harness import Exhibit
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_exhibits(name: str, exhibits: Union[Exhibit, Iterable[Exhibit]]) -> str:
+    """Render exhibits to text, save under results/, and return the text."""
+    if isinstance(exhibits, Exhibit):
+        exhibits = [exhibits]
+    text = "\n\n".join(exhibit.render() for exhibit in exhibits)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+    return text

@@ -1,0 +1,20 @@
+"""Ablation (beyond the paper): exact vs paper-style maximality testing.
+
+DESIGN.md documents that Algorithm 4's single-extension MaxTest is sound
+only in the "maximal" direction: it can reject true maximal cliques
+whose single-node extensions fail the positive constraint. This
+benchmark quantifies the trade: the heuristic may return fewer cliques,
+never more, and is at most modestly faster.
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments import ablation_maxtest
+
+
+def test_ablation_maxtest(benchmark):
+    exhibit = benchmark.pedantic(ablation_maxtest, rounds=1, iterations=1)
+    record_exhibits("ablation_maxtest", exhibit)
+    by_label = exhibit.series_by_label()
+    counts = dict(zip(by_label["cliques"].x, by_label["cliques"].y))
+    # One-directional soundness: the paper test only under-reports.
+    assert counts["paper"] <= counts["exact"]

@@ -1,0 +1,27 @@
+"""Ablation (beyond the paper): the cost of each BBE pruning rule.
+
+DESIGN.md calls out the three pruning rules of Algorithm 4 as the
+enumeration's load-bearing design choices; this benchmark quantifies
+each rule's contribution. The search must explore no more subspaces with
+a rule enabled than without it, and every configuration must agree on
+the answer (correctness of the ablations is covered by unit tests; here
+we re-check on the real dataset within the time cap).
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments import ablation_pruning_rules
+
+
+def test_ablation_pruning_rules(benchmark):
+    exhibit = benchmark.pedantic(ablation_pruning_rules, rounds=1, iterations=1)
+    record_exhibits("ablation_pruning", exhibit)
+    by_label = exhibit.series_by_label()
+    recursions = dict(zip(by_label["recursions"].x, by_label["recursions"].y))
+    counts = dict(zip(by_label["cliques"].x, by_label["cliques"].y))
+    baseline = recursions["all rules"]
+    # Disabling any rule must not shrink the explored search space.
+    for label, value in recursions.items():
+        assert value >= baseline or counts[label] < counts["all rules"], label
+    # Unless a cap truncated a configuration, answers agree.
+    if not exhibit.notes:
+        assert len(set(counts.values())) == 1, counts

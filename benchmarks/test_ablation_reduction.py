@@ -1,0 +1,21 @@
+"""Ablation (beyond the paper): enumeration cost per reduction strength.
+
+Section III's pipeline offers three pruning strengths (plus none). The
+paper's Lemma 1/3 guarantee the surviving node sets are nested; this
+benchmark confirms the nesting and records the end-to-end enumeration
+cost under each.
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments import ablation_reduction
+
+
+def test_ablation_reduction(benchmark):
+    exhibit = benchmark.pedantic(ablation_reduction, rounds=1, iterations=1)
+    record_exhibits("ablation_reduction", exhibit)
+    by_label = exhibit.series_by_label()
+    survivors = dict(zip(by_label["surviving nodes"].x, by_label["surviving nodes"].y))
+    # Nested reductions: none >= positive-core >= mcbasic == mcnew.
+    assert survivors["none"] >= survivors["positive-core"]
+    assert survivors["positive-core"] >= survivors["mcnew"]
+    assert survivors["mcbasic"] == survivors["mcnew"]

@@ -1,0 +1,87 @@
+"""Extension benchmark: incremental clique maintenance vs recompute.
+
+Applies a burst of random edge updates to the Slashdot stand-in through
+the :class:`DynamicSignedCliqueIndex` and compares the per-update cost
+against re-enumerating from scratch, asserting exact agreement of the
+maintained answer set.
+"""
+
+import random
+
+from benchmarks.conftest import record_exhibits
+from repro.core import MSCE, AlphaK, DynamicSignedCliqueIndex
+from repro.experiments.harness import Exhibit, Series, measure
+from repro.experiments.registry import get_dataset
+
+UPDATES = 15
+
+
+def _random_edits(graph, count, seed):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes())
+    edits = []
+    work = graph.copy()
+    while len(edits) < count:
+        u, v = rng.sample(nodes, 2)
+        if work.has_edge(u, v):
+            if rng.random() < 0.5:
+                edits.append(("remove", u, v))
+                work.remove_edge(u, v)
+            else:
+                sign = -work.sign(u, v)
+                edits.append(("flip", u, v, sign))
+                work.set_sign(u, v, sign)
+        else:
+            sign = rng.choice([1, -1])
+            edits.append(("add", u, v, sign))
+            work.add_edge(u, v, sign)
+    return edits
+
+
+def test_dynamic_maintenance_vs_recompute(benchmark):
+    graph = get_dataset("slashdot").graph
+    params = AlphaK(4, 3)
+    edits = _random_edits(graph, UPDATES, seed=5)
+
+    index = DynamicSignedCliqueIndex(graph, params)
+
+    def apply_all():
+        index.apply_edits(edits)
+        return index
+
+    _result, incremental_seconds = measure(apply_all)
+
+    # Correctness: the maintained set equals a fresh enumeration.
+    fresh, recompute_seconds = measure(
+        lambda: MSCE(index.graph, params).enumerate_all()
+    )
+    assert {c.nodes for c in fresh.cliques} == {c.nodes for c in index.cliques()}
+
+    # One incremental update must cost (much) less than one recompute.
+    per_update = incremental_seconds / UPDATES
+    assert per_update <= recompute_seconds * 1.2 + 0.05
+
+    def one_update_cycle():
+        # Benchmark a representative flip + restore cycle.
+        u, v = edits[0][1], edits[0][2]
+        if index.graph.has_edge(u, v):
+            sign = index.graph.sign(u, v)
+            index.remove_edge(u, v)
+            index.add_edge(u, v, sign)
+        else:
+            index.add_edge(u, v, 1)
+            index.remove_edge(u, v)
+
+    benchmark.pedantic(one_update_cycle, rounds=3, iterations=1)
+
+    seconds = Series("seconds")
+    seconds.add(f"{UPDATES} incremental updates", round(incremental_seconds, 4))
+    seconds.add("one full recompute", round(recompute_seconds, 4))
+    record_exhibits(
+        "dynamic_index",
+        Exhibit(
+            title="Extension: dynamic clique maintenance (slashdot, 4, 3)",
+            series=[seconds],
+            notes=[f"per-update cost {per_update:.4f}s"],
+        ),
+    )

@@ -1,0 +1,26 @@
+"""Fig. 10: DBLP case study — TClique vs SignedClique communities.
+
+Paper shape: around the same focal researcher, the TClique community
+(no negative edges allowed) misses members that the SignedClique
+community keeps by tolerating a few weak (negative) ties — the signed
+community is a proper superset in the paper's examples.
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments import fig10_case_study
+
+
+def test_fig10_case_study(benchmark):
+    exhibit = benchmark.pedantic(fig10_case_study, rounds=1, iterations=1)
+    record_exhibits("fig10", exhibit)
+    by_label = exhibit.series_by_label()
+    sizes = dict(zip(by_label["community size"].x, by_label["community size"].y))
+    negatives = dict(
+        zip(by_label["internal negative edges"].x, by_label["internal negative edges"].y)
+    )
+    # The signed community is at least as large as the trusted clique...
+    assert sizes["SignedClique"] >= sizes["TClique"]
+    # ...and TClique communities contain no weak ties by construction.
+    assert negatives["TClique"] == 0
+    # The signed model's extra reach comes from tolerated weak ties.
+    assert negatives["SignedClique"] >= 1

@@ -1,0 +1,32 @@
+"""Fig. 11: protein-complex precision of the four models on FlySign.
+
+Paper shape at every grid point: SignedClique has the highest precision;
+the clique-based models beat the core-based models; SignedCore collapses
+to 0 for larger k (it demands internal conflict the PPI network cannot
+supply).
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments import fig11_precision
+
+
+def test_fig11_precision(benchmark):
+    exhibits = benchmark.pedantic(fig11_precision, rounds=1, iterations=1)
+    record_exhibits("fig11", exhibits)
+    for exhibit in exhibits:
+        by_label = exhibit.series_by_label()
+        signed_clique = by_label["SignedClique"].y
+        tclique = by_label["TClique"].y
+        core = by_label["Core"].y
+        signed_core = by_label["SignedCore"].y
+        for index, x_value in enumerate(by_label["SignedClique"].x):
+            point = f"{exhibit.title} @ {x_value}"
+            # Paper: SignedClique dominates every baseline.
+            assert signed_clique[index] > tclique[index], point
+            assert signed_clique[index] > core[index], point
+            # Clique-based models beat core-based models.
+            assert tclique[index] > core[index], point
+            assert tclique[index] > signed_core[index], point
+        # Paper: SignedCore returns empty (precision 0) once k demands
+        # more internal conflict than the network has.
+        assert signed_core[-1] == 0.0, exhibit.title

@@ -1,0 +1,36 @@
+"""Fig. 3: MCCore computation time — MCBasic (Alg. 2) vs MCNew (Alg. 3).
+
+Paper shape: both are fast; MCNew consistently beats MCBasic across the
+alpha and k sweeps (up to 4x on Slashdot). We assert aggregate dominance
+with slack for timer noise, plus exact agreement of the outputs.
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.core import AlphaK, mccore_basic, mccore_new
+from repro.experiments import fig3_reduction_time
+from repro.experiments.registry import get_dataset
+
+
+def test_fig3_reduction_time(benchmark):
+    exhibits = benchmark.pedantic(fig3_reduction_time, rounds=1, iterations=1)
+    record_exhibits("fig3", exhibits)
+    for exhibit in exhibits:
+        by_label = exhibit.series_by_label()
+        total_new = sum(by_label["MCNew"].y)
+        total_basic = sum(by_label["MCBasic"].y)
+        # Paper: MCNew consistently outperforms MCBasic. Allow 20%
+        # slack per-exhibit for wall-clock noise at millisecond scales.
+        assert total_new <= total_basic * 1.2, exhibit.title
+
+
+def test_mcbasic_mcnew_same_output_on_slashdot(benchmark):
+    graph = get_dataset("slashdot").graph
+    params = AlphaK(4, 3)
+    new_result = benchmark(mccore_new, graph, params)
+    assert new_result == mccore_basic(graph, params)
+
+
+def test_mcbasic_speed_default_point(benchmark):
+    graph = get_dataset("slashdot").graph
+    result = benchmark(mccore_basic, graph, AlphaK(4, 3))
+    assert isinstance(result, set)

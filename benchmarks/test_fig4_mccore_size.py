@@ -1,0 +1,32 @@
+"""Fig. 4: total number of MCCore nodes across the alpha/k sweeps.
+
+Paper shape: the MCCore shrinks as alpha or k grows, and is a small
+fraction of the graph (Slashdot at the default setting: 422 nodes out of
+82,144). We assert monotone shrinkage and a strong reduction ratio.
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.core import AlphaK, mccore_new
+from repro.experiments import fig4_mccore_size
+from repro.experiments.registry import get_dataset
+
+
+def _non_increasing(values):
+    return all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_fig4_mccore_size(benchmark):
+    exhibits = benchmark.pedantic(fig4_mccore_size, rounds=1, iterations=1)
+    record_exhibits("fig4", exhibits)
+    for exhibit in exhibits:
+        series = exhibit.series_by_label()["MCNew"]
+        # Paper: MCCore size decreases with increasing alpha and k.
+        assert _non_increasing(series.y), exhibit.title
+
+
+def test_mccore_reduction_ratio_at_default(benchmark):
+    graph = get_dataset("slashdot").graph
+    survivors = benchmark(mccore_new, graph, AlphaK(4, 3))
+    # Paper: 422 of 82,144 nodes survive on Slashdot (0.5%); our scaled
+    # stand-in must show the same drastic pruning (< 20% survive).
+    assert 0 < len(survivors) < graph.number_of_nodes() * 0.2

@@ -1,0 +1,24 @@
+"""Fig. 8: scalability on 20-100% samples of the largest dataset (Pokec).
+
+Paper shape: cost increases smoothly with |V| and |E|; the top-r search
+scales near-linearly and stays below full enumeration. We assert that
+the smallest sample is no slower than the full graph (with generous
+noise slack) and record both sampling axes.
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments import fig8_scalability
+
+
+def test_fig8_scalability(benchmark):
+    exhibits = benchmark.pedantic(fig8_scalability, rounds=1, iterations=1)
+    record_exhibits("fig8", exhibits)
+    for exhibit in exhibits:
+        by_label = exhibit.series_by_label()
+        full_enum = by_label["MSCE-G (All)"].y
+        topr = by_label["MSCE-G (Top-r)"].y
+        # Smooth growth: the 20% sample must not cost more than the
+        # full graph (1.5x slack absorbs timer noise on fast runs).
+        assert full_enum[0] <= full_enum[-1] * 1.5 + 0.05, exhibit.title
+        # Paper: top-r never costs more than enumerating everything.
+        assert sum(topr) <= sum(full_enum) * 1.2 + 0.05, exhibit.title

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the algorithmic primitives (regression suite).
+
+Not a paper exhibit — these pin the cost of the hot building blocks
+(core peeling, ego-triangle initialisation, Bron–Kerbosch, maximality
+testing) so refactors that regress the enumerator show up at the
+primitive level first.
+"""
+
+from repro.algorithms import core_numbers, icore, maximal_cliques
+from repro.algorithms.kcore import icore_tracked
+from repro.algorithms.triangles import all_ego_triangle_degrees
+from repro.core import AlphaK
+from repro.core.maxtest import is_maximal
+from repro.core.mcnew import mccore_new
+from repro.experiments.registry import get_dataset
+
+
+def test_icore_positive(benchmark):
+    graph = get_dataset("slashdot").graph
+    flag, members = benchmark(icore, graph, (), 12, None, "positive")
+    assert flag and members
+
+
+def test_icore_tracked_fresh(benchmark):
+    graph = get_dataset("slashdot").graph
+
+    def run():
+        return icore_tracked(graph, set(), 12, graph.node_set(), None, sign="positive")
+
+    flag, members, degrees = benchmark(run)
+    assert flag and len(degrees) == len(members)
+
+
+def test_core_numbers(benchmark):
+    graph = get_dataset("slashdot").graph
+    numbers = benchmark(core_numbers, graph)
+    assert max(numbers.values()) > 0
+
+
+def test_ego_triangle_initialisation(benchmark):
+    graph = get_dataset("slashdot").graph
+    deltas = benchmark(all_ego_triangle_degrees, graph)
+    assert deltas
+
+
+def test_mcnew_default_point(benchmark):
+    graph = get_dataset("slashdot").graph
+    survivors = benchmark(mccore_new, graph, AlphaK(4, 3))
+    assert survivors
+
+
+def test_bron_kerbosch_positive(benchmark):
+    graph = get_dataset("flysign").graph
+
+    def run():
+        return sum(1 for _ in maximal_cliques(graph, sign="positive"))
+
+    count = benchmark(run)
+    assert count > 0
+
+
+def test_exact_maxtest(benchmark):
+    graph = get_dataset("slashdot").graph
+    params = AlphaK(4, 3)
+    from repro.core import MSCE
+
+    clique = MSCE(graph, params).top_r(1).cliques[0]
+    verdict = benchmark(is_maximal, graph, set(clique.nodes), params)
+    assert verdict

@@ -1,0 +1,40 @@
+"""Table I: dataset statistics of the five stand-ins.
+
+Shape claims reproduced from the paper's Table I: the edge-count ordering
+(Pokec largest), DBLP's negative-majority sign profile, and the ~30%
+negative share of the two randomly-signed datasets.
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments import table1_dataset_stats
+from repro.experiments.registry import get_dataset
+from repro.graphs import graph_stats
+
+
+def test_table1_dataset_stats(benchmark):
+    exhibit = benchmark.pedantic(table1_dataset_stats, rounds=1, iterations=1)
+    record_exhibits("table1", exhibit)
+    by_label = exhibit.series_by_label()
+    names = by_label["m"].x
+    m = dict(zip(names, by_label["m"].y))
+    e_pos = dict(zip(names, by_label["E+"].y))
+    e_neg = dict(zip(names, by_label["E-"].y))
+
+    # Consistency: |E+| + |E-| = m per dataset.
+    for name in names:
+        assert e_pos[name] + e_neg[name] == m[name]
+    # Paper shape: Pokec is the largest dataset.
+    assert m["pokec"] == max(m.values())
+    # Paper shape: DBLP is the only negative-majority network.
+    assert e_neg["dblp"] > e_pos["dblp"]
+    for name in ("slashdot", "wiki", "youtube", "pokec"):
+        assert e_pos[name] > e_neg[name]
+    # Paper recipe: Youtube/Pokec carry ~30% negative edges.
+    for name in ("youtube", "pokec"):
+        assert 0.28 <= e_neg[name] / m[name] <= 0.32
+
+
+def test_stats_computation_speed(benchmark):
+    graph = get_dataset("slashdot").graph
+    stats = benchmark(graph_stats, graph)
+    assert stats.nodes == graph.number_of_nodes()

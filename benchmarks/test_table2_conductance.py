@@ -1,0 +1,32 @@
+"""Table II: average signed conductance of the four community models.
+
+Paper shape: SignedClique scores lowest (best) in every row; the
+core-based models trail far behind; the SignedClique-vs-TClique margin
+is small (0.003-0.09 in the paper).
+
+Reproduced shape: SignedClique beats Core and SignedCore on every
+dataset by a wide margin. On the planted stand-ins TClique's pure
+positive cliques score at or below SignedClique — the sub-0.1 margin
+between those two models is below synthetic-data resolution; see
+EXPERIMENTS.md for the analysis.
+"""
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments import table2_conductance
+
+
+def test_table2_conductance(benchmark):
+    exhibit = benchmark.pedantic(table2_conductance, rounds=1, iterations=1)
+    record_exhibits("table2", exhibit)
+    by_label = exhibit.series_by_label()
+    names = by_label["SignedClique"].x
+    signed_clique = dict(zip(names, by_label["SignedClique"].y))
+    core = dict(zip(names, by_label["Core"].y))
+    signed_core = dict(zip(names, by_label["SignedCore"].y))
+    for name in names:
+        # Paper: SignedClique's conductance is lower (better) than both
+        # core-based baselines on every dataset.
+        assert signed_clique[name] < core[name], name
+        assert signed_clique[name] <= signed_core[name], name
+        # Conductance is bounded.
+        assert -1.0 <= signed_clique[name] <= 1.0

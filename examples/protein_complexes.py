@@ -1,0 +1,82 @@
+"""Protein-complex discovery in a signed PPI network (Exp-10 of the paper).
+
+In a signed protein-protein interaction network, complexes are dense
+mostly-activating subgraphs; inhibition points outward. The example:
+
+1. generates the FlySign stand-in together with its ground-truth
+   complexes;
+2. predicts complexes with all four community models;
+3. scores each model's top-30 predictions with the paper's precision
+   protocol (best-matching complex, TP / (TP + FP)) and with F1.
+
+Run with::
+
+    python examples/protein_complexes.py
+"""
+
+from repro import AlphaK, MSCE
+from repro.baselines import (
+    core_communities,
+    signed_core_communities,
+    tclique_communities,
+)
+from repro.generators import load_dataset
+from repro.metrics import average_f1, average_precision, best_match
+
+ALPHA, K, TOP = 4, 3, 30
+
+
+def main() -> None:
+    dataset = load_dataset("flysign")
+    graph, truth = dataset.graph, dataset.communities or []
+    print(
+        f"signed PPI network: {graph.number_of_nodes()} proteins, "
+        f"{graph.number_of_edges()} interactions "
+        f"({graph.number_of_negative_edges()} inhibitory), "
+        f"{len(truth)} ground-truth complexes"
+    )
+
+    params = AlphaK(ALPHA, K)
+    predictions = {
+        "SignedClique": [
+            set(c.nodes) for c in MSCE(graph, params, time_limit=60).top_r(TOP).cliques
+        ],
+        "TClique": [set(c) for c in tclique_communities(graph, min_size=3)[:TOP]],
+        "Core": [set(c) for c in core_communities(graph, params)[:TOP]],
+        "SignedCore": [set(c) for c in signed_core_communities(graph, params)[:TOP]],
+    }
+
+    print(f"\ncomplex-discovery quality of the top-{TOP} predictions:")
+    print(f"  {'model':<13} {'precision':>9} {'F1':>7} {'found':>6}")
+    for label, sets in predictions.items():
+        precision = average_precision(sets, truth)
+        f1 = average_f1(sets, truth)
+        print(f"  {label:<13} {precision:>9.3f} {f1:>7.3f} {len(sets):>6}")
+
+    # Inspect the best prediction in detail.
+    signed = predictions["SignedClique"]
+    if signed:
+        top_prediction = signed[0]
+        score = best_match(top_prediction, truth)
+        print(
+            f"\nlargest signed-clique complex: {len(top_prediction)} proteins, "
+            f"precision {score.precision:.2f}, recall {score.recall:.2f} "
+            f"against its best-matching ground-truth complex"
+        )
+        # The paper's qualitative claim: TClique truncates complexes by
+        # refusing inhibitory edges; count what it loses here.
+        tclique_best = max(
+            (set(c) for c in predictions["TClique"]),
+            key=lambda c: len(c & top_prediction),
+            default=set(),
+        )
+        missed = top_prediction - tclique_best
+        if missed:
+            print(
+                f"the closest TClique prediction misses {len(missed)} of those "
+                f"proteins (they interact through at least one inhibitory edge)"
+            )
+
+
+if __name__ == "__main__":
+    main()

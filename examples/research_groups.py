@@ -1,0 +1,60 @@
+"""Finding strongly cooperative research groups in a DBLP-style network.
+
+The paper's third application (Section I, Fig. 10): sign a co-authorship
+network by collaboration strength — positive iff a pair co-authored at
+least tau papers (tau = the average) — then mine maximal (alpha,
+k)-cliques. Strong groups tolerate a few weak ties (one-off
+collaborations) that the all-positive TClique model cannot cross.
+
+Run with::
+
+    python examples/research_groups.py
+"""
+
+from repro import AlphaK, MSCE
+from repro.baselines import tclique_communities
+from repro.generators import load_dataset
+from repro.graphs import graph_stats
+from repro.metrics import describe_community
+
+ALPHA, K = 2, 2  # the paper's Fig. 10 setting
+
+
+def main() -> None:
+    dataset = load_dataset("dblp")
+    graph = dataset.graph
+    stats = graph_stats(graph)
+    print(
+        f"co-authorship network: {stats.nodes:,} researchers, {stats.edges:,} "
+        f"pairs ({stats.negative_fraction:.0%} weak ties)"
+    )
+
+    params = AlphaK(ALPHA, K)
+    top = MSCE(graph, params, time_limit=60).top_r(10)
+    print(f"\ntop research groups at (alpha={ALPHA}, k={K}):")
+    for rank, clique in enumerate(top.cliques[:5], start=1):
+        print("  " + describe_community(graph, clique.nodes, name=f"group #{rank}"))
+
+    # The Fig.10 comparison: around one focal researcher, contrast the
+    # signed community with the best trusted (all-positive) clique.
+    focal_clique = next(
+        (c for c in top.cliques if c.negative_edges > 0), top.cliques[0]
+    )
+    focal_author = min(focal_clique.nodes)
+    print(f"\ncase study around researcher {focal_author}:")
+    print("  " + describe_community(graph, focal_clique.nodes, name="SignedClique group"))
+
+    trusted = [c for c in tclique_communities(graph, min_size=2) if focal_author in c]
+    best_trusted = max(trusted, key=len) if trusted else frozenset()
+    print("  " + describe_community(graph, best_trusted, name="TClique group"))
+
+    missed = set(focal_clique.nodes) - set(best_trusted)
+    if missed:
+        print(
+            f"  TClique misses {len(missed)} group member(s); the signed model keeps "
+            f"them by tolerating up to {K} weak ties per researcher"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Trust-community mining in a Slashdot-style trust/distrust network.
+
+The paper's first motivating application (Section I): in a trust network
+such as Epinions or Slashdot, maximal (alpha, k)-cliques are trust
+communities — groups in which almost everyone has rated almost everyone
+else positively, with at most k detractors per member. The example:
+
+1. generates the Slashdot stand-in (power-law topology, ~23% negative
+   edges concentrated outside trust circles);
+2. finds the top-10 trust communities at the paper's default (4, 3);
+3. scores them with signed conductance (Eq. 1) against the Core,
+   SignedCore and TClique baselines.
+
+Run with::
+
+    python examples/trust_communities.py
+"""
+
+from repro import AlphaK, MSCE
+from repro.baselines import (
+    core_communities,
+    signed_core_communities,
+    tclique_communities,
+)
+from repro.generators import load_dataset
+from repro.graphs import graph_stats
+from repro.metrics import average_signed_conductance, community_stats, signed_conductance
+
+ALPHA, K, TOP = 4, 3, 10
+
+
+def main() -> None:
+    dataset = load_dataset("slashdot")
+    graph = dataset.graph
+    stats = graph_stats(graph)
+    print(
+        f"trust network: {stats.nodes:,} users, {stats.edges:,} ratings "
+        f"({stats.negative_fraction:.0%} negative)"
+    )
+
+    params = AlphaK(ALPHA, K)
+    result = MSCE(graph, params).top_r(TOP)
+    print(f"\ntop-{TOP} trust communities at (alpha={ALPHA}, k={K}):")
+    for rank, clique in enumerate(result.cliques, start=1):
+        profile = community_stats(graph, clique.nodes)
+        phi = signed_conductance(graph, clique.nodes)
+        print(
+            f"  #{rank}: {clique.size} members, "
+            f"{profile.internal_negative} internal conflict(s), "
+            f"signed conductance {phi:+.3f}"
+        )
+
+    print("\nmodel comparison (average signed conductance, lower is better):")
+    communities = {
+        "SignedClique": [set(c.nodes) for c in result.cliques],
+        "TClique": [set(c) for c in tclique_communities(graph, min_size=3)[:TOP]],
+        "Core": [set(c) for c in core_communities(graph, params)[:TOP]],
+        "SignedCore": [set(c) for c in signed_core_communities(graph, params)[:TOP]],
+    }
+    for label, sets in communities.items():
+        if not sets:
+            print(f"  {label:<13} (no communities found)")
+            continue
+        score = average_signed_conductance(graph, sets)
+        print(f"  {label:<13} {score:+.4f} over {len(sets)} communities")
+
+    # Viral-marketing angle from the paper's introduction: members of a
+    # trust community mostly trust each other, so influencing a few
+    # members reaches the whole group through trusted ties.
+    if result.cliques:
+        seed_community = result.cliques[0]
+        profile = community_stats(graph, seed_community.nodes)
+        reach = profile.boundary_positive
+        print(
+            f"\nseeding community #1 ({seed_community.size} members) additionally "
+            f"reaches {reach} trusted outsiders through positive boundary ties"
+        )
+
+
+if __name__ == "__main__":
+    main()

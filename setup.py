@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The environment has no ``wheel`` package, so PEP-517 editable installs
+(`pip install -e .`) fail at the bdist_wheel step. This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work; all real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""repro — reproduction of *Efficient Signed Clique Search in Signed Networks*.
+
+(R.-H. Li et al., ICDE 2018.) The library implements the maximal
+(alpha, k)-clique model for signed networks, the MCCore signed-graph
+reduction (MCBasic / MCNew), the MSCE branch-and-bound enumerator with
+greedy/random branching and top-r search, the baseline community models
+of the paper's evaluation (Core, SignedCore, TClique), the signed
+conductance quality metric, synthetic dataset generators standing in for
+the paper's five real-world datasets, and a full experiment harness
+regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro import SignedGraph, enumerate_signed_cliques
+>>> g = SignedGraph([
+...     (1, 2, "+"), (1, 3, "+"), (1, 4, "+"),
+...     (2, 3, "+"), (2, 4, "+"), (3, 4, "-"),
+... ])
+>>> [sorted(c.nodes) for c in enumerate_signed_cliques(g, alpha=2, k=1)]
+[[1, 2, 3, 4]]
+"""
+
+from repro.core import (
+    MSCE,
+    AlphaK,
+    DynamicSignedCliqueIndex,
+    best_signed_clique_for,
+    signed_cliques_containing,
+    EnumerationResult,
+    SearchStats,
+    SignedClique,
+    brute_force_maximal,
+    enumerate_signed_cliques,
+    enumerate_with_stats,
+    find_mccore,
+    is_alpha_k_clique,
+    is_maximal,
+    mccore_basic,
+    mccore_new,
+    reference_enumerate,
+    top_r_signed_cliques,
+)
+from repro.graphs import (
+    NEGATIVE,
+    POSITIVE,
+    SignedGraph,
+    SignedGraphBuilder,
+    WeightedGraphBuilder,
+    graph_stats,
+)
+from repro.io import read_signed_edgelist, write_signed_edgelist
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SignedGraph",
+    "SignedGraphBuilder",
+    "WeightedGraphBuilder",
+    "POSITIVE",
+    "NEGATIVE",
+    "graph_stats",
+    "AlphaK",
+    "SignedClique",
+    "MSCE",
+    "EnumerationResult",
+    "SearchStats",
+    "is_alpha_k_clique",
+    "is_maximal",
+    "mccore_basic",
+    "mccore_new",
+    "find_mccore",
+    "enumerate_signed_cliques",
+    "enumerate_with_stats",
+    "top_r_signed_cliques",
+    "brute_force_maximal",
+    "reference_enumerate",
+    "signed_cliques_containing",
+    "best_signed_clique_for",
+    "DynamicSignedCliqueIndex",
+    "read_signed_edgelist",
+    "write_signed_edgelist",
+]

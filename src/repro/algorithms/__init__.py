@@ -1,0 +1,61 @@
+"""Unsigned graph-algorithm substrates.
+
+Everything the paper's signed clique machinery stands on: k-core peeling
+and the fixed-node ICore (Algorithm 1), triangle / ego-triangle counting
+(Definition 5, Lemma 4), Bron–Kerbosch maximal clique enumeration, and
+degeneracy orderings.
+"""
+
+from repro.algorithms.cliques import (
+    common_neighbors,
+    is_clique,
+    maximal_cliques,
+    maximum_clique,
+)
+from repro.algorithms.kcore import (
+    core_decomposition,
+    core_numbers,
+    has_k_core,
+    icore,
+    k_core,
+    max_core_number,
+    positive_core,
+)
+from repro.algorithms.ordering import degeneracy_ordering, peel_order_by_positive_degree
+from repro.algorithms.truss import k_truss, max_trussness, truss_numbers, truss_vs_mccore
+from repro.algorithms.triangles import (
+    all_ego_triangle_degrees,
+    clustering_coefficient,
+    ego_triangle_degree,
+    iter_triangles,
+    local_triangle_counts,
+    triangle_count,
+    triangles_per_edge,
+)
+
+__all__ = [
+    "icore",
+    "k_core",
+    "positive_core",
+    "core_numbers",
+    "core_decomposition",
+    "max_core_number",
+    "has_k_core",
+    "maximal_cliques",
+    "maximum_clique",
+    "is_clique",
+    "common_neighbors",
+    "degeneracy_ordering",
+    "peel_order_by_positive_degree",
+    "iter_triangles",
+    "triangle_count",
+    "triangles_per_edge",
+    "local_triangle_counts",
+    "clustering_coefficient",
+    "ego_triangle_degree",
+    "all_ego_triangle_degrees",
+    "k_truss",
+    "truss_numbers",
+    "max_trussness",
+    "truss_vs_mccore",
+]

@@ -1,0 +1,156 @@
+"""k-truss decomposition.
+
+The paper's Section-III Remark contrasts the MCCore with the k-truss
+model (Cohen 2005; Wang & Cheng, PVLDB 2012): a k-truss is the maximal
+subgraph in which every edge participates in at least ``k - 2``
+triangles. The MCCore differs in three ways the Remark spells out — it
+mixes edge signs, its ego-triangle counts are *directed* (per-endpoint),
+and its peeling must delete nodes as well as edges.
+
+This module supplies the classic (sign-blind and positive-only) k-truss
+so the comparison is executable: the ``truss_vs_mccore`` helper feeds
+the reduction-comparison experiment, and the decomposition doubles as a
+general substrate (trussness is a standard cohesion statistic).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.algorithms.kcore import _neighbor_fn
+from repro.exceptions import ParameterError
+from repro.graphs.signed_graph import Node, SignedGraph
+
+_Edge = FrozenSet[Node]
+
+
+def _support_map(
+    graph: SignedGraph, members: Set[Node], neighbors_of
+) -> Dict[_Edge, int]:
+    """Triangle support of every edge of the selected class within *members*."""
+    support: Dict[_Edge, int] = {}
+    for u in members:
+        adjacency_u = neighbors_of(u) & members
+        for v in adjacency_u:
+            edge = frozenset((u, v))
+            if edge in support:
+                continue
+            support[edge] = len(adjacency_u & neighbors_of(v))
+    return support
+
+
+def k_truss(
+    graph: SignedGraph,
+    k: int,
+    within: Optional[Set[Node]] = None,
+    sign: str = "all",
+) -> Set[Node]:
+    """Return the node set of the maximal k-truss (possibly empty).
+
+    Every edge of the returned subgraph closes at least ``k - 2``
+    triangles inside it. ``k <= 2`` keeps every non-isolated node of the
+    scope (the constraint is vacuous). ``sign="positive"`` computes the
+    truss of the positive-edge graph.
+    """
+    if k < 0:
+        raise ParameterError(f"k must be non-negative, got {k}")
+    neighbors_of = _neighbor_fn(graph, sign)
+    members: Set[Node] = (
+        graph.node_set() if within is None else {node for node in within if graph.has_node(node)}
+    )
+    adjacency: Dict[Node, Set[Node]] = {
+        node: set(neighbors_of(node)) & members for node in members
+    }
+    support = _support_map(graph, members, neighbors_of)
+    needed = max(k - 2, 0)
+
+    queue: deque = deque(edge for edge, value in support.items() if value < needed)
+    removed: Set[_Edge] = set(queue)
+    while queue:
+        edge = queue.popleft()
+        u, v = tuple(edge)
+        adjacency[u].discard(v)
+        adjacency[v].discard(u)
+        for w in adjacency[u] & adjacency[v]:
+            for other in (frozenset((u, w)), frozenset((v, w))):
+                if other in removed:
+                    continue
+                support[other] -= 1
+                if support[other] < needed:
+                    removed.add(other)
+                    queue.append(other)
+    return {node for node, neighbors in adjacency.items() if neighbors}
+
+
+def truss_numbers(graph: SignedGraph, sign: str = "all") -> Dict[Tuple[Node, Node], int]:
+    """Return the trussness of every edge of the selected class.
+
+    The trussness of edge ``e`` is the largest ``k`` such that ``e``
+    belongs to a k-truss. Computed by iterative peeling, O(m^1.5)-ish;
+    adequate for the experiment scale.
+    """
+    neighbors_of = _neighbor_fn(graph, sign)
+    members = graph.node_set()
+    adjacency: Dict[Node, Set[Node]] = {
+        node: set(neighbors_of(node)) & members for node in members
+    }
+    support = _support_map(graph, members, neighbors_of)
+    numbers: Dict[Tuple[Node, Node], int] = {}
+    remaining = dict(support)
+    while remaining:
+        edge, value = min(remaining.items(), key=lambda item: item[1])
+        k = value + 2
+        # Peel every edge at this support level (standard truss
+        # decomposition: trussness = support at removal time + 2).
+        stack = [edge]
+        while stack:
+            current = stack.pop()
+            if current not in remaining:
+                continue
+            current_value = remaining[current]
+            if current_value > k - 2:
+                continue
+            del remaining[current]
+            u, v = tuple(current)
+            numbers[(u, v)] = k
+            adjacency[u].discard(v)
+            adjacency[v].discard(u)
+            for w in adjacency[u] & adjacency[v]:
+                for other in (frozenset((u, w)), frozenset((v, w))):
+                    if other in remaining:
+                        remaining[other] -= 1
+                        if remaining[other] <= k - 2:
+                            stack.append(other)
+    return numbers
+
+
+def max_trussness(graph: SignedGraph, sign: str = "all") -> int:
+    """Return the largest edge trussness (0 for an edgeless scope)."""
+    numbers = truss_numbers(graph, sign=sign)
+    return max(numbers.values(), default=0)
+
+
+def truss_vs_mccore(graph: SignedGraph, alpha: float, k: int) -> Dict[str, int]:
+    """Compare positive k-truss pruning against the paper's reductions.
+
+    For the (alpha, k)-clique problem, a clique of the minimum size
+    ``ceil(alpha*k) + 1`` gives every *positive* edge at least
+    ``ceil(alpha*k) - 1`` positive closing triangles **only if the
+    clique were all-positive** — negative members break that bound, so
+    the positive truss is *not* a sound reduction for the signed model.
+    The comparison quantifies the paper's Remark: it reports survivor
+    counts of the positive-core, the MCCore, and the (unsound) positive
+    truss at the matching order, making the gap visible.
+    """
+    from repro.core.params import AlphaK
+    from repro.core.reduction import positive_core_reduction, reduce_graph
+
+    params = AlphaK(alpha, k)
+    order = params.positive_threshold + 1
+    return {
+        "graph": graph.number_of_nodes(),
+        "positive-core": len(positive_core_reduction(graph, params)),
+        "mccore": len(reduce_graph(graph, params, method="mcnew")),
+        "positive-truss": len(k_truss(graph, order, sign="positive")),
+    }

@@ -1,0 +1,36 @@
+"""Baseline community models from the paper's evaluation (Section V-B).
+
+* ``Core`` — positive-edge ceil(alpha*k)-core components;
+* ``SignedCore`` — Giatsidis et al.'s (beta, gamma) s-core;
+* ``TClique`` — Hao et al.'s maximal trusted (all-positive) cliques.
+"""
+
+from repro.baselines.antagonistic import (
+    enumerate_antagonistic_pairs,
+    is_antagonistic_pair,
+    maximal_antagonistic_pairs,
+)
+from repro.baselines.core_model import core_communities, top_r_core_communities
+from repro.baselines.signed_core import (
+    max_signed_core_beta,
+    signed_core,
+    signed_core_communities,
+    signed_core_decomposition,
+    top_r_signed_core_communities,
+)
+from repro.baselines.tclique import tclique_communities, top_r_tcliques
+
+__all__ = [
+    "core_communities",
+    "top_r_core_communities",
+    "signed_core",
+    "signed_core_communities",
+    "top_r_signed_core_communities",
+    "tclique_communities",
+    "top_r_tcliques",
+    "signed_core_decomposition",
+    "max_signed_core_beta",
+    "enumerate_antagonistic_pairs",
+    "maximal_antagonistic_pairs",
+    "is_antagonistic_pair",
+]

@@ -1,0 +1,39 @@
+"""The ``Core`` baseline community model (Section V-B).
+
+The paper's weakest baseline: drop every negative edge, compute the
+maximal ceil(alpha*k)-core of what remains, and report its connected
+components as communities. It shares the positive-degree requirement
+with the (alpha, k)-clique model but imposes no clique structure and no
+negative-edge budget, which is exactly why the paper finds it loose
+(huge or empty communities in the case studies).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.algorithms.kcore import k_core
+from repro.core.params import AlphaK
+from repro.graphs.components import connected_components
+from repro.graphs.signed_graph import Node, SignedGraph
+
+
+def core_communities(graph: SignedGraph, params: AlphaK) -> List[Set[Node]]:
+    """Return Core-model communities, largest first.
+
+    Each community is a connected component of the maximal
+    ceil(alpha*k)-core of the positive-edge graph. Components are
+    connected via positive edges only (negative edges were removed by
+    the model before coring).
+    """
+    members = k_core(graph, params.positive_threshold, sign="positive")
+    if not members:
+        return []
+    positive_view = graph.positive_subgraph()
+    components = connected_components(positive_view, nodes=members)
+    return sorted(components, key=lambda c: (-len(c), sorted(map(repr, c))))
+
+
+def top_r_core_communities(graph: SignedGraph, params: AlphaK, r: int) -> List[Set[Node]]:
+    """Return the ``r`` largest Core communities."""
+    return core_communities(graph, params)[: max(r, 0)]

@@ -1,0 +1,315 @@
+"""Command-line interface: ``signed-clique`` / ``python -m repro``.
+
+Subcommands
+-----------
+stats
+    Print Table-I style statistics of a signed edge-list file.
+mccore
+    Print the maximal constrained ceil(alpha*k)-core of a graph.
+enumerate
+    Enumerate all maximal (alpha, k)-cliques of a graph.
+top
+    Find the top-r largest maximal (alpha, k)-cliques.
+conductance
+    Score the top-r signed cliques with signed conductance.
+generate
+    Write one of the named synthetic dataset stand-ins to a file.
+query
+    Community search: maximal (alpha, k)-cliques containing query nodes.
+balance
+    Structural-balance report (camps / frustration / triangle census).
+percolate
+    Community detection via signed clique percolation (optionally DOT).
+sweep
+    Profile the (alpha, k) landscape of a graph.
+report
+    Regenerate the full evaluation report as markdown.
+
+Graphs are read with :func:`repro.io.read_signed_edgelist` (``src dst
+sign`` lines, ``#``/``%`` comments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core import MSCE, AlphaK, find_mccore, signed_cliques_containing
+from repro.exceptions import ReproError
+from repro.generators import DATASET_BUILDERS, load_dataset
+from repro.graphs import graph_stats
+from repro.io import read_signed_edgelist, write_signed_edgelist
+from repro.metrics import (
+    balanced_partition,
+    local_search_frustration,
+    signed_conductance,
+    triangle_sign_census,
+)
+
+
+def _add_alpha_k(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=float, default=4.0, help="alpha parameter (default 4)")
+    parser.add_argument("-k", type=int, default=3, dest="k", help="k parameter (default 3)")
+
+
+def _add_graph_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="path to a signed edge-list file (src dst sign)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="signed-clique",
+        description="Maximal (alpha, k)-clique search in signed networks (ICDE 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print dataset statistics (Table I columns)")
+    _add_graph_argument(stats)
+
+    mccore = sub.add_parser("mccore", help="compute the maximal constrained core")
+    _add_graph_argument(mccore)
+    _add_alpha_k(mccore)
+    mccore.add_argument(
+        "--method",
+        choices=("mcnew", "mcbasic", "positive-core"),
+        default="mcnew",
+        help="reduction algorithm (default mcnew)",
+    )
+
+    enumerate_cmd = sub.add_parser("enumerate", help="enumerate all maximal (alpha,k)-cliques")
+    _add_graph_argument(enumerate_cmd)
+    _add_alpha_k(enumerate_cmd)
+    enumerate_cmd.add_argument("--selection", choices=("greedy", "random", "first"), default="greedy")
+    enumerate_cmd.add_argument("--time-limit", type=float, default=None, help="seconds cap")
+    enumerate_cmd.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    top = sub.add_parser("top", help="find the top-r largest maximal (alpha,k)-cliques")
+    _add_graph_argument(top)
+    _add_alpha_k(top)
+    top.add_argument("-r", type=int, default=30, help="how many cliques (default 30)")
+    top.add_argument("--time-limit", type=float, default=None, help="seconds cap")
+    top.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    conductance = sub.add_parser("conductance", help="signed conductance of the top-r cliques")
+    _add_graph_argument(conductance)
+    _add_alpha_k(conductance)
+    conductance.add_argument("-r", type=int, default=30)
+
+    generate = sub.add_parser("generate", help="write a synthetic dataset stand-in")
+    generate.add_argument("name", choices=sorted(DATASET_BUILDERS), help="dataset name")
+    generate.add_argument("output", help="output edge-list path")
+    generate.add_argument("--seed", type=int, default=None)
+
+    query = sub.add_parser(
+        "query", help="community search: maximal cliques containing the query nodes"
+    )
+    _add_graph_argument(query)
+    _add_alpha_k(query)
+    query.add_argument("nodes", nargs="+", help="query node ids")
+    query.add_argument("--time-limit", type=float, default=None, help="seconds cap")
+    query.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    balance = sub.add_parser("balance", help="structural balance report")
+    _add_graph_argument(balance)
+
+    report = sub.add_parser("report", help="regenerate the evaluation report (markdown)")
+    report.add_argument("output", help="output markdown path")
+    report.add_argument("--sections", nargs="*", default=None, help="driver subset")
+
+    percolate = sub.add_parser(
+        "percolate", help="community detection via signed clique percolation"
+    )
+    _add_graph_argument(percolate)
+    _add_alpha_k(percolate)
+    percolate.add_argument("--overlap", type=int, default=2, help="members shared to merge")
+    percolate.add_argument("--time-limit", type=float, default=None)
+    percolate.add_argument("--dot", default=None, help="also write a Graphviz DOT file")
+
+    sweep = sub.add_parser(
+        "sweep", help="profile the (alpha, k) landscape of a graph"
+    )
+    _add_graph_argument(sweep)
+    sweep.add_argument("--alphas", type=float, nargs="+", default=[2, 3, 4, 5, 6, 7])
+    sweep.add_argument("--ks", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6])
+    sweep.add_argument("--time-limit", type=float, default=10.0, help="seconds per point")
+
+    return parser
+
+
+def _print_cliques(cliques, as_json: bool) -> None:
+    if as_json:
+        payload = [
+            {
+                "nodes": sorted(clique.nodes, key=repr),
+                "size": clique.size,
+                "positive_edges": clique.positive_edges,
+                "negative_edges": clique.negative_edges,
+            }
+            for clique in cliques
+        ]
+        print(json.dumps(payload, indent=2, default=str))
+        return
+    for index, clique in enumerate(cliques, start=1):
+        members = " ".join(str(node) for node in sorted(clique.nodes, key=repr))
+        print(
+            f"#{index}: size={clique.size} "
+            f"(+{clique.positive_edges}/-{clique.negative_edges}) {members}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "stats":
+        stats = graph_stats(read_signed_edgelist(args.graph))
+        print(stats.as_table_row(args.graph))
+        print(
+            f"negative fraction: {stats.negative_fraction:.3f}, "
+            f"max degree: {stats.max_degree}, "
+            f"max d+: {stats.max_positive_degree}, max d-: {stats.max_negative_degree}"
+        )
+        return 0
+
+    if args.command == "mccore":
+        graph = read_signed_edgelist(args.graph)
+        nodes = find_mccore(graph, args.alpha, args.k, method=args.method)
+        print(f"{len(nodes)} nodes in the maximal constrained core:")
+        print(" ".join(str(node) for node in sorted(nodes, key=repr)))
+        return 0
+
+    if args.command == "enumerate":
+        graph = read_signed_edgelist(args.graph)
+        params = AlphaK(args.alpha, args.k)
+        result = MSCE(
+            graph, params, selection=args.selection, time_limit=args.time_limit
+        ).enumerate_all()
+        _print_cliques(result.cliques, args.json)
+        if result.timed_out:
+            print("warning: time limit hit; results are partial", file=sys.stderr)
+        return 0
+
+    if args.command == "top":
+        graph = read_signed_edgelist(args.graph)
+        params = AlphaK(args.alpha, args.k)
+        result = MSCE(graph, params, time_limit=args.time_limit).top_r(args.r)
+        _print_cliques(result.cliques, args.json)
+        if result.timed_out:
+            print("warning: time limit hit; results are partial", file=sys.stderr)
+        return 0
+
+    if args.command == "conductance":
+        graph = read_signed_edgelist(args.graph)
+        params = AlphaK(args.alpha, args.k)
+        result = MSCE(graph, params).top_r(args.r)
+        for index, clique in enumerate(result.cliques, start=1):
+            score = signed_conductance(graph, clique.nodes)
+            print(f"#{index}: size={clique.size} signed_conductance={score:+.4f}")
+        return 0
+
+    if args.command == "query":
+        graph = read_signed_edgelist(args.graph)
+        query_nodes = []
+        for token in args.nodes:
+            try:
+                query_nodes.append(int(token))
+            except ValueError:
+                query_nodes.append(token)
+        cliques = signed_cliques_containing(
+            graph, query_nodes, args.alpha, args.k, time_limit=args.time_limit
+        )
+        if not cliques:
+            print("no maximal (alpha,k)-clique contains the query")
+            return 0
+        _print_cliques(cliques, args.json)
+        return 0
+
+    if args.command == "balance":
+        graph = read_signed_edgelist(args.graph)
+        partition = balanced_partition(graph)
+        census = triangle_sign_census(graph)
+        if partition is not None:
+            first, second = partition
+            print(f"balanced: yes (camps of {len(first)} and {len(second)} nodes)")
+        else:
+            violations, _camp = local_search_frustration(graph)
+            print(f"balanced: no (frustration <= {violations} edges)")
+        print(
+            f"triangle census: +++ {census.ppp}, ++- {census.ppm}, "
+            f"+-- {census.pmm}, --- {census.mmm} "
+            f"(balance ratio {census.balance_ratio:.3f})"
+        )
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import DEFAULT_SECTIONS, generate_report
+
+        sections = tuple(args.sections) if args.sections else DEFAULT_SECTIONS
+        generate_report(args.output, sections)
+        print(f"wrote {args.output}")
+        return 0
+
+    if args.command == "percolate":
+        from repro.core import signed_clique_percolation
+        from repro.io.dot import save_dot
+
+        graph = read_signed_edgelist(args.graph)
+        communities = signed_clique_percolation(
+            graph, args.alpha, args.k, overlap=args.overlap, time_limit=args.time_limit
+        )
+        for index, community in enumerate(communities, start=1):
+            members = " ".join(str(node) for node in sorted(community, key=repr))
+            print(f"community #{index} ({len(community)} nodes): {members}")
+        if args.dot:
+            save_dot(graph, args.dot, highlight=communities, members_only=True)
+            print(f"wrote {args.dot}")
+        return 0
+
+    if args.command == "sweep":
+        from repro.experiments.parameter_map import (
+            parameter_map,
+            render_parameter_map,
+            suggest_parameters,
+        )
+
+        graph = read_signed_edgelist(args.graph)
+        points = parameter_map(
+            graph, alphas=args.alphas, ks=args.ks, time_limit=args.time_limit
+        )
+        print(render_parameter_map(points))
+        suggestion = suggest_parameters(points, min_count=1)
+        if suggestion is not None:
+            print(
+                f"strictest non-empty setting: alpha={suggestion.alpha:g} "
+                f"k={suggestion.k} ({suggestion.clique_count} cliques, "
+                f"largest {suggestion.largest_clique})"
+            )
+        return 0
+
+    if args.command == "generate":
+        dataset = load_dataset(args.name, seed=args.seed)
+        write_signed_edgelist(
+            dataset.graph,
+            args.output,
+            header=f"{dataset.name} stand-in: {dataset.description}",
+        )
+        stats = graph_stats(dataset.graph)
+        print(f"wrote {args.output}: n={stats.nodes} m={stats.edges}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""The paper's primary contribution: maximal (alpha, k)-clique search.
+
+Layout:
+
+* :mod:`repro.core.params` — validated (alpha, k) parameters;
+* :mod:`repro.core.cliques` — Definition 1 predicates and the
+  :class:`SignedClique` result type;
+* :mod:`repro.core.reduction` / :mod:`mcbasic` / :mod:`mcnew` — the
+  Section-III signed graph reduction (positive core, MCBasic, MCNew);
+* :mod:`repro.core.maxtest` — exact and paper-style maximality tests;
+* :mod:`repro.core.bbe` — the MSCE branch-and-bound enumerator;
+* :mod:`repro.core.naive` — brute-force reference enumerators;
+* :mod:`repro.core.api` — two-line convenience functions.
+"""
+
+from repro.core.api import (
+    enumerate_signed_cliques,
+    enumerate_with_stats,
+    find_mccore,
+    top_r_signed_cliques,
+)
+from repro.core.bbe import MSCE, EnumerationResult, SearchStats
+from repro.core.dynamic import DynamicSignedCliqueIndex
+from repro.core.heuristic import greedy_signed_cliques
+from repro.core.parallel import enumerate_parallel
+from repro.core.percolation import merge_overlapping_cliques, signed_clique_percolation
+from repro.core.cliques import (
+    SignedClique,
+    filter_maximal_sets,
+    is_alpha_k_clique,
+    sort_cliques,
+    top_r,
+    violates_clique_constraint,
+    violates_negative_constraint,
+    violates_positive_constraint,
+)
+from repro.core.maxtest import is_maximal, single_extension_test
+from repro.core.mcbasic import mccore_basic
+from repro.core.mcnew import mccore_new
+from repro.core.naive import brute_force_maximal, reference_enumerate
+from repro.core.params import AlphaK, make_params
+from repro.core.query import (
+    best_signed_clique_for,
+    query_candidate_space,
+    query_search,
+    signed_cliques_containing,
+)
+from repro.core.reduction import (
+    positive_core_reduction,
+    reduce_graph,
+    reduction_components,
+    reduction_report,
+)
+
+__all__ = [
+    "AlphaK",
+    "make_params",
+    "SignedClique",
+    "is_alpha_k_clique",
+    "violates_clique_constraint",
+    "violates_negative_constraint",
+    "violates_positive_constraint",
+    "sort_cliques",
+    "top_r",
+    "filter_maximal_sets",
+    "MSCE",
+    "EnumerationResult",
+    "SearchStats",
+    "is_maximal",
+    "single_extension_test",
+    "mccore_basic",
+    "mccore_new",
+    "positive_core_reduction",
+    "reduce_graph",
+    "reduction_components",
+    "reduction_report",
+    "brute_force_maximal",
+    "reference_enumerate",
+    "enumerate_signed_cliques",
+    "enumerate_with_stats",
+    "top_r_signed_cliques",
+    "find_mccore",
+    "signed_cliques_containing",
+    "best_signed_clique_for",
+    "query_search",
+    "query_candidate_space",
+    "DynamicSignedCliqueIndex",
+    "enumerate_parallel",
+    "greedy_signed_cliques",
+    "signed_clique_percolation",
+    "merge_overlapping_cliques",
+]

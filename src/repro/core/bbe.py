@@ -1,0 +1,476 @@
+"""MSCE (Algorithm 4): branch-and-bound enumeration of maximal (alpha, k)-cliques.
+
+The enumerator follows the paper's structure exactly:
+
+1. reduce the graph to the MCCore (MCNew by default; pluggable for
+   ablations);
+2. for each connected component of the reduced graph, run the
+   branch-and-bound enumeration (BBE) over search spaces ``(R, I)`` —
+   ``R`` the candidate set, ``I`` the included clique;
+3. in every subspace, apply the three pruning rules:
+
+   * **ceil(alpha*k)-core pruning** — shrink ``R`` to the positive-edge
+     ceil(alpha*k)-core that contains ``I`` (ICore with fixed nodes);
+     prune the whole subspace when none exists;
+   * **clique-constraint pruning** — after including a branch node
+     ``u``, drop every candidate not adjacent to ``u``;
+   * **negative-edge-constraint pruning** — drop every candidate whose
+     inclusion would push some member of ``I ∪ {u, v}`` over the
+     negative budget ``k`` (sound because negative degrees are monotone
+     under set growth);
+
+4. terminate a subspace early when ``R`` itself is an (alpha, k)-clique,
+   emitting it if (globally) maximal.
+
+Branch node selection is pluggable: ``"greedy"`` picks the candidate of
+minimum positive degree inside ``R`` (MSCE-G, the paper's heuristic),
+``"random"`` picks uniformly (MSCE-R, the paper's baseline), ``"first"``
+picks the lexicographically smallest (deterministic, cheap; handy in
+tests).
+
+The **top-r** mode adds the paper's size cutoff: once ``r`` maximal
+cliques are known with minimum size ``rho``, any subspace whose cored
+candidate set is smaller than ``rho`` is pruned.
+
+The search runs on an explicit stack (include branch explored first,
+mirroring the paper's recursion order) so deep graphs cannot hit
+Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.algorithms.kcore import icore_tracked
+from repro.core.cliques import SignedClique, sort_cliques
+from repro.core.maxtest import make_maxtest
+from repro.core.params import AlphaK
+from repro.core.reduction import reduction_components
+from repro.exceptions import ParameterError
+from repro.graphs.signed_graph import Node, SignedGraph
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one MSCE run (useful for pruning ablations)."""
+
+    recursions: int = 0
+    core_prunes: int = 0
+    topr_prunes: int = 0
+    early_terminations: int = 0
+    maxtests: int = 0
+    maximal_found: int = 0
+    clique_pruned_candidates: int = 0
+    negative_pruned_candidates: int = 0
+    components: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class EnumerationResult:
+    """Outcome of an MSCE run: the cliques plus run metadata.
+
+    ``cliques`` is sorted largest-first with deterministic tie-breaks.
+    ``timed_out`` / ``truncated`` report whether a ``time_limit`` or
+    ``max_results`` cap stopped the search before exhausting the space —
+    in that case the clique list is a valid subset of the full answer,
+    not necessarily the complete one.
+    """
+
+    cliques: List[SignedClique]
+    stats: SearchStats
+    elapsed_seconds: float
+    timed_out: bool = False
+    truncated: bool = False
+
+    def __iter__(self):
+        return iter(self.cliques)
+
+    def __len__(self) -> int:
+        return len(self.cliques)
+
+
+class _StopSearch(Exception):
+    """Internal control-flow signal: a run cap was reached."""
+
+
+class MSCE:
+    """Configured maximal (alpha, k)-clique enumerator (Algorithm 4).
+
+    Parameters
+    ----------
+    graph:
+        Host signed graph (not mutated).
+    params:
+        The (alpha, k) parameters.
+    selection:
+        Branch-node choice: ``"greedy"`` (MSCE-G, default), ``"random"``
+        (MSCE-R) or ``"first"``.
+    reduction:
+        Pre-enumeration reduction: ``"mcnew"`` (default), ``"mcbasic"``,
+        ``"positive-core"`` or ``"none"`` (ablation).
+    maxtest:
+        ``"exact"`` (Definition-2 maximality, default) or ``"paper"``
+        (the single-extension heuristic of Algorithm 4).
+    core_pruning:
+        Disable only for the pruning-rule ablation benchmark.
+    seed:
+        RNG seed for the random selection strategy.
+    audit:
+        When ``True``, every emitted clique is re-verified against all
+        three constraints and duplicate emission raises.
+
+    Examples
+    --------
+    >>> from repro.graphs import SignedGraph
+    >>> from repro.core.params import AlphaK
+    >>> g = SignedGraph([(1, 2, "+"), (1, 3, "+"), (2, 3, "+")])
+    >>> result = MSCE(g, AlphaK(2, 1)).enumerate_all()
+    >>> [sorted(c.nodes) for c in result.cliques]
+    [[1, 2, 3]]
+    """
+
+    def __init__(
+        self,
+        graph: SignedGraph,
+        params: AlphaK,
+        selection: str = "greedy",
+        reduction: str = "mcnew",
+        maxtest: str = "exact",
+        core_pruning: bool = True,
+        negative_pruning: bool = True,
+        clique_pruning: bool = True,
+        seed: int = 0,
+        audit: bool = False,
+        time_limit: Optional[float] = None,
+        max_results: Optional[int] = None,
+        min_size: Optional[int] = None,
+    ):
+        self.graph = graph
+        self.params = params
+        self.selection = selection
+        self.reduction = reduction
+        self.maxtest_kind = maxtest
+        self.core_pruning = core_pruning
+        self.negative_pruning = negative_pruning
+        self.clique_pruning = clique_pruning
+        self.audit = audit
+        self.time_limit = time_limit
+        self.max_results = max_results
+        if min_size is not None and min_size < 1:
+            raise ParameterError(f"min_size must be positive, got {min_size}")
+        #: Only cliques of at least this size are searched for; the
+        #: bound prunes subspaces exactly like the top-r cutoff (any
+        #: clique in a subspace is at most |R| large), so large floors
+        #: make the search dramatically cheaper.
+        self.min_size = min_size
+        self._rng = random.Random(seed)
+        self._maxtest = make_maxtest(maxtest)
+        self._select = self._make_selector(selection)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def enumerate_all(self) -> EnumerationResult:
+        """Enumerate every maximal (alpha, k)-clique of the graph."""
+        return self._run(top_r=None)
+
+    def top_r(self, r: int) -> EnumerationResult:
+        """Find the ``r`` largest maximal (alpha, k)-cliques.
+
+        Uses the paper's size-based subspace cutoff, so this is usually
+        much faster than full enumeration followed by sorting.
+        """
+        if r <= 0:
+            raise ParameterError(f"r must be positive, got {r}")
+        return self._run(top_r=r)
+
+    def enumerate_seeded(
+        self, space: Set[Node], included: FrozenSet[Node] = frozenset()
+    ) -> EnumerationResult:
+        """Enumerate maximal cliques inside *space* with *included* forced.
+
+        The work-horse of query-driven community search
+        (:mod:`repro.core.query`): the search starts from the frame
+        ``(space, included)`` instead of per-component ``(C, {})``.
+        Callers are responsible for *space* being a superset of every
+        clique of interest (e.g. the query's common neighbourhood inside
+        the MCCore) and for every candidate being adjacent to all of
+        *included*; maximality testing remains global, so the results
+        are maximal in the whole graph, not merely within *space*.
+        """
+        stats = SearchStats()
+        found: Dict[FrozenSet[Node], SignedClique] = {}
+        size_heap: List[int] = []
+        started = time.perf_counter()
+        deadline = started + self.time_limit if self.time_limit is not None else None
+        timed_out = False
+        truncated = False
+        try:
+            stats.components = 1
+            self._search_component(
+                set(space), stats, found, size_heap, None, deadline, seed=frozenset(included)
+            )
+        except _StopSearch as stop:
+            if stop.args and stop.args[0] == "timeout":
+                timed_out = True
+            else:
+                truncated = True
+        cliques = sort_cliques(found.values())
+        stats.maximal_found = len(cliques)
+        return EnumerationResult(
+            cliques=cliques,
+            stats=stats,
+            elapsed_seconds=time.perf_counter() - started,
+            timed_out=timed_out,
+            truncated=truncated,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_selector(self, selection: str):
+        graph = self.graph
+
+        def greedy(candidates, included, degrees):
+            # MSCE-G: minimum positive degree within the candidate set,
+            # ties broken by repr for determinism. The degree map is the
+            # one maintained by the tracked core pruning, so no degrees
+            # are recomputed here; it is only absent in ablation modes.
+            free = candidates - included
+            best_degree = None
+            ties = []
+            for node in free:
+                degree = (
+                    degrees[node]
+                    if degrees is not None
+                    else len(graph.positive_neighbors(node) & candidates)
+                )
+                if best_degree is None or degree < best_degree:
+                    best_degree = degree
+                    ties = [node]
+                elif degree == best_degree:
+                    ties.append(node)
+            return ties[0] if len(ties) == 1 else min(ties, key=repr)
+
+        def first(candidates, included, degrees):
+            return min(candidates - included, key=repr)
+
+        def randomized(candidates, included, degrees):
+            free = sorted(candidates - included, key=repr)
+            return self._rng.choice(free)
+
+        selectors = {"greedy": greedy, "random": randomized, "first": first}
+        try:
+            return selectors[selection]
+        except KeyError:
+            raise ParameterError(
+                f"unknown selection strategy {selection!r}; expected one of {sorted(selectors)}"
+            ) from None
+
+    def _run(self, top_r: Optional[int]) -> EnumerationResult:
+        stats = SearchStats()
+        found: Dict[FrozenSet[Node], SignedClique] = {}
+        size_heap: List[int] = []  # min-heap of the top-r sizes
+        started = time.perf_counter()
+        deadline = started + self.time_limit if self.time_limit is not None else None
+        timed_out = False
+        truncated = False
+
+        try:
+            for component in reduction_components(self.graph, self.params, method=self.reduction):
+                stats.components += 1
+                self._search_component(
+                    component, stats, found, size_heap, top_r, deadline
+                )
+        except _StopSearch as stop:
+            if stop.args and stop.args[0] == "timeout":
+                timed_out = True
+            else:
+                truncated = True
+
+        cliques = sort_cliques(found.values())
+        if top_r is not None:
+            cliques = cliques[:top_r]
+        elapsed = time.perf_counter() - started
+        stats.maximal_found = len(cliques)
+        return EnumerationResult(
+            cliques=cliques,
+            stats=stats,
+            elapsed_seconds=elapsed,
+            timed_out=timed_out,
+            truncated=truncated,
+        )
+
+    def _search_component(
+        self,
+        component: Set[Node],
+        stats: SearchStats,
+        found: Dict[FrozenSet[Node], SignedClique],
+        size_heap: List[int],
+        top_r: Optional[int],
+        deadline: Optional[float],
+        seed: FrozenSet[Node] = frozenset(),
+    ) -> None:
+        graph = self.graph
+        params = self.params
+        threshold = params.positive_threshold
+        budget = params.k
+
+        def is_valid_clique(members: Set[Node], degrees: Optional[Dict[Node, int]]) -> bool:
+            # Inline Definition-1 check, run once per recursion. With the
+            # tracked positive-degree map (exact within-`members` counts
+            # maintained by the core pruning), node validity reduces to
+            # integer tests plus ONE negative intersection: a member is
+            # adjacent to all others iff its positive degree p and its
+            # internal negative count n satisfy p + n == |members| - 1,
+            # and the constraints demand p >= threshold, n <= k.
+            if not members:
+                return False
+            need = len(members) - 1
+            if degrees is not None:
+                for node in members:
+                    positive = degrees[node]
+                    if positive < threshold:
+                        return False
+                    expected_negative = need - positive
+                    if expected_negative < 0 or expected_negative > budget:
+                        return False
+                    if len(graph.negative_neighbors(node) & members) != expected_negative:
+                        return False
+                return True
+            for node in members:
+                if len(graph.neighbor_keys(node) & members) < need:
+                    return False
+                if len(graph.negative_neighbors(node) & members) > budget:
+                    return False
+                if threshold and len(graph.positive_neighbors(node) & members) < threshold:
+                    return False
+            return True
+        # Each frame carries (candidates, included, degrees) where
+        # `degrees` is the within-candidates positive degree map used by
+        # both the core pruning and the greedy selector; it is threaded
+        # through child frames with decremental updates so the core
+        # pruning costs O(changes) per recursion instead of O(|R|).
+        # Include branch is pushed last so it is explored first (DFS),
+        # matching the paper's recursion order and helping top-r find
+        # large cliques quickly.
+        Frame = Tuple[Set[Node], FrozenSet[Node], Optional[Dict[Node, int]]]
+        stack: List[Frame] = [(set(component), seed, None)]
+
+        while stack:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise _StopSearch("timeout")
+            candidates, included, degrees = stack.pop()
+            stats.recursions += 1
+
+            if self.core_pruning:
+                flag, candidates, degrees = icore_tracked(
+                    graph, included, threshold, candidates, degrees, sign="positive"
+                )
+                if not flag:
+                    stats.core_prunes += 1
+                    continue
+
+            if self.min_size is not None and len(candidates) < self.min_size:
+                stats.topr_prunes += 1
+                continue
+            if top_r is not None and len(size_heap) >= top_r and len(candidates) < size_heap[0]:
+                stats.topr_prunes += 1
+                continue
+
+            if is_valid_clique(candidates, degrees):
+                stats.early_terminations += 1
+                stats.maxtests += 1
+                if self._maxtest(graph, candidates, params):
+                    self._emit(candidates, found, size_heap, top_r, stats)
+                continue
+
+            free = candidates - included
+            if not free:
+                # Unreachable when core pruning is on (R == I implies R is
+                # an (alpha, k)-clique); defensive for ablation modes.
+                continue
+            branch_node = self._select(candidates, included, degrees)
+            new_included = included | {branch_node}
+
+            keep: Set[Node] = set(new_included)
+            adjacency = graph.neighbor_keys(branch_node)
+            negative_inside = {
+                node: len(graph.negative_neighbors(node) & new_included)
+                for node in new_included
+            }
+            for node in candidates:
+                if node in new_included:
+                    continue
+                if self.clique_pruning and node not in adjacency:
+                    stats.clique_pruned_candidates += 1
+                    continue
+                if self.negative_pruning:
+                    negatives = graph.negative_neighbors(node) & new_included
+                    if len(negatives) > budget or any(
+                        negative_inside[member] + 1 > budget for member in negatives
+                    ):
+                        stats.negative_pruned_candidates += 1
+                        continue
+                keep.add(node)
+
+            # Exclude branch: candidates lose one node.
+            exclude_candidates = set(candidates)
+            exclude_candidates.discard(branch_node)
+            if degrees is not None:
+                exclude_degrees: Optional[Dict[Node, int]] = dict(degrees)
+                exclude_degrees.pop(branch_node, None)
+                for neighbor in graph.positive_neighbors(branch_node) & exclude_candidates:
+                    exclude_degrees[neighbor] -= 1
+            else:
+                exclude_degrees = None
+            stack.append((exclude_candidates, included, exclude_degrees))
+
+            # Include branch: candidates shrink to `keep`. Update the
+            # degree map decrementally when few nodes were pruned;
+            # otherwise let the child recompute from scratch (cheaper).
+            include_degrees: Optional[Dict[Node, int]] = None
+            if degrees is not None:
+                removed = candidates - keep
+                if 3 * len(removed) <= len(keep):
+                    include_degrees = dict(degrees)
+                    for node in removed:
+                        include_degrees.pop(node, None)
+                    for node in removed:
+                        for neighbor in graph.positive_neighbors(node) & keep:
+                            include_degrees[neighbor] -= 1
+            stack.append((keep, new_included, include_degrees))
+
+    def _emit(
+        self,
+        members: Set[Node],
+        found: Dict[FrozenSet[Node], SignedClique],
+        size_heap: List[int],
+        top_r: Optional[int],
+        stats: SearchStats,
+    ) -> None:
+        if self.min_size is not None and len(members) < self.min_size:
+            return
+        key = frozenset(members)
+        if key in found:
+            if self.audit:
+                raise AssertionError(f"duplicate maximal clique emitted: {sorted(map(repr, key))}")
+            return
+        clique = SignedClique.from_nodes(self.graph, key, self.params)
+        if self.audit:
+            clique.verify(self.graph)
+        found[key] = clique
+        if top_r is not None:
+            heappush(size_heap, clique.size)
+            if len(size_heap) > top_r:
+                heappop(size_heap)
+        if self.max_results is not None and len(found) >= self.max_results:
+            raise _StopSearch("max_results")

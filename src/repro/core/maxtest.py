@@ -1,0 +1,151 @@
+"""Maximality testing for (alpha, k)-cliques (Definition 2).
+
+An (alpha, k)-clique ``C`` is *maximal* iff no (alpha, k)-clique
+strictly contains it. Any strict superset extends ``C`` by nodes that
+are (sign-blind) common neighbours of all of ``C``, so the test searches
+clique extensions inside ``CN(C)``.
+
+Two tests are provided:
+
+* :func:`single_extension_test` — the paper's ``MaxTest`` (Algorithm 4,
+  lines 21-25): declare non-maximal as soon as one common neighbour
+  ``v`` keeps every node of ``C ∪ {v}`` within the negative budget.
+  Sound in one direction only: because negative degrees are monotone,
+  a valid superset always yields such a ``v``, so *"maximal"* answers
+  are always correct — but *"non-maximal"* answers may be wrong, since
+  ``C ∪ {v}`` can fail the positive-edge constraint while no larger
+  valid superset exists.
+* :func:`is_maximal` — exact test: a branch-and-bound search over
+  subsets of the viable common neighbours, with positive-core pruning.
+  This is the default used by the enumerators so that Definition 2 is
+  honoured exactly (and so the brute-force cross-validation tests can
+  pass); ``maxtest="paper"`` selects the heuristic for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.algorithms.cliques import common_neighbors
+from repro.algorithms.kcore import icore
+from repro.core.cliques import is_alpha_k_clique
+from repro.core.params import AlphaK
+from repro.graphs.signed_graph import Node, SignedGraph
+
+
+def _viable_single_extensions(
+    graph: SignedGraph, members: Set[Node], params: AlphaK
+) -> List[Node]:
+    """Common neighbours whose addition keeps the negative budget intact.
+
+    A node ``v`` is viable iff every node of ``members | {v}`` has at
+    most ``k`` negative neighbours inside that set. Non-viable nodes can
+    never participate in any superset clique (monotonicity), so this is
+    both the paper's MaxTest filter and the starting candidate set of
+    the exact search.
+    """
+    budget = params.k
+    negative_inside: Dict[Node, int] = {
+        node: len(graph.negative_neighbors(node) & members) for node in members
+    }
+    viable: List[Node] = []
+    for v in common_neighbors(graph, members):
+        negatives = graph.negative_neighbors(v) & members
+        if len(negatives) > budget:
+            continue
+        if any(negative_inside[w] + 1 > budget for w in negatives):
+            continue
+        viable.append(v)
+    return viable
+
+
+def single_extension_test(graph: SignedGraph, members: Set[Node], params: AlphaK) -> bool:
+    """The paper's MaxTest: ``True`` iff no single extension fits the budget.
+
+    Returns ``True`` (reported maximal) when every common neighbour
+    would push some node of the extended set over the negative budget.
+    See the module docstring for the direction in which this test can be
+    wrong.
+    """
+    return not _viable_single_extensions(graph, set(members), params)
+
+
+def _extension_search(
+    graph: SignedGraph,
+    current: Set[Node],
+    candidates: Set[Node],
+    params: AlphaK,
+    base_size: int,
+) -> bool:
+    """Return ``True`` if some clique extension of *current* is valid.
+
+    Invariants: *current* is a clique satisfying the negative-edge
+    constraint; every candidate is adjacent to all of *current* and its
+    addition would keep the negative budget. The positive constraint is
+    the only one re-checked per node.
+    """
+    if len(current) > base_size and is_alpha_k_clique(graph, current, params):
+        return True
+    if not candidates:
+        return False
+    # Positive-core pruning: a valid extension is a ceil(alpha*k)-core
+    # of the positive-edge graph on current | candidates fixing current.
+    threshold = params.positive_threshold
+    if threshold > 0:
+        flag, core = icore(
+            graph, fixed=current, tau=threshold, within=current | candidates, sign="positive"
+        )
+        if not flag:
+            return False
+        candidates = candidates & core
+
+    budget = params.k
+    remaining = set(candidates)
+    for v in sorted(remaining, key=repr):
+        if v not in remaining:
+            continue
+        new_members = current | {v}
+        new_candidates: Set[Node] = set()
+        negative_inside = {
+            node: len(graph.negative_neighbors(node) & new_members) for node in new_members
+        }
+        adjacency = graph.neighbors(v)
+        for w in remaining:
+            if w == v or w not in adjacency:
+                continue
+            negatives = graph.negative_neighbors(w) & new_members
+            if len(negatives) > budget:
+                continue
+            if any(negative_inside[x] + 1 > budget for x in negatives):
+                continue
+            new_candidates.add(w)
+        if _extension_search(graph, new_members, new_candidates, params, base_size):
+            return True
+        remaining.discard(v)
+    return False
+
+
+def is_maximal(graph: SignedGraph, members: Set[Node], params: AlphaK) -> bool:
+    """Exact Definition-2 maximality test for an (alpha, k)-clique.
+
+    Assumes *members* already is an (alpha, k)-clique (the enumerator
+    guarantees it; use :func:`repro.core.cliques.is_alpha_k_clique` to
+    check independently). Returns ``True`` iff no (alpha, k)-clique
+    strictly contains *members*.
+    """
+    member_set = set(members)
+    viable = _viable_single_extensions(graph, member_set, params)
+    if not viable:
+        return True
+    return not _extension_search(graph, member_set, set(viable), params, len(member_set))
+
+
+def make_maxtest(kind: str):
+    """Return the maximality predicate for *kind* (``"exact"``/``"paper"``)."""
+    if kind == "exact":
+        return is_maximal
+    if kind == "paper":
+        return single_extension_test
+    from repro.exceptions import ParameterError
+
+    raise ParameterError(f"unknown maxtest kind {kind!r}; expected 'exact' or 'paper'")

@@ -1,0 +1,105 @@
+"""Parameter object for the (alpha, k)-clique model.
+
+Definition 1 of the paper takes a positive real ``alpha`` (alpha >= 1)
+and an integer ``k``:
+
+* **negative-edge constraint** — every member has at most ``k`` negative
+  neighbours inside the clique;
+* **positive-edge constraint** — every member has at least ``alpha * k``
+  positive neighbours inside the clique. Degrees are integers, so this
+  is equivalent to ``d+ >= ceil(alpha * k)``; the paper uses the ceiled
+  form throughout and so do we (:attr:`AlphaK.positive_threshold`).
+
+The paper's NP-hardness argument uses the degenerate setting
+``alpha = 0, k = d-_max`` (classic maximal cliques), so this library
+accepts ``alpha >= 0`` and treats ``alpha < 1`` as an explicitly
+degenerate regime rather than rejecting it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class AlphaK:
+    """Validated (alpha, k) parameters with derived thresholds.
+
+    Attributes
+    ----------
+    alpha:
+        Positive-degree multiplier (``alpha >= 0``; the paper's model
+        assumes ``alpha >= 1``, while ``alpha = 0`` recovers classic
+        maximal cliques when paired with ``k = d-_max``).
+    k:
+        Negative-degree budget per member (``k >= 0``).
+
+    Examples
+    --------
+    >>> p = AlphaK(alpha=3, k=1)
+    >>> p.positive_threshold
+    3
+    >>> p.min_clique_size
+    4
+    """
+
+    alpha: float
+    k: int
+
+    def __post_init__(self):
+        if not isinstance(self.k, int):
+            # Allow exact float integers such as 3.0 for convenience.
+            if isinstance(self.k, float) and self.k.is_integer():
+                object.__setattr__(self, "k", int(self.k))
+            else:
+                raise ParameterError(f"k must be an integer, got {self.k!r}")
+        if self.k < 0:
+            raise ParameterError(f"k must be non-negative, got {self.k}")
+        if not (self.alpha >= 0):
+            raise ParameterError(f"alpha must be non-negative, got {self.alpha!r}")
+
+    @property
+    def positive_threshold(self) -> int:
+        """``ceil(alpha * k)`` — the minimum within-clique positive degree."""
+        return math.ceil(self.alpha * self.k)
+
+    @property
+    def core_order(self) -> int:
+        """Order of the ego-network core test: ``positive_threshold - 1``.
+
+        Lemma 2: inside an (alpha, k)-clique, every member's positive
+        neighbourhood must contain a (``ceil(alpha*k) - 1``)-core.
+        Clamped at 0, where the test is vacuous.
+        """
+        return max(self.positive_threshold - 1, 0)
+
+    @property
+    def min_clique_size(self) -> int:
+        """Smallest possible (alpha, k)-clique: ``positive_threshold + 1``.
+
+        Every member needs ``positive_threshold`` positive neighbours
+        inside the clique, so at least that many other members exist.
+        For degenerate parameters (threshold 0) the minimum size is 1.
+        """
+        return self.positive_threshold + 1
+
+    @property
+    def is_degenerate(self) -> bool:
+        """``True`` when the positive-edge constraint is vacuous.
+
+        Happens when ``alpha * k == 0``; core-based pruning then cannot
+        remove anything and the model reduces to negative-budgeted
+        cliques (``k = 0`` further reduces to maximal cliques of G+).
+        """
+        return self.positive_threshold == 0
+
+    def __str__(self) -> str:
+        return f"(alpha={self.alpha:g}, k={self.k})"
+
+
+def make_params(alpha: float, k: int) -> AlphaK:
+    """Validate and construct an :class:`AlphaK` (convenience wrapper)."""
+    return AlphaK(alpha=alpha, k=k)

@@ -1,0 +1,42 @@
+"""Run every experiment driver and print the exhibits.
+
+Usage::
+
+    python -m repro.experiments              # all exhibits, fast grids
+    python -m repro.experiments fig5 table2  # a subset
+    REPRO_BENCH_FULL=1 python -m repro.experiments   # the paper's full grids
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.figures import ALL_DRIVERS
+from repro.experiments.harness import Exhibit
+
+
+def _print_result(result) -> None:
+    if isinstance(result, Exhibit):
+        print(result.render())
+        print()
+        return
+    for exhibit in result:
+        print(exhibit.render())
+        print()
+
+
+def main(argv=None) -> int:
+    """Entry point: run the selected (or all) drivers."""
+    names = (argv if argv is not None else sys.argv[1:]) or list(ALL_DRIVERS)
+    unknown = [name for name in names if name not in ALL_DRIVERS]
+    if unknown:
+        print(f"unknown drivers: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(ALL_DRIVERS))}", file=sys.stderr)
+        return 2
+    for name in names:
+        _print_result(ALL_DRIVERS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Experiment harness: timing, sweep configuration, environment knobs.
+
+Every figure/table driver in :mod:`repro.experiments.figures` runs a
+parameter sweep built from the constants here. The paper's grids are the
+defaults (alpha in [2, 7], k in [1, 6], defaults alpha=4, k=3, r=30);
+two environment variables let benchmark runs trade fidelity for time:
+
+* ``REPRO_BENCH_FULL=1`` — run the paper's full grids (default: a
+  3-point sub-grid per axis, which preserves every monotone-shape
+  claim at a fraction of the cost);
+* ``REPRO_BENCH_TIME_LIMIT`` — per-enumeration wall-clock cap in
+  seconds (default 15; the paper itself caps MSCE-R runs at 3600 s).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: The paper's parameter grids (Section V, "Parameters").
+FULL_ALPHAS: Tuple[float, ...] = (2, 3, 4, 5, 6, 7)
+FULL_KS: Tuple[int, ...] = (1, 2, 3, 4, 5, 6)
+FAST_ALPHAS: Tuple[float, ...] = (2, 4, 6)
+FAST_KS: Tuple[int, ...] = (1, 3, 5)
+DEFAULT_ALPHA: float = 4
+DEFAULT_K: int = 3
+DEFAULT_R: int = 30
+FULL_RS: Tuple[int, ...] = (1, 10, 20, 30, 40, 50)
+FAST_RS: Tuple[int, ...] = (1, 20, 50)
+
+
+def full_sweeps_enabled() -> bool:
+    """True when ``REPRO_BENCH_FULL`` requests the paper's full grids."""
+    return os.environ.get("REPRO_BENCH_FULL", "").strip() not in ("", "0", "false")
+
+
+def sweep_alphas() -> Tuple[float, ...]:
+    """The alpha grid for the current run mode."""
+    return FULL_ALPHAS if full_sweeps_enabled() else FAST_ALPHAS
+
+
+def sweep_ks() -> Tuple[int, ...]:
+    """The k grid for the current run mode."""
+    return FULL_KS if full_sweeps_enabled() else FAST_KS
+
+
+def sweep_rs() -> Tuple[int, ...]:
+    """The r grid for the current run mode."""
+    return FULL_RS if full_sweeps_enabled() else FAST_RS
+
+
+def time_limit_seconds() -> float:
+    """Per-enumeration wall-clock cap (``REPRO_BENCH_TIME_LIMIT``)."""
+    raw = os.environ.get("REPRO_BENCH_TIME_LIMIT", "").strip()
+    if not raw:
+        return 15.0
+    return float(raw)
+
+
+@contextmanager
+def stopwatch():
+    """Context manager yielding a callable that reports elapsed seconds.
+
+    >>> with stopwatch() as elapsed:
+    ...     _ = sum(range(10))
+    >>> elapsed() >= 0
+    True
+    """
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start
+
+
+def measure(fn: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def measure_peak_memory(fn: Callable, *args, **kwargs) -> Tuple[object, int]:
+    """Run ``fn`` under :mod:`tracemalloc`; return ``(result, peak_bytes)``.
+
+    Used by the Figure-9 experiment: the paper measures resident memory
+    of the C++ process; the closest faithful Python equivalent is the
+    peak allocation attributable to the measured call.
+    """
+    tracemalloc.start()
+    try:
+        result = fn(*args, **kwargs)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+@dataclass
+class Series:
+    """One plotted line: a label plus aligned x/y sequences."""
+
+    label: str
+    x: List[object] = field(default_factory=list)
+    y: List[object] = field(default_factory=list)
+
+    def add(self, x_value: object, y_value: object) -> None:
+        """Append one point."""
+        self.x.append(x_value)
+        self.y.append(y_value)
+
+    def as_rows(self) -> List[Tuple[object, object]]:
+        """Return the points as (x, y) tuples."""
+        return list(zip(self.x, self.y))
+
+
+@dataclass
+class Exhibit:
+    """A reproduced table/figure: a title plus named series and notes.
+
+    The text rendering is what the benchmark harness prints — the same
+    rows/series the paper plots, in plain text instead of gnuplot.
+    """
+
+    title: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def series_by_label(self) -> Dict[str, Series]:
+        """Index the series by label."""
+        return {series.label: series for series in self.series}
+
+    def render(self) -> str:
+        """Render the exhibit as an aligned text table."""
+        lines = [self.title, "=" * len(self.title)]
+        if self.series:
+            x_values = self.series[0].x
+            header = ["x"] + [series.label for series in self.series]
+            widths = [max(len(str(h)), 10) for h in header]
+            lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+            for index, x_value in enumerate(x_values):
+                row = [x_value] + [
+                    series.y[index] if index < len(series.y) else ""
+                    for series in self.series
+                ]
+                formatted = [
+                    f"{value:.4g}" if isinstance(value, float) else str(value)
+                    for value in row
+                ]
+                lines.append(
+                    "  ".join(cell.ljust(w) for cell, w in zip(formatted, widths))
+                )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Parameter exploration: map the (alpha, k) landscape of a graph.
+
+Choosing alpha and k is the practical entry barrier of the signed
+clique model (the paper sweeps alpha in [2,7], k in [1,6] and discusses
+how the two constraints trade off). :func:`parameter_map` computes, for
+every grid point, the quantities a user needs to choose parameters:
+
+* MCCore size (how much survives the reduction — 0 means provably no
+  clique exists at this setting, without running any enumeration);
+* number of maximal cliques and the largest clique size (capped
+  enumeration, flagged when the cap was hit);
+* wall-clock cost.
+
+:func:`suggest_parameters` then picks the strictest setting that still
+yields a requested number of communities — the "give me about 30 trust
+circles" workflow of the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.bbe import MSCE
+from repro.core.params import AlphaK
+from repro.core.reduction import reduce_graph
+from repro.exceptions import ParameterError
+from repro.graphs.signed_graph import SignedGraph
+
+
+@dataclass(frozen=True)
+class ParameterPoint:
+    """One grid point of the (alpha, k) landscape."""
+
+    alpha: float
+    k: int
+    mccore_nodes: int
+    clique_count: int
+    largest_clique: int
+    seconds: float
+    complete: bool
+
+    @property
+    def positive_threshold(self) -> int:
+        """``ceil(alpha * k)`` at this point."""
+        return AlphaK(self.alpha, self.k).positive_threshold
+
+
+def parameter_map(
+    graph: SignedGraph,
+    alphas: Sequence[float] = (2, 3, 4, 5, 6, 7),
+    ks: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    time_limit: Optional[float] = 10.0,
+    max_results: Optional[int] = 5000,
+    reduction: str = "mcnew",
+) -> List[ParameterPoint]:
+    """Profile the (alpha, k) grid; skips enumeration when the MCCore is empty.
+
+    Points whose enumeration hit *time_limit* or *max_results* report
+    ``complete=False`` — their counts are lower bounds.
+    """
+    if not alphas or not ks:
+        raise ParameterError("alphas and ks must be non-empty")
+    points: List[ParameterPoint] = []
+    for alpha in alphas:
+        for k in ks:
+            params = AlphaK(alpha, k)
+            survivors = reduce_graph(graph, params, method=reduction)
+            if not survivors:
+                points.append(
+                    ParameterPoint(
+                        alpha=alpha, k=k, mccore_nodes=0, clique_count=0,
+                        largest_clique=0, seconds=0.0, complete=True,
+                    )
+                )
+                continue
+            searcher = MSCE(
+                graph, params, reduction=reduction,
+                time_limit=time_limit, max_results=max_results,
+            )
+            result = searcher.enumerate_all()
+            points.append(
+                ParameterPoint(
+                    alpha=alpha,
+                    k=k,
+                    mccore_nodes=len(survivors),
+                    clique_count=len(result.cliques),
+                    largest_clique=result.cliques[0].size if result.cliques else 0,
+                    seconds=result.elapsed_seconds,
+                    complete=not (result.timed_out or result.truncated),
+                )
+            )
+    return points
+
+
+def render_parameter_map(points: Sequence[ParameterPoint]) -> str:
+    """Render the landscape as an aligned text grid (counts, ``+`` = capped)."""
+    alphas = sorted({point.alpha for point in points})
+    ks = sorted({point.k for point in points})
+    index = {(point.alpha, point.k): point for point in points}
+    width = 9
+    lines = ["maximal (alpha, k)-clique counts (rows alpha, columns k):"]
+    header = "alpha\\k".ljust(8) + "".join(str(k).rjust(width) for k in ks)
+    lines.append(header)
+    for alpha in alphas:
+        cells = []
+        for k in ks:
+            point = index.get((alpha, k))
+            if point is None:
+                cells.append("-".rjust(width))
+                continue
+            suffix = "" if point.complete else "+"
+            cells.append(f"{point.clique_count}{suffix}".rjust(width))
+        lines.append(f"{alpha:<8g}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def suggest_parameters(
+    points: Sequence[ParameterPoint],
+    min_count: int = 1,
+    max_count: Optional[int] = None,
+) -> Optional[ParameterPoint]:
+    """Pick the strictest complete grid point within the count window.
+
+    "Strictest" maximises the positive threshold (cohesion), breaking
+    ties toward smaller k (less tolerated conflict). Returns ``None``
+    when no complete point fits.
+    """
+    viable = [
+        point
+        for point in points
+        if point.complete
+        and point.clique_count >= min_count
+        and (max_count is None or point.clique_count <= max_count)
+    ]
+    if not viable:
+        return None
+    return max(viable, key=lambda p: (p.positive_threshold, -p.k))

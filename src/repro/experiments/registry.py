@@ -1,0 +1,23 @@
+"""Cached dataset access for experiments and benchmarks.
+
+Dataset generation is deterministic but not free (a few hundred
+milliseconds each); the figure drivers and the benchmark suite share one
+instance per (name, seed) through this cache.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.generators.datasets import Dataset, load_dataset
+
+
+@lru_cache(maxsize=None)
+def get_dataset(name: str, seed: int | None = None) -> Dataset:
+    """Return the cached dataset stand-in for *name* (see generators)."""
+    return load_dataset(name, seed=seed)
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (tests use this to control memory)."""
+    get_dataset.cache_clear()

@@ -1,0 +1,103 @@
+"""One-shot evaluation report generation.
+
+:func:`generate_report` runs a selection of the per-exhibit drivers and
+writes a single self-contained markdown document — the reproduction's
+"results section" — with every table rendered and the run configuration
+recorded. Used by maintainers after substantive changes:
+
+    python -m repro.experiments.report /tmp/report.md
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.experiments.figures import ALL_DRIVERS
+from repro.experiments.harness import (
+    Exhibit,
+    full_sweeps_enabled,
+    time_limit_seconds,
+)
+
+PathLike = Union[str, Path]
+
+#: Driver order for the report (mirrors the paper's evaluation flow).
+DEFAULT_SECTIONS = (
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig6_mechanism",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table2",
+    "fig10",
+    "fig11",
+    "ablation_pruning",
+    "ablation_maxtest",
+    "ablation_reduction",
+)
+
+
+def _as_exhibits(result) -> List[Exhibit]:
+    if isinstance(result, Exhibit):
+        return [result]
+    return list(result)
+
+
+def generate_report(
+    path: Optional[PathLike] = None,
+    sections: Sequence[str] = DEFAULT_SECTIONS,
+) -> str:
+    """Run the selected drivers and return (and optionally write) markdown.
+
+    Unknown section names raise immediately (before any long-running
+    driver executes).
+    """
+    unknown = [name for name in sections if name not in ALL_DRIVERS]
+    if unknown:
+        from repro.exceptions import ExperimentError
+
+        raise ExperimentError(f"unknown report sections: {', '.join(unknown)}")
+
+    lines: List[str] = [
+        "# Signed clique search — evaluation report",
+        "",
+        f"- python: {platform.python_version()} on {platform.system().lower()}",
+        f"- grids: {'full (paper)' if full_sweeps_enabled() else 'fast (3-point)'}",
+        f"- per-run time cap: {time_limit_seconds():g}s",
+        "",
+        "Regenerate any section with `python -m repro.experiments <name>`.",
+        "",
+    ]
+    for name in sections:
+        lines.append(f"## {name}")
+        lines.append("")
+        for exhibit in _as_exhibits(ALL_DRIVERS[name]()):
+            lines.append("```")
+            lines.append(exhibit.render())
+            lines.append("```")
+            lines.append("")
+    text = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry: ``python -m repro.experiments.report [output.md] [sections…]``."""
+    args = list(argv if argv is not None else sys.argv[1:])
+    path = args.pop(0) if args else "evaluation_report.md"
+    sections = tuple(args) if args else DEFAULT_SECTIONS
+    generate_report(path, sections)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

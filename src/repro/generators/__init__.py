@@ -1,0 +1,58 @@
+"""Synthetic signed network generators and paper-dataset stand-ins."""
+
+from repro.generators.datasets import (
+    DATASET_BUILDERS,
+    PAPER_DATASETS,
+    Dataset,
+    load_dataset,
+    make_dblp_like,
+    make_flysign_like,
+    make_pokec_like,
+    make_slashdot_like,
+    make_wiki_like,
+    make_youtube_like,
+)
+from repro.generators.dblp_like import dblp_like_coauthorship
+from repro.generators.planted import (
+    CommunitySpec,
+    heavy_tailed_sizes,
+    plant_community,
+    planted_partition_graph,
+)
+from repro.generators.lfr_like import lfr_like_signed
+from repro.generators.ppi import flysign_like
+from repro.generators.random_signed import (
+    gnp_signed,
+    random_edge_subsample,
+    random_node_subsample,
+    random_sign_assignment,
+    sprinkle_negative_edges,
+)
+from repro.generators.social import close_triangles, preferential_attachment
+
+__all__ = [
+    "gnp_signed",
+    "random_sign_assignment",
+    "random_edge_subsample",
+    "random_node_subsample",
+    "sprinkle_negative_edges",
+    "preferential_attachment",
+    "close_triangles",
+    "CommunitySpec",
+    "plant_community",
+    "planted_partition_graph",
+    "heavy_tailed_sizes",
+    "dblp_like_coauthorship",
+    "flysign_like",
+    "lfr_like_signed",
+    "Dataset",
+    "DATASET_BUILDERS",
+    "PAPER_DATASETS",
+    "load_dataset",
+    "make_slashdot_like",
+    "make_wiki_like",
+    "make_dblp_like",
+    "make_youtube_like",
+    "make_pokec_like",
+    "make_flysign_like",
+]

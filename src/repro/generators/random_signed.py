@@ -1,0 +1,130 @@
+"""Elementary random signed graph generators.
+
+Provides Erdős–Rényi signed graphs and the paper's Youtube/Pokec recipe:
+take an unsigned topology and assign signs uniformly at random with a
+fixed negative fraction (30% in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Iterable, Optional
+
+from repro.exceptions import ParameterError
+from repro.graphs.signed_graph import NEGATIVE, POSITIVE, SignedGraph
+
+
+def _check_fraction(value: float, name: str) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ParameterError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def gnp_signed(
+    n: int,
+    p: float,
+    negative_fraction: float = 0.3,
+    seed: Optional[int] = None,
+) -> SignedGraph:
+    """Signed G(n, p): each pair is an edge w.p. *p*, negative w.p. *negative_fraction*.
+
+    Nodes are ``0..n-1``; isolated nodes are kept so ``len(graph) == n``.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    _check_fraction(p, "p")
+    _check_fraction(negative_fraction, "negative_fraction")
+    rng = random.Random(seed)
+    graph = SignedGraph(nodes=range(n))
+    for u, v in combinations(range(n), 2):
+        if rng.random() < p:
+            sign = NEGATIVE if rng.random() < negative_fraction else POSITIVE
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+def random_sign_assignment(
+    graph: SignedGraph,
+    negative_fraction: float = 0.3,
+    seed: Optional[int] = None,
+) -> SignedGraph:
+    """Re-sign *graph*'s topology uniformly at random (the paper's recipe).
+
+    "We generate a signed network for each by randomly picking 30% of
+    the edges as the negative edges and the remaining edges as positive
+    edges" (Section V, on Youtube and Pokec). Exactly
+    ``round(m * negative_fraction)`` edges become negative. Returns a
+    new graph; the input is untouched.
+    """
+    _check_fraction(negative_fraction, "negative_fraction")
+    rng = random.Random(seed)
+    edges = sorted(
+        ((u, v) for u, v, _sign in graph.edges()),
+        key=lambda edge: (repr(edge[0]), repr(edge[1])),
+    )
+    negative_count = round(len(edges) * negative_fraction)
+    negative_indices = set(rng.sample(range(len(edges)), negative_count)) if edges else set()
+    signed = SignedGraph(nodes=graph.nodes())
+    for index, (u, v) in enumerate(edges):
+        signed.add_edge(u, v, NEGATIVE if index in negative_indices else POSITIVE)
+    return signed
+
+
+def random_edge_subsample(
+    graph: SignedGraph, fraction: float, seed: Optional[int] = None
+) -> SignedGraph:
+    """Keep a uniform *fraction* of edges (the Fig-8 scalability protocol).
+
+    "We generate four subgraphs by randomly sampling 20-80% of the edges"
+    (Exp-6). Endpoint nodes of surviving edges are kept; fully isolated
+    nodes are dropped, as in the paper's subgraph convention.
+    """
+    _check_fraction(fraction, "fraction")
+    rng = random.Random(seed)
+    edges = sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+    kept = rng.sample(range(len(edges)), round(len(edges) * fraction)) if edges else []
+    sub = SignedGraph()
+    for index in sorted(kept):
+        u, v, sign = edges[index]
+        sub.add_edge(u, v, sign)
+    return sub
+
+
+def random_node_subsample(
+    graph: SignedGraph, fraction: float, seed: Optional[int] = None
+) -> SignedGraph:
+    """Induced subgraph on a uniform *fraction* of nodes (Fig-8's |V| sweep)."""
+    _check_fraction(fraction, "fraction")
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes(), key=repr)
+    kept = rng.sample(nodes, round(len(nodes) * fraction)) if nodes else []
+    return graph.subgraph(kept)
+
+
+def sprinkle_negative_edges(
+    graph: SignedGraph,
+    count: int,
+    candidates: Optional[Iterable] = None,
+    seed: Optional[int] = None,
+) -> int:
+    """Flip up to *count* random positive edges to negative, in place.
+
+    Returns the number of edges actually flipped. *candidates* restricts
+    flipping to edges with both endpoints in the given node set — the
+    planted-community generators use this to inject intra-community
+    conflict.
+    """
+    rng = random.Random(seed)
+    scope = set(candidates) if candidates is not None else None
+    positives = [
+        (u, v)
+        for u, v in graph.positive_edges()
+        if scope is None or (u in scope and v in scope)
+    ]
+    positives.sort(key=lambda edge: (repr(edge[0]), repr(edge[1])))
+    rng.shuffle(positives)
+    flipped = 0
+    for u, v in positives[: max(count, 0)]:
+        graph.set_sign(u, v, NEGATIVE)
+        flipped += 1
+    return flipped

@@ -1,0 +1,56 @@
+"""Signed graph data structures and structural utilities.
+
+The package exports the :class:`SignedGraph` container used by every
+algorithm in the library, builders for bulk/weighted construction,
+connected-component extraction, and summary statistics.
+"""
+
+from repro.graphs.builder import SignedGraphBuilder, WeightedGraphBuilder
+from repro.graphs.components import (
+    connected_components,
+    is_connected,
+    largest_component,
+    positive_connected_components,
+)
+from repro.graphs.properties import (
+    GraphStats,
+    arboricity_upper_bound,
+    degeneracy,
+    degree_histogram,
+    estimated_bytes,
+    graph_stats,
+    positive_degree_sequence,
+    sign_assortativity,
+)
+from repro.graphs.signed_graph import (
+    NEGATIVE,
+    POSITIVE,
+    Node,
+    SignedGraph,
+    normalize_sign,
+)
+from repro.graphs.validation import validate_graph, validation_errors
+
+__all__ = [
+    "SignedGraph",
+    "SignedGraphBuilder",
+    "WeightedGraphBuilder",
+    "POSITIVE",
+    "NEGATIVE",
+    "Node",
+    "normalize_sign",
+    "connected_components",
+    "positive_connected_components",
+    "largest_component",
+    "is_connected",
+    "GraphStats",
+    "graph_stats",
+    "degeneracy",
+    "arboricity_upper_bound",
+    "degree_histogram",
+    "positive_degree_sequence",
+    "sign_assortativity",
+    "estimated_bytes",
+    "validate_graph",
+    "validation_errors",
+]

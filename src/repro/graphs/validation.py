@@ -1,0 +1,66 @@
+"""Consistency checks for :class:`~repro.graphs.SignedGraph`.
+
+The graph structure maintains three parallel indexes (sign table,
+positive adjacency, negative adjacency). :func:`validate_graph` audits
+that they agree — the test-suite runs it after every mutating operation
+sequence, and algorithm authors can call it when debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import GraphError
+from repro.graphs.signed_graph import NEGATIVE, POSITIVE, SignedGraph
+
+
+def validation_errors(graph: SignedGraph) -> List[str]:
+    """Return a list of human-readable inconsistency descriptions.
+
+    An empty list means the graph's internal indexes are coherent.
+    """
+    errors: List[str] = []
+    pos_count = 0
+    neg_count = 0
+    for u in graph.nodes():
+        for v, sign in graph._sign[u].items():
+            if sign not in (POSITIVE, NEGATIVE):
+                errors.append(f"edge ({u!r}, {v!r}) has non-canonical sign {sign!r}")
+            if graph._sign.get(v, {}).get(u) != sign:
+                errors.append(f"edge ({u!r}, {v!r}) is not symmetric")
+            if sign == POSITIVE:
+                pos_count += 1
+                if v not in graph._pos[u]:
+                    errors.append(f"positive edge ({u!r}, {v!r}) missing from _pos index")
+                if v in graph._neg[u]:
+                    errors.append(f"positive edge ({u!r}, {v!r}) wrongly in _neg index")
+            else:
+                neg_count += 1
+                if v not in graph._neg[u]:
+                    errors.append(f"negative edge ({u!r}, {v!r}) missing from _neg index")
+                if v in graph._pos[u]:
+                    errors.append(f"negative edge ({u!r}, {v!r}) wrongly in _pos index")
+        extra_pos = graph._pos[u] - set(graph._sign[u])
+        extra_neg = graph._neg[u] - set(graph._sign[u])
+        if extra_pos:
+            errors.append(f"node {u!r} has stale positive index entries {extra_pos!r}")
+        if extra_neg:
+            errors.append(f"node {u!r} has stale negative index entries {extra_neg!r}")
+    if pos_count != 2 * graph.number_of_positive_edges():
+        errors.append(
+            f"positive edge counter {graph.number_of_positive_edges()} disagrees "
+            f"with adjacency ({pos_count} directed entries)"
+        )
+    if neg_count != 2 * graph.number_of_negative_edges():
+        errors.append(
+            f"negative edge counter {graph.number_of_negative_edges()} disagrees "
+            f"with adjacency ({neg_count} directed entries)"
+        )
+    return errors
+
+
+def validate_graph(graph: SignedGraph) -> None:
+    """Raise :class:`GraphError` if the graph's internal indexes disagree."""
+    errors = validation_errors(graph)
+    if errors:
+        raise GraphError("; ".join(errors))

@@ -1,0 +1,46 @@
+"""Graph and result I/O: signed edge lists (SNAP/KONECT style) and JSON."""
+
+from repro.io.edgelist import (
+    iter_signed_edges,
+    read_signed_edgelist,
+    read_signed_edgelist_string,
+    write_signed_edgelist,
+)
+from repro.io.cache import ResultCache, cached_enumerate, graph_fingerprint
+from repro.io.dot import save_dot, to_dot
+from repro.io.converters import (
+    from_adjacency_matrix,
+    from_networkx,
+    to_adjacency_matrix,
+    to_networkx,
+)
+from repro.io.json_io import (
+    cliques_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_cliques,
+    save_graph,
+)
+
+__all__ = [
+    "iter_signed_edges",
+    "read_signed_edgelist",
+    "read_signed_edgelist_string",
+    "write_signed_edgelist",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "cliques_to_dict",
+    "save_cliques",
+    "to_networkx",
+    "from_networkx",
+    "to_adjacency_matrix",
+    "from_adjacency_matrix",
+    "ResultCache",
+    "cached_enumerate",
+    "graph_fingerprint",
+    "to_dot",
+    "save_dot",
+]

@@ -1,0 +1,155 @@
+"""Disk-backed caching of enumeration results.
+
+Enumeration is the expensive step of every workflow here; analyses
+re-run it over the same (graph, alpha, k) triples constantly. The cache
+keys results by a content fingerprint of the graph (order-independent
+SHA-256 over the edge multiset and isolated nodes) plus the parameters,
+so stale hits are impossible: touch one edge and the key changes.
+
+>>> import tempfile
+>>> from repro.graphs import SignedGraph
+>>> g = SignedGraph([(1, 2, "+"), (1, 3, "+"), (2, 3, "+")])
+>>> with tempfile.TemporaryDirectory() as tmp:
+...     first = cached_enumerate(g, alpha=2, k=1, cache_dir=tmp)   # computes
+...     again = cached_enumerate(g, alpha=2, k=1, cache_dir=tmp)   # disk hit
+>>> [sorted(c.nodes) for c in again]
+[[1, 2, 3]]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.bbe import MSCE
+from repro.core.cliques import SignedClique
+from repro.core.params import AlphaK
+from repro.graphs.signed_graph import Node, SignedGraph
+
+PathLike = Union[str, Path]
+
+
+def graph_fingerprint(graph: SignedGraph) -> str:
+    """Order-independent content hash of *graph* (SHA-256 hex digest).
+
+    Covers every edge with its sign and every isolated node; isomorphic
+    but differently-labelled graphs hash differently (labels are part of
+    the content — caching is per concrete graph, not per isomorphism
+    class).
+    """
+    digest = hashlib.sha256()
+    edge_lines = sorted(
+        f"{min(repr(u), repr(v))}|{max(repr(u), repr(v))}|{sign}"
+        for u, v, sign in graph.edges()
+    )
+    isolated = sorted(
+        repr(node) for node in graph.nodes() if graph.degree(node) == 0
+    )
+    for line in edge_lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    digest.update(b"--isolated--\n")
+    for line in isolated:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Filesystem cache of clique results under one directory.
+
+    Entries are JSON files named by the combined key; node labels
+    round-trip when they are JSON representable (int/str); other label
+    types are refused at ``put`` time.
+    """
+
+    def __init__(self, directory: PathLike):
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, fingerprint: str, params: AlphaK, kind: str) -> Path:
+        safe_kind = "".join(ch for ch in kind if ch.isalnum() or ch in "-_")
+        return self._dir / f"{fingerprint[:32]}-a{params.alpha:g}-k{params.k}-{safe_kind}.json"
+
+    def get(
+        self, graph: SignedGraph, params: AlphaK, kind: str = "all"
+    ) -> Optional[List[SignedClique]]:
+        """Return the cached cliques, or ``None`` on a miss/corrupt entry."""
+        path = self._path(graph_fingerprint(graph), params, kind)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return [
+                SignedClique(
+                    nodes=frozenset(entry["nodes"]),
+                    params=params,
+                    positive_edges=entry["positive_edges"],
+                    negative_edges=entry["negative_edges"],
+                )
+                for entry in payload["cliques"]
+            ]
+        except (ValueError, KeyError, TypeError):
+            return None  # treat corruption as a miss; the entry is rewritten
+
+    def put(
+        self,
+        graph: SignedGraph,
+        params: AlphaK,
+        cliques: List[SignedClique],
+        kind: str = "all",
+    ) -> None:
+        """Store *cliques* for (graph, params, kind)."""
+        for clique in cliques:
+            for node in clique.nodes:
+                if not isinstance(node, (int, str)):
+                    raise TypeError(
+                        f"cache requires int/str node labels, got {type(node).__name__}"
+                    )
+        payload = {
+            "alpha": params.alpha,
+            "k": params.k,
+            "cliques": [
+                {
+                    "nodes": sorted(clique.nodes, key=repr),
+                    "positive_edges": clique.positive_edges,
+                    "negative_edges": clique.negative_edges,
+                }
+                for clique in cliques
+            ],
+        }
+        path = self._path(graph_fingerprint(graph), params, kind)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self._dir.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def cached_enumerate(
+    graph: SignedGraph,
+    alpha: float,
+    k: int,
+    cache_dir: PathLike,
+    **msce_options,
+) -> List[SignedClique]:
+    """Enumerate with a disk cache wrapped around :class:`MSCE`.
+
+    Results produced under a ``time_limit``/``max_results`` cap are
+    *not* cached (they are partial); pass no caps for cacheable runs.
+    """
+    params = AlphaK(alpha, k)
+    cache = ResultCache(cache_dir)
+    hit = cache.get(graph, params)
+    if hit is not None:
+        return hit
+    result = MSCE(graph, params, **msce_options).enumerate_all()
+    if not (result.timed_out or result.truncated):
+        cache.put(graph, params, result.cliques)
+    return result.cliques

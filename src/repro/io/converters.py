@@ -1,0 +1,112 @@
+"""Interoperability: networkx graphs and numpy adjacency matrices.
+
+Downstream users usually already hold their signed network in networkx
+(with a sign/weight attribute) or as a signed adjacency matrix; these
+converters move data in and out of :class:`~repro.graphs.SignedGraph`
+losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ParseError
+from repro.graphs.signed_graph import Node, SignedGraph, normalize_sign
+
+
+def to_networkx(graph: SignedGraph, sign_attribute: str = "sign"):
+    """Return an undirected :class:`networkx.Graph` with sign attributes.
+
+    Each edge carries ``{sign_attribute: +1/-1}``; node identities are
+    preserved. Requires networkx (an optional dependency used only by
+    this converter and the test-suite).
+    """
+    import networkx as nx
+
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes())
+    for u, v, sign in graph.edges():
+        result.add_edge(u, v, **{sign_attribute: sign})
+    return result
+
+
+def from_networkx(nx_graph, sign_attribute: str = "sign", default_sign: object = None) -> SignedGraph:
+    """Build a :class:`SignedGraph` from a networkx graph.
+
+    The sign is taken from ``sign_attribute`` (falling back to the sign
+    of a numeric ``weight`` attribute); edges with neither attribute use
+    *default_sign*, and raise :class:`ParseError` when that is ``None``.
+    Directed input is symmetrised with "last write wins".
+    """
+    graph = SignedGraph()
+    for node in nx_graph.nodes():
+        graph.add_node(node)
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        if sign_attribute in data:
+            sign = data[sign_attribute]
+        elif "weight" in data and isinstance(data["weight"], (int, float)):
+            weight = data["weight"]
+            if weight == 0:
+                raise ParseError(f"edge ({u!r}, {v!r}) has zero weight; no sign derivable")
+            sign = 1 if weight > 0 else -1
+        elif default_sign is not None:
+            sign = default_sign
+        else:
+            raise ParseError(
+                f"edge ({u!r}, {v!r}) lacks a {sign_attribute!r} or numeric weight attribute"
+            )
+        graph.set_sign(u, v, normalize_sign(sign))
+    return graph
+
+
+def to_adjacency_matrix(
+    graph: SignedGraph, order: Optional[Sequence[Node]] = None
+) -> Tuple["object", List[Node]]:
+    """Return ``(matrix, order)``: a signed numpy adjacency matrix.
+
+    ``matrix[i, j]`` is ``+1``/``-1``/``0``; symmetric; diagonal zero.
+    *order* fixes the node ordering (default: sorted by repr).
+    """
+    import numpy as np
+
+    nodes = list(order) if order is not None else sorted(graph.nodes(), key=repr)
+    index = {node: i for i, node in enumerate(nodes)}
+    matrix = np.zeros((len(nodes), len(nodes)), dtype=np.int8)
+    for u, v, sign in graph.edges():
+        if u in index and v in index:
+            matrix[index[u], index[v]] = sign
+            matrix[index[v], index[u]] = sign
+    return matrix, nodes
+
+
+def from_adjacency_matrix(matrix, nodes: Optional[Sequence[Node]] = None) -> SignedGraph:
+    """Build a :class:`SignedGraph` from a signed adjacency matrix.
+
+    Entries must be symmetric with values in {-1, 0, +1} (any numeric
+    type; the sign of non-zero entries is taken). The diagonal is
+    ignored. *nodes* labels the rows (default ``0..n-1``).
+    """
+    import numpy as np
+
+    array = np.asarray(matrix)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise ParseError(f"adjacency matrix must be square, got shape {array.shape}")
+    n = array.shape[0]
+    labels = list(nodes) if nodes is not None else list(range(n))
+    if len(labels) != n:
+        raise ParseError(f"{n}x{n} matrix needs {n} node labels, got {len(labels)}")
+    graph = SignedGraph(nodes=labels)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = array[i, j]
+            if value != array[j, i]:
+                raise ParseError(
+                    f"matrix not symmetric at ({i}, {j}): {value!r} vs {array[j, i]!r}"
+                )
+            if value > 0:
+                graph.add_edge(labels[i], labels[j], 1)
+            elif value < 0:
+                graph.add_edge(labels[i], labels[j], -1)
+    return graph

@@ -1,0 +1,94 @@
+"""Graphviz DOT export of signed graphs and communities.
+
+The paper's Fig. 10 is literally a drawing of signed communities — black
+edges positive, red edges negative. :func:`to_dot` produces that drawing
+for any graph or community: positive edges solid black, negative edges
+red (dashed), optional highlighted node groups with distinct fill
+colours. Render with ``dot -Tpdf out.dot -o out.pdf`` (Graphviz) or any
+DOT viewer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Set, Union
+
+from repro.graphs.signed_graph import Node, SignedGraph
+
+PathLike = Union[str, Path]
+
+#: Fill colours cycled over highlighted groups.
+GROUP_COLORS = ("lightblue", "lightgoldenrod", "lightpink", "palegreen", "lavender")
+
+
+def _quote(node: Node) -> str:
+    text = str(node).replace('"', r"\"")
+    return f'"{text}"'
+
+
+def to_dot(
+    graph: SignedGraph,
+    highlight: Sequence[Iterable[Node]] = (),
+    members_only: bool = False,
+    name: str = "signed",
+) -> str:
+    """Render *graph* as Graphviz DOT text.
+
+    Parameters
+    ----------
+    graph:
+        The signed graph.
+    highlight:
+        Node groups to fill with distinct colours (e.g. discovered
+        communities). Nodes in several groups take the first group's
+        colour.
+    members_only:
+        When ``True``, restrict the drawing to highlighted nodes and
+        their internal edges — the paper's Fig.-10 style close-up.
+    name:
+        DOT graph name.
+    """
+    groups = [set(group) for group in highlight]
+    scope: Optional[Set[Node]] = None
+    if members_only:
+        scope = set()
+        for group in groups:
+            scope |= group
+
+    lines = [f"graph {name} {{"]
+    lines.append('  node [style=filled, fillcolor=white, shape=circle];')
+    lines.append('  edge [color=black];')
+
+    fill: dict = {}
+    for index, group in enumerate(groups):
+        color = GROUP_COLORS[index % len(GROUP_COLORS)]
+        for node in group:
+            fill.setdefault(node, color)
+
+    for node in sorted(graph.nodes(), key=repr):
+        if scope is not None and node not in scope:
+            continue
+        attributes = f' [fillcolor={fill[node]}]' if node in fill else ""
+        lines.append(f"  {_quote(node)}{attributes};")
+
+    for u, v, sign in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        if scope is not None and (u not in scope or v not in scope):
+            continue
+        if sign > 0:
+            lines.append(f"  {_quote(u)} -- {_quote(v)};")
+        else:
+            lines.append(f'  {_quote(u)} -- {_quote(v)} [color=red, style=dashed];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_dot(
+    graph: SignedGraph,
+    path: PathLike,
+    highlight: Sequence[Iterable[Node]] = (),
+    members_only: bool = False,
+) -> None:
+    """Write :func:`to_dot` output to *path*."""
+    Path(path).write_text(
+        to_dot(graph, highlight=highlight, members_only=members_only), encoding="utf-8"
+    )

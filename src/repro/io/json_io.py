@@ -1,0 +1,88 @@
+"""JSON (de)serialisation of signed graphs and clique results.
+
+The JSON shape is intentionally boring and stable::
+
+    {
+      "directed": false,
+      "nodes": [1, 2, 3],
+      "edges": [[1, 2, 1], [2, 3, -1]]
+    }
+
+Clique result lists serialise with their parameters so an enumeration
+run can be archived next to a benchmark report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.core.cliques import SignedClique
+from repro.core.params import AlphaK
+from repro.exceptions import ParseError
+from repro.graphs.signed_graph import SignedGraph
+
+PathLike = Union[str, Path]
+
+
+def graph_to_dict(graph: SignedGraph) -> dict:
+    """Return the JSON-ready dictionary form of *graph*."""
+    return {
+        "directed": False,
+        "nodes": sorted(graph.nodes(), key=repr),
+        "edges": sorted(
+            ([u, v, sign] for u, v, sign in graph.edges()),
+            key=lambda edge: (repr(edge[0]), repr(edge[1])),
+        ),
+    }
+
+
+def graph_from_dict(payload: dict) -> SignedGraph:
+    """Rebuild a :class:`SignedGraph` from :func:`graph_to_dict` output."""
+    if not isinstance(payload, dict) or "edges" not in payload:
+        raise ParseError("expected an object with an 'edges' list")
+    graph = SignedGraph()
+    for node in payload.get("nodes", []):
+        graph.add_node(node)
+    for entry in payload["edges"]:
+        if len(entry) != 3:
+            raise ParseError(f"edge entry must be [u, v, sign], got {entry!r}")
+        u, v, sign = entry
+        graph.add_edge(u, v, sign)
+    return graph
+
+
+def save_graph(graph: SignedGraph, path: PathLike) -> None:
+    """Write *graph* to *path* as JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph)), encoding="utf-8")
+
+
+def load_graph(path: PathLike) -> SignedGraph:
+    """Read a graph written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def cliques_to_dict(cliques: Iterable[SignedClique]) -> dict:
+    """Serialise an enumeration result list (with its parameters)."""
+    items: List[dict] = []
+    params: AlphaK | None = None
+    for clique in cliques:
+        params = clique.params
+        items.append(
+            {
+                "nodes": sorted(clique.nodes, key=repr),
+                "positive_edges": clique.positive_edges,
+                "negative_edges": clique.negative_edges,
+            }
+        )
+    payload: dict = {"cliques": items}
+    if params is not None:
+        payload["alpha"] = params.alpha
+        payload["k"] = params.k
+    return payload
+
+
+def save_cliques(cliques: Iterable[SignedClique], path: PathLike) -> None:
+    """Write clique results to *path* as JSON."""
+    Path(path).write_text(json.dumps(cliques_to_dict(cliques), indent=2), encoding="utf-8")

@@ -1,0 +1,47 @@
+"""Quality metrics: signed conductance (Eq. 1), precision, community stats."""
+
+from repro.metrics.balance import (
+    TriangleCensus,
+    balanced_partition,
+    frustration_count,
+    is_balanced,
+    local_search_frustration,
+    triangle_sign_census,
+)
+from repro.metrics.community import CommunityStats, community_stats, describe_community
+from repro.metrics.conductance import (
+    ConductanceBreakdown,
+    average_signed_conductance,
+    conductance_breakdown,
+    signed_conductance,
+)
+from repro.metrics.nmi import coverage, nmi, omega_index
+from repro.metrics.precision import (
+    MatchScore,
+    average_f1,
+    average_precision,
+    best_match,
+)
+
+__all__ = [
+    "signed_conductance",
+    "conductance_breakdown",
+    "average_signed_conductance",
+    "ConductanceBreakdown",
+    "best_match",
+    "average_precision",
+    "average_f1",
+    "MatchScore",
+    "community_stats",
+    "describe_community",
+    "CommunityStats",
+    "is_balanced",
+    "balanced_partition",
+    "frustration_count",
+    "local_search_frustration",
+    "triangle_sign_census",
+    "TriangleCensus",
+    "nmi",
+    "omega_index",
+    "coverage",
+]

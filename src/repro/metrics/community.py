@@ -1,0 +1,92 @@
+"""Descriptive statistics of a community inside a signed graph.
+
+Used by the case-study experiment (Fig. 10) and the examples to report
+what a discovered community looks like: size, internal density, sign
+balance inside, and the sign profile of its boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+from repro.graphs.signed_graph import Node, SignedGraph
+
+
+@dataclass(frozen=True)
+class CommunityStats:
+    """Structural profile of one community.
+
+    Attributes
+    ----------
+    size:
+        Number of member nodes (members absent from the graph are
+        ignored).
+    internal_positive, internal_negative:
+        Internal edge counts by sign.
+    boundary_positive, boundary_negative:
+        Edges with exactly one endpoint inside.
+    density:
+        Internal edges over ``size * (size - 1) / 2`` (1.0 for a clique;
+        0 for size < 2).
+    """
+
+    size: int
+    internal_positive: int
+    internal_negative: int
+    boundary_positive: int
+    boundary_negative: int
+
+    @property
+    def internal_edges(self) -> int:
+        """Total internal edges."""
+        return self.internal_positive + self.internal_negative
+
+    @property
+    def density(self) -> float:
+        """Internal edge density (1.0 means the community is a clique)."""
+        possible = self.size * (self.size - 1) // 2
+        return self.internal_edges / possible if possible else 0.0
+
+    @property
+    def internal_negative_fraction(self) -> float:
+        """Share of internal edges that are negative."""
+        total = self.internal_edges
+        return self.internal_negative / total if total else 0.0
+
+    @property
+    def boundary_negative_fraction(self) -> float:
+        """Share of boundary edges that are negative (high = antagonism points outward)."""
+        total = self.boundary_positive + self.boundary_negative
+        return self.boundary_negative / total if total else 0.0
+
+
+def community_stats(graph: SignedGraph, members: Iterable[Node]) -> CommunityStats:
+    """Compute :class:`CommunityStats` for *members* within *graph*."""
+    member_set: Set[Node] = {node for node in members if graph.has_node(node)}
+    internal_pos = internal_neg = boundary_pos = boundary_neg = 0
+    for node in member_set:
+        positives = graph.positive_neighbors(node)
+        negatives = graph.negative_neighbors(node)
+        internal_pos += len(positives & member_set)
+        internal_neg += len(negatives & member_set)
+        boundary_pos += len(positives - member_set)
+        boundary_neg += len(negatives - member_set)
+    return CommunityStats(
+        size=len(member_set),
+        internal_positive=internal_pos // 2,
+        internal_negative=internal_neg // 2,
+        boundary_positive=boundary_pos,
+        boundary_negative=boundary_neg,
+    )
+
+
+def describe_community(graph: SignedGraph, members: Iterable[Node], name: str = "community") -> str:
+    """Render a one-paragraph human-readable community description."""
+    stats = community_stats(graph, members)
+    return (
+        f"{name}: {stats.size} nodes, {stats.internal_edges} internal edges "
+        f"({stats.internal_positive} positive / {stats.internal_negative} negative, "
+        f"density {stats.density:.2f}), boundary "
+        f"{stats.boundary_positive} positive / {stats.boundary_negative} negative"
+    )

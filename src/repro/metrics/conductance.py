@@ -1,0 +1,97 @@
+"""Signed conductance (Eq. 1 of the paper) and its two halves.
+
+For a node set ``S`` in signed graph ``G``::
+
+    phi(S) =  cut+(S) / min(vol+(S), vol+(V\\S))
+            - cut-(S) / min(vol-(S), vol-(V\\S))
+
+where ``cut±`` counts crossing edges of that sign and ``vol±`` sums the
+sign-restricted degrees. The first term is the classic conductance of
+the positive-edge graph (low is good: few positive ties leak out), the
+second of the negative-edge graph (high is good: conflict points
+outward). ``phi`` therefore lies in [-1, 1] and *smaller is better* for
+a trust-community-like subgraph.
+
+Degenerate denominators: the paper leaves ``min(vol, vol) = 0``
+undefined; we define the affected term as 0 (no edges of that sign means
+that sign contributes no evidence either way) and document the choice in
+EXPERIMENTS.md. This only matters on toy graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set
+
+from repro.graphs.signed_graph import Node, SignedGraph
+
+
+@dataclass(frozen=True)
+class ConductanceBreakdown:
+    """Signed conductance with its positive/negative components.
+
+    ``signed = positive_term - negative_term`` (Eq. 1).
+    """
+
+    positive_term: float
+    negative_term: float
+
+    @property
+    def signed(self) -> float:
+        """The signed conductance ``phi(S)``."""
+        return self.positive_term - self.negative_term
+
+
+def _one_sided(
+    graph: SignedGraph, members: Set[Node], sign: str
+) -> float:
+    """Classic conductance of *members* on one edge-sign class."""
+    if sign == "positive":
+        neighbors_of = graph.positive_neighbors
+        total_volume = 2 * graph.number_of_positive_edges()
+    else:
+        neighbors_of = graph.negative_neighbors
+        total_volume = 2 * graph.number_of_negative_edges()
+    cut = 0
+    volume_inside = 0
+    for node in members:
+        if not graph.has_node(node):
+            continue
+        neighbors = neighbors_of(node)
+        volume_inside += len(neighbors)
+        cut += len(neighbors - members)
+    volume_outside = total_volume - volume_inside
+    denominator = min(volume_inside, volume_outside)
+    if denominator <= 0:
+        return 0.0
+    return cut / denominator
+
+
+def conductance_breakdown(graph: SignedGraph, members: Iterable[Node]) -> ConductanceBreakdown:
+    """Return both terms of Eq. 1 for the node set *members*."""
+    member_set = set(members)
+    return ConductanceBreakdown(
+        positive_term=_one_sided(graph, member_set, "positive"),
+        negative_term=_one_sided(graph, member_set, "negative"),
+    )
+
+
+def signed_conductance(graph: SignedGraph, members: Iterable[Node]) -> float:
+    """Return ``phi(S)`` (Eq. 1). Smaller is better."""
+    return conductance_breakdown(graph, members).signed
+
+
+def average_signed_conductance(
+    graph: SignedGraph, communities: Sequence[Iterable[Node]]
+) -> float:
+    """Mean signed conductance over *communities* (Exp-8's summary number).
+
+    Returns 0.0 for an empty community list so model comparisons can
+    treat "found nothing" as neutral rather than crashing; the
+    experiment drivers also report the count so empty results remain
+    visible.
+    """
+    scores: List[float] = [signed_conductance(graph, community) for community in communities]
+    if not scores:
+        return 0.0
+    return sum(scores) / len(scores)

@@ -1,0 +1,148 @@
+"""Partition- and cover-comparison metrics: NMI and the omega index.
+
+Used to score community detection against ground truth (e.g. the
+LFR-style benchmark of :mod:`repro.generators.lfr_like`):
+
+* :func:`nmi` — normalized mutual information between two *partitions*
+  (disjoint covers), the standard community-detection score;
+* :func:`omega_index` — the chance-corrected pair-agreement measure for
+  *overlapping* covers (Collins & Dent), appropriate for clique results
+  where nodes belong to several communities;
+* :func:`coverage` — fraction of nodes assigned by a cover.
+
+Both scores are 1.0 for identical inputs; NMI is 0 for independent
+partitions, omega is 0 at chance-level agreement (it can be negative).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.exceptions import ParameterError
+from repro.graphs.signed_graph import Node
+
+
+def _as_partition(cover: Sequence[Iterable[Node]]) -> List[Set[Node]]:
+    sets = [set(block) for block in cover if block]
+    seen: Set[Node] = set()
+    for block in sets:
+        overlap = seen & block
+        if overlap:
+            raise ParameterError(
+                f"nmi requires disjoint blocks; nodes in several: {sorted(map(repr, overlap))[:5]}"
+            )
+        seen |= block
+    return sets
+
+
+def nmi(cover_a: Sequence[Iterable[Node]], cover_b: Sequence[Iterable[Node]]) -> float:
+    """Normalized mutual information between two partitions.
+
+    Normalisation: arithmetic mean of the two entropies (the common
+    convention). Partitions must cover the same node set; single-block
+    against single-block degenerates to 1.0 when identical, and 0.0
+    entropy cases are handled explicitly.
+    """
+    blocks_a = _as_partition(cover_a)
+    blocks_b = _as_partition(cover_b)
+    universe_a = set().union(*blocks_a) if blocks_a else set()
+    universe_b = set().union(*blocks_b) if blocks_b else set()
+    if universe_a != universe_b:
+        raise ParameterError("partitions must cover the same node set")
+    total = len(universe_a)
+    if total == 0:
+        return 1.0
+
+    def entropy(blocks: List[Set[Node]]) -> float:
+        value = 0.0
+        for block in blocks:
+            p = len(block) / total
+            value -= p * math.log(p)
+        return value
+
+    h_a = entropy(blocks_a)
+    h_b = entropy(blocks_b)
+    mutual = 0.0
+    for block_a in blocks_a:
+        for block_b in blocks_b:
+            joint = len(block_a & block_b)
+            if joint == 0:
+                continue
+            p_joint = joint / total
+            mutual += p_joint * math.log(
+                p_joint / ((len(block_a) / total) * (len(block_b) / total))
+            )
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    denominator = (h_a + h_b) / 2
+    if denominator == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mutual / denominator))
+
+
+def _pair_cooccurrence(cover: Sequence[Iterable[Node]]) -> Counter:
+    """Count, per unordered node pair, how many blocks contain both."""
+    counts: Counter = Counter()
+    for block in cover:
+        members = sorted(set(block), key=repr)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                counts[(members[i], members[j])] += 1
+    return counts
+
+
+def omega_index(
+    cover_a: Sequence[Iterable[Node]],
+    cover_b: Sequence[Iterable[Node]],
+    universe: Iterable[Node],
+) -> float:
+    """Omega index between two (possibly overlapping) covers.
+
+    Agreement = pairs sharing the same co-membership *count* in both
+    covers, corrected for chance. 1.0 for identical covers; ~0 for
+    independent ones. *universe* fixes the node population (pairs in no
+    block count as co-membership 0).
+    """
+    nodes = sorted(set(universe), key=repr)
+    total_pairs = len(nodes) * (len(nodes) - 1) // 2
+    if total_pairs == 0:
+        return 1.0
+    counts_a = _pair_cooccurrence(cover_a)
+    counts_b = _pair_cooccurrence(cover_b)
+
+    # Distribution of co-membership levels per cover.
+    level_counts_a: Counter = Counter(counts_a.values())
+    level_counts_b: Counter = Counter(counts_b.values())
+    level_counts_a[0] = total_pairs - sum(level_counts_a.values())
+    level_counts_b[0] = total_pairs - sum(level_counts_b.values())
+
+    # Observed agreement: pairs with identical level in both covers.
+    agree = 0
+    touched = set(counts_a) | set(counts_b)
+    for pair in touched:
+        if counts_a.get(pair, 0) == counts_b.get(pair, 0):
+            agree += 1
+    agree += total_pairs - len(touched)  # untouched pairs agree at level 0
+    observed = agree / total_pairs
+
+    expected = sum(
+        (level_counts_a.get(level, 0) / total_pairs)
+        * (level_counts_b.get(level, 0) / total_pairs)
+        for level in set(level_counts_a) | set(level_counts_b)
+    )
+    if expected >= 1.0:
+        return 1.0 if observed >= 1.0 else 0.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def coverage(cover: Sequence[Iterable[Node]], universe: Iterable[Node]) -> float:
+    """Fraction of *universe* assigned to at least one block."""
+    nodes = set(universe)
+    if not nodes:
+        return 1.0
+    covered = set()
+    for block in cover:
+        covered |= set(block)
+    return len(covered & nodes) / len(nodes)

@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's running example and random-graph helpers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.graphs import SignedGraph
+
+#: Fig. 1 of the paper, reconstructed from the narrative:
+#: {v1..v5} is a clique with the single internal negative edge (v2, v3);
+#: v6/v7 hang off it with positive edges; v8 attaches to v6 (+) and
+#: v7 (-). With alpha=3, k=1 the paper derives: positive 3-core =
+#: {v1..v7}, MCCore = {v1..v5}, unique maximal (3,1)-clique {v1..v5}.
+PAPER_EDGES = [
+    (1, 2, "+"), (1, 3, "+"), (1, 4, "+"), (1, 5, "+"),
+    (2, 3, "-"), (2, 4, "+"), (2, 5, "+"),
+    (3, 4, "+"), (3, 5, "+"),
+    (4, 5, "+"),
+    (2, 7, "+"), (5, 7, "+"), (6, 7, "+"), (5, 6, "+"), (3, 6, "+"),
+    (6, 8, "+"), (7, 8, "-"),
+]
+
+
+@pytest.fixture
+def paper_graph() -> SignedGraph:
+    """The Fig. 1 running example as a fresh graph."""
+    return SignedGraph(PAPER_EDGES)
+
+
+def make_random_signed_graph(
+    rng: random.Random,
+    n_range=(4, 11),
+    edge_probability_range=(0.2, 0.9),
+    negative_probability_range=(0.0, 0.6),
+) -> SignedGraph:
+    """Small random signed graph for cross-validation tests."""
+    n = rng.randint(*n_range)
+    p = rng.uniform(*edge_probability_range)
+    q = rng.uniform(*negative_probability_range)
+    edges = [
+        (u, v, -1 if rng.random() < q else 1)
+        for u, v in itertools.combinations(range(n), 2)
+        if rng.random() < p
+    ]
+    return SignedGraph(edges, nodes=range(n))

@@ -1,0 +1,122 @@
+"""Tests for the antagonistic clique-pair model."""
+
+import itertools
+import random
+
+from repro.baselines.antagonistic import (
+    enumerate_antagonistic_pairs,
+    is_antagonistic_pair,
+    maximal_antagonistic_pairs,
+)
+from repro.graphs import SignedGraph
+
+
+def _war_graph() -> SignedGraph:
+    """Two positive triangles, completely hostile across."""
+    edges = [
+        (1, 2, "+"), (2, 3, "+"), (1, 3, "+"),
+        (4, 5, "+"), (5, 6, "+"), (4, 6, "+"),
+    ]
+    edges += [(a, b, "-") for a in (1, 2, 3) for b in (4, 5, 6)]
+    return SignedGraph(edges)
+
+
+class TestPattern:
+    def test_valid_pair(self):
+        graph = _war_graph()
+        assert is_antagonistic_pair(graph, {1, 2, 3}, {4, 5, 6})
+
+    def test_rejects_overlap_and_empty(self):
+        graph = _war_graph()
+        assert not is_antagonistic_pair(graph, {1, 2}, {2, 4})
+        assert not is_antagonistic_pair(graph, set(), {4})
+
+    def test_rejects_internal_negative(self):
+        graph = _war_graph()
+        graph.set_sign(1, 2, "-")
+        assert not is_antagonistic_pair(graph, {1, 2, 3}, {4, 5, 6})
+
+    def test_rejects_positive_cross(self):
+        graph = _war_graph()
+        graph.set_sign(1, 4, "+")
+        assert not is_antagonistic_pair(graph, {1, 2, 3}, {4, 5, 6})
+
+
+class TestEnumeration:
+    def test_two_camp_graph(self):
+        pairs = maximal_antagonistic_pairs(_war_graph())
+        assert len(pairs) == 1
+        sides = {frozenset(pairs[0][0]), frozenset(pairs[0][1])}
+        assert sides == {frozenset({1, 2, 3}), frozenset({4, 5, 6})}
+
+    def test_no_negative_edges_no_pairs(self):
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "+"), (1, 3, "+")])
+        assert maximal_antagonistic_pairs(graph) == []
+
+    def test_min_side_filters_stars(self):
+        graph = SignedGraph([(1, 2, "-")])
+        assert enumerate_antagonistic_pairs(graph, min_side=1) == [
+            (frozenset({1}), frozenset({2}))
+        ]
+        assert enumerate_antagonistic_pairs(graph, min_side=2) == []
+
+    def test_results_are_valid_and_maximal(self):
+        rng = random.Random(141)
+        for _ in range(25):
+            n = rng.randint(5, 9)
+            graph = SignedGraph(nodes=range(n))
+            for u, v in itertools.combinations(range(n), 2):
+                if rng.random() < 0.6:
+                    graph.add_edge(u, v, -1 if rng.random() < 0.5 else 1)
+            for side_a, side_b in enumerate_antagonistic_pairs(graph, min_side=1):
+                assert is_antagonistic_pair(graph, set(side_a), set(side_b))
+                # No single-node extension on either side.
+                for node in graph.node_set() - side_a - side_b:
+                    assert not is_antagonistic_pair(graph, set(side_a) | {node}, set(side_b))
+                    assert not is_antagonistic_pair(graph, set(side_a), set(side_b) | {node})
+
+    def test_matches_brute_force(self):
+        rng = random.Random(142)
+        for _ in range(15):
+            n = rng.randint(4, 7)
+            graph = SignedGraph(nodes=range(n))
+            for u, v in itertools.combinations(range(n), 2):
+                if rng.random() < 0.7:
+                    graph.add_edge(u, v, -1 if rng.random() < 0.5 else 1)
+            truth = _brute_force_pairs(graph)
+            got = {
+                frozenset((a, b))
+                for a, b in enumerate_antagonistic_pairs(graph, min_side=1)
+            }
+            assert got == truth
+
+    def test_sorted_output(self):
+        pairs = maximal_antagonistic_pairs(_war_graph(), min_side=1)
+        sizes = [len(a) + len(b) for a, b in pairs]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+def _brute_force_pairs(graph):
+    nodes = sorted(graph.nodes())
+    valid = set()
+    for r in range(1, len(nodes) + 1):
+        for a_nodes in itertools.combinations(nodes, r):
+            rest = [node for node in nodes if node not in a_nodes]
+            for s in range(1, len(rest) + 1):
+                for b_nodes in itertools.combinations(rest, s):
+                    if is_antagonistic_pair(graph, set(a_nodes), set(b_nodes)):
+                        valid.add(frozenset((frozenset(a_nodes), frozenset(b_nodes))))
+    maximal = set()
+    for pair in valid:
+        a, b = tuple(pair)
+        dominated = any(
+            other != pair
+            and (
+                (a <= tuple(other)[0] and b <= tuple(other)[1])
+                or (a <= tuple(other)[1] and b <= tuple(other)[0])
+            )
+            for other in valid
+        )
+        if not dominated:
+            maximal.add(pair)
+    return maximal

@@ -1,0 +1,148 @@
+"""Unit tests for the Core, SignedCore and TClique baselines."""
+
+import random
+
+import pytest
+
+from repro.algorithms import maximal_cliques
+from repro.baselines import (
+    core_communities,
+    signed_core,
+    signed_core_communities,
+    tclique_communities,
+    top_r_core_communities,
+    top_r_signed_core_communities,
+    top_r_tcliques,
+)
+from repro.core import AlphaK
+from repro.exceptions import ParameterError
+from repro.graphs import SignedGraph
+from tests.conftest import make_random_signed_graph
+
+
+class TestCoreModel:
+    def test_paper_example(self, paper_graph):
+        communities = core_communities(paper_graph, AlphaK(3, 1))
+        # The positive 3-core is {v1..v7}; connected via positive edges.
+        assert communities == [{1, 2, 3, 4, 5, 6, 7}]
+
+    def test_empty_when_threshold_too_high(self, paper_graph):
+        assert core_communities(paper_graph, AlphaK(9, 1)) == []
+
+    def test_top_r(self, paper_graph):
+        assert top_r_core_communities(paper_graph, AlphaK(3, 1), 5) == [
+            {1, 2, 3, 4, 5, 6, 7}
+        ]
+
+    def test_components_split_on_positive_edges_only(self):
+        graph = SignedGraph(
+            [(1, 2, "+"), (2, 3, "+"), (1, 3, "+"), (4, 5, "+"), (5, 6, "+"), (4, 6, "+"),
+             (3, 4, "-")]
+        )
+        communities = core_communities(graph, AlphaK(2, 1))
+        assert len(communities) == 2
+
+
+class TestSignedCore:
+    def test_definition_on_result(self):
+        rng = random.Random(81)
+        for _ in range(25):
+            graph = make_random_signed_graph(rng)
+            beta, gamma = rng.randint(0, 3), rng.randint(0, 2)
+            members = signed_core(graph, beta, gamma)
+            for node in members:
+                assert len(graph.positive_neighbors(node) & members) >= beta
+                assert len(graph.negative_neighbors(node) & members) >= gamma
+
+    def test_maximality(self):
+        rng = random.Random(82)
+        graph = make_random_signed_graph(rng, n_range=(8, 12))
+        members = signed_core(graph, 2, 1)
+        # No single outside node can satisfy both constraints against
+        # the fixpoint (otherwise peeling removed it wrongly).
+        for node in graph.node_set() - members:
+            extended = members | {node}
+            satisfiable = all(
+                len(graph.positive_neighbors(v) & extended) >= 2
+                and len(graph.negative_neighbors(v) & extended) >= 1
+                for v in extended
+            )
+            assert not satisfiable
+
+    def test_gamma_zero_equals_positive_core(self, paper_graph):
+        from repro.algorithms import k_core
+
+        assert signed_core(paper_graph, 3, 0) == k_core(paper_graph, 3, sign="positive")
+
+    def test_requires_negative_neighbors(self, paper_graph):
+        # gamma=1 forces internal conflict; the paper example has only
+        # two negative edges, far too few.
+        assert signed_core(paper_graph, 3, 1) == set()
+
+    def test_invalid_parameters(self, paper_graph):
+        with pytest.raises(ParameterError):
+            signed_core(paper_graph, -1, 0)
+
+    def test_communities_use_paper_parameter_matching(self, paper_graph):
+        assert signed_core_communities(paper_graph, AlphaK(3, 1)) == []
+        assert top_r_signed_core_communities(paper_graph, AlphaK(3, 0), 2) != []
+
+
+class TestTClique:
+    def test_matches_positive_maximal_cliques(self, paper_graph):
+        expected = {
+            frozenset(c)
+            for c in maximal_cliques(paper_graph, sign="positive")
+            if len(c) >= 2
+        }
+        assert set(tclique_communities(paper_graph)) == expected
+
+    def test_sorted_largest_first(self, paper_graph):
+        sizes = [len(c) for c in tclique_communities(paper_graph)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_min_size_filter(self, paper_graph):
+        for community in tclique_communities(paper_graph, min_size=4):
+            assert len(community) >= 4
+
+    def test_top_r(self, paper_graph):
+        top = top_r_tcliques(paper_graph, 2)
+        assert len(top) == 2
+        assert len(top[0]) == 4
+
+    def test_limit_cap(self, paper_graph):
+        capped = tclique_communities(paper_graph, limit=3)
+        assert len(capped) == 3
+
+
+class TestSignedCoreDecomposition:
+    def test_levels_consistent_with_cores(self, paper_graph):
+        from repro.baselines import signed_core_decomposition
+
+        levels = signed_core_decomposition(paper_graph, gamma=0)
+        for node, beta in levels.items():
+            assert beta >= 0  # gamma=0 admits every node at beta=0
+            assert node in signed_core(paper_graph, beta, 0)
+            assert node not in signed_core(paper_graph, beta + 1, 0)
+
+    def test_gamma_one_excludes_conflict_free_nodes(self, paper_graph):
+        from repro.baselines import signed_core_decomposition
+
+        levels = signed_core_decomposition(paper_graph, gamma=1)
+        # Exactly the endpoints of the two negative edges ((2,3) and
+        # (7,8)) can satisfy gamma=1; the positive requirement then
+        # fails at beta=1 (e.g. node 8 has no positive neighbour left).
+        assert {node for node, beta in levels.items() if beta >= 0} == {2, 3, 7, 8}
+        assert levels[1] == -1
+
+    def test_max_beta(self, paper_graph):
+        from repro.baselines import max_signed_core_beta
+
+        assert max_signed_core_beta(paper_graph, gamma=0) == 3  # positive 3-core
+        assert max_signed_core_beta(paper_graph, gamma=2) == -1
+
+    def test_invalid_gamma(self, paper_graph):
+        from repro.baselines import signed_core_decomposition
+
+        with pytest.raises(ParameterError):
+            signed_core_decomposition(paper_graph, gamma=-1)

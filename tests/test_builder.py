@@ -1,0 +1,99 @@
+"""Unit tests for the bulk and weighted graph builders."""
+
+import pytest
+
+from repro.exceptions import GraphError, SelfLoopError
+from repro.graphs import NEGATIVE, POSITIVE, SignedGraphBuilder, WeightedGraphBuilder
+
+
+class TestSignedGraphBuilder:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(GraphError):
+            SignedGraphBuilder(on_duplicate="whatever")
+
+    def test_error_policy_raises_on_conflict(self):
+        builder = SignedGraphBuilder(on_duplicate="error")
+        builder.add(1, 2, "+")
+        with pytest.raises(GraphError):
+            builder.add(2, 1, "-")
+
+    def test_error_policy_allows_same_sign_repeat(self):
+        builder = SignedGraphBuilder(on_duplicate="error")
+        builder.add(1, 2, "+")
+        builder.add(2, 1, "+")
+        assert builder.build().sign(1, 2) == POSITIVE
+
+    def test_last_policy_keeps_final_sign(self):
+        builder = SignedGraphBuilder(on_duplicate="last")
+        builder.add_all([(1, 2, "+"), (2, 1, "-")])
+        assert builder.build().sign(1, 2) == NEGATIVE
+
+    def test_majority_policy(self):
+        builder = SignedGraphBuilder(on_duplicate="majority")
+        builder.add_all([(1, 2, "+"), (1, 2, "+"), (1, 2, "-")])
+        assert builder.build().sign(1, 2) == POSITIVE
+
+    def test_majority_tie_resolves_negative(self):
+        builder = SignedGraphBuilder(on_duplicate="majority")
+        builder.add_all([(1, 2, "+"), (1, 2, "-")])
+        assert builder.build().sign(1, 2) == NEGATIVE
+
+    def test_isolated_nodes_survive(self):
+        builder = SignedGraphBuilder()
+        builder.add_node("lonely")
+        graph = builder.build()
+        assert graph.has_node("lonely")
+        assert graph.degree("lonely") == 0
+
+    def test_self_loop_rejected(self):
+        builder = SignedGraphBuilder()
+        with pytest.raises(SelfLoopError):
+            builder.add(3, 3, "+")
+
+    def test_unorderable_node_pair(self):
+        builder = SignedGraphBuilder(on_duplicate="last")
+        builder.add(1, "a", "+")
+        builder.add("a", 1, "-")
+        assert builder.build().sign(1, "a") == NEGATIVE
+
+
+class TestWeightedGraphBuilder:
+    def test_dblp_recipe_thresholds_at_average(self):
+        builder = WeightedGraphBuilder()
+        builder.add(1, 2)
+        builder.add(1, 2)
+        builder.add(2, 3)
+        graph = builder.build_signed()  # tau = 1.5
+        assert graph.sign(1, 2) == POSITIVE
+        assert graph.sign(2, 3) == NEGATIVE
+
+    def test_explicit_threshold(self):
+        builder = WeightedGraphBuilder()
+        builder.add(1, 2, weight=5.0)
+        builder.add(3, 4, weight=1.0)
+        graph = builder.build_signed(threshold=2.0)
+        assert graph.sign(1, 2) == POSITIVE
+        assert graph.sign(3, 4) == NEGATIVE
+
+    def test_average_weight(self):
+        builder = WeightedGraphBuilder()
+        builder.add(1, 2, weight=1.0)
+        builder.add(2, 3, weight=3.0)
+        assert builder.average_weight() == pytest.approx(2.0)
+
+    def test_average_weight_empty_raises(self):
+        with pytest.raises(GraphError):
+            WeightedGraphBuilder().average_weight()
+
+    def test_weights_accumulate_regardless_of_direction(self):
+        builder = WeightedGraphBuilder()
+        builder.add(1, 2)
+        builder.add(2, 1)
+        builder.add(9, 8)
+        graph = builder.build_signed(threshold=2)
+        assert graph.sign(1, 2) == POSITIVE
+        assert graph.sign(8, 9) == NEGATIVE
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SelfLoopError):
+            WeightedGraphBuilder().add(1, 1)

@@ -1,0 +1,110 @@
+"""Unit tests for Bron–Kerbosch maximal clique enumeration.
+
+Cross-validated against networkx's implementation on random graphs.
+"""
+
+import random
+
+import networkx as nx
+
+from repro.algorithms import common_neighbors, is_clique, maximal_cliques, maximum_clique
+from repro.graphs import SignedGraph
+from tests.conftest import make_random_signed_graph
+
+
+def _to_networkx(graph: SignedGraph, sign: str = "all") -> nx.Graph:
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes())
+    for u, v, edge_sign in graph.edges():
+        if sign == "all" or (sign == "positive" and edge_sign > 0):
+            result.add_edge(u, v)
+    return result
+
+
+class TestMaximalCliques:
+    def test_triangle_plus_tail(self):
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "-"), (1, 3, "+"), (3, 4, "+")])
+        cliques = {frozenset(c) for c in maximal_cliques(graph)}
+        assert cliques == {frozenset({1, 2, 3}), frozenset({3, 4})}
+
+    def test_isolated_node_is_singleton_clique(self):
+        graph = SignedGraph([(1, 2, "+")], nodes=["solo"])
+        cliques = {frozenset(c) for c in maximal_cliques(graph)}
+        assert frozenset({"solo"}) in cliques
+
+    def test_positive_sign_mode_ignores_negative_edges(self, paper_graph):
+        positive_cliques = {frozenset(c) for c in maximal_cliques(paper_graph, sign="positive")}
+        # {v1..v5} contains the negative pair (v2, v3), so the biggest
+        # positive cliques inside are the two 4-sets of Example 1.
+        assert frozenset({1, 2, 4, 5}) in positive_cliques
+        assert frozenset({1, 3, 4, 5}) in positive_cliques
+        assert frozenset({1, 2, 3, 4, 5}) not in positive_cliques
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = random.Random(13)
+        for _ in range(30):
+            graph = make_random_signed_graph(rng)
+            ours = {frozenset(c) for c in maximal_cliques(graph)}
+            theirs = {frozenset(c) for c in nx.find_cliques(_to_networkx(graph))}
+            assert ours == theirs
+
+    def test_matches_networkx_positive_mode(self):
+        rng = random.Random(14)
+        for _ in range(15):
+            graph = make_random_signed_graph(rng)
+            ours = {frozenset(c) for c in maximal_cliques(graph, sign="positive")}
+            theirs = {
+                frozenset(c) for c in nx.find_cliques(_to_networkx(graph, "positive"))
+            }
+            assert ours == theirs
+
+    def test_without_degeneracy_order_same_result(self):
+        rng = random.Random(15)
+        for _ in range(10):
+            graph = make_random_signed_graph(rng)
+            ordered = {frozenset(c) for c in maximal_cliques(graph, use_degeneracy_order=True)}
+            plain = {frozenset(c) for c in maximal_cliques(graph, use_degeneracy_order=False)}
+            assert ordered == plain
+
+    def test_within_scope(self, paper_graph):
+        cliques = {frozenset(c) for c in maximal_cliques(paper_graph, within={1, 2, 3})}
+        assert cliques == {frozenset({1, 2, 3})}
+
+    def test_empty_scope(self, paper_graph):
+        assert list(maximal_cliques(paper_graph, within=set())) == []
+
+
+class TestMaximumClique:
+    def test_paper_graph(self, paper_graph):
+        assert maximum_clique(paper_graph) == frozenset({1, 2, 3, 4, 5})
+
+    def test_empty_graph(self):
+        assert maximum_clique(SignedGraph()) == frozenset()
+
+
+class TestIsClique:
+    def test_small_cases(self, paper_graph):
+        assert is_clique(paper_graph, {1, 2, 3, 4, 5})
+        assert not is_clique(paper_graph, {1, 2, 8})
+        assert is_clique(paper_graph, {1})
+        assert is_clique(paper_graph, set())
+
+    def test_unknown_node(self, paper_graph):
+        assert not is_clique(paper_graph, {1, 42})
+
+    def test_positive_mode(self, paper_graph):
+        assert not is_clique(paper_graph, {1, 2, 3}, sign="positive")
+        assert is_clique(paper_graph, {1, 2, 4}, sign="positive")
+
+
+class TestCommonNeighbors:
+    def test_matches_paper_structure(self, paper_graph):
+        assert common_neighbors(paper_graph, {1, 2, 3}) == {4, 5}
+        assert common_neighbors(paper_graph, {1, 2, 3, 4, 5}) == set()
+
+    def test_within_and_sign(self, paper_graph):
+        assert common_neighbors(paper_graph, {1, 2}, within={4}) == {4}
+        assert common_neighbors(paper_graph, {2, 5}, sign="positive") == {1, 4, 7}
+
+    def test_empty_query_returns_scope(self, paper_graph):
+        assert common_neighbors(paper_graph, set(), within={1, 2}) == {1, 2}

@@ -1,0 +1,73 @@
+"""Unit tests for connected-component extraction."""
+
+from repro.graphs import (
+    SignedGraph,
+    connected_components,
+    is_connected,
+    largest_component,
+    positive_connected_components,
+)
+
+
+def _two_component_graph() -> SignedGraph:
+    return SignedGraph(
+        [(1, 2, "+"), (2, 3, "-"), ("a", "b", "+")],
+        nodes=["solo"],
+    )
+
+
+class TestConnectedComponents:
+    def test_components_partition_nodes(self):
+        graph = _two_component_graph()
+        components = sorted(connected_components(graph), key=len, reverse=True)
+        assert len(components) == 3
+        assert {1, 2, 3} in components
+        assert {"a", "b"} in components
+        assert {"solo"} in components
+
+    def test_negative_edges_connect(self):
+        graph = SignedGraph([(1, 2, "-")])
+        assert list(connected_components(graph)) == [{1, 2}]
+
+    def test_restricted_to_node_subset(self):
+        graph = _two_component_graph()
+        components = list(connected_components(graph, nodes={1, 3, "a"}))
+        # Without node 2, nodes 1 and 3 are disconnected.
+        assert sorted(map(sorted, (set(map(str, c)) for c in components))) is not None
+        as_sets = sorted((frozenset(c) for c in components), key=len)
+        assert frozenset({1}) in as_sets
+        assert frozenset({3}) in as_sets
+        assert frozenset({"a"}) in as_sets
+
+    def test_unknown_nodes_ignored(self):
+        graph = SignedGraph([(1, 2, "+")])
+        components = list(connected_components(graph, nodes={1, 2, 99}))
+        assert components == [{1, 2}]
+
+    def test_empty_graph(self):
+        assert list(connected_components(SignedGraph())) == []
+
+
+class TestPositiveComponents:
+    def test_negative_edges_do_not_connect(self):
+        graph = SignedGraph([(1, 2, "-"), (2, 3, "+")])
+        components = sorted(positive_connected_components(graph), key=len, reverse=True)
+        assert components[0] == {2, 3}
+        assert {1} in components
+
+    def test_restricted_scope(self):
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "+")])
+        components = list(positive_connected_components(graph, nodes={1, 3}))
+        assert sorted(map(len, components)) == [1, 1]
+
+
+class TestHelpers:
+    def test_largest_component(self):
+        graph = _two_component_graph()
+        assert largest_component(graph) == {1, 2, 3}
+        assert largest_component(SignedGraph()) == set()
+
+    def test_is_connected(self):
+        assert is_connected(SignedGraph([(1, 2, "+")]))
+        assert not is_connected(_two_component_graph())
+        assert not is_connected(SignedGraph())

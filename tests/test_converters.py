@@ -1,0 +1,102 @@
+"""Unit tests for networkx / numpy interoperability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import ParseError
+from repro.graphs import NEGATIVE, POSITIVE, SignedGraph
+from repro.io import (
+    from_adjacency_matrix,
+    from_networkx,
+    to_adjacency_matrix,
+    to_networkx,
+)
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip(self, paper_graph):
+        nx_graph = to_networkx(paper_graph)
+        assert nx_graph.number_of_edges() == 17
+        assert nx_graph.edges[2, 3]["sign"] == NEGATIVE
+        back = from_networkx(nx_graph)
+        assert back == paper_graph
+
+    def test_custom_attribute(self, paper_graph):
+        nx_graph = to_networkx(paper_graph, sign_attribute="polarity")
+        back = from_networkx(nx_graph, sign_attribute="polarity")
+        assert back == paper_graph
+
+    def test_weight_fallback(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(1, 2, weight=2.5)
+        nx_graph.add_edge(2, 3, weight=-0.5)
+        graph = from_networkx(nx_graph)
+        assert graph.sign(1, 2) == POSITIVE
+        assert graph.sign(2, 3) == NEGATIVE
+
+    def test_default_sign(self):
+        nx_graph = nx.Graph([(1, 2)])
+        graph = from_networkx(nx_graph, default_sign="+")
+        assert graph.sign(1, 2) == POSITIVE
+
+    def test_missing_sign_rejected(self):
+        nx_graph = nx.Graph([(1, 2)])
+        with pytest.raises(ParseError):
+            from_networkx(nx_graph)
+
+    def test_zero_weight_rejected(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(1, 2, weight=0)
+        with pytest.raises(ParseError):
+            from_networkx(nx_graph)
+
+    def test_self_loops_skipped(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(1, 1, sign=1)
+        nx_graph.add_edge(1, 2, sign=1)
+        graph = from_networkx(nx_graph)
+        assert graph.number_of_edges() == 1
+
+    def test_isolated_nodes_kept(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_node("solo")
+        assert from_networkx(nx_graph).has_node("solo")
+
+
+class TestAdjacencyMatrix:
+    def test_round_trip(self, paper_graph):
+        matrix, order = to_adjacency_matrix(paper_graph)
+        assert matrix.shape == (8, 8)
+        assert (matrix == matrix.T).all()
+        assert matrix.trace() == 0
+        back = from_adjacency_matrix(matrix, nodes=order)
+        assert back == paper_graph
+
+    def test_signs_encoded(self):
+        graph = SignedGraph([(0, 1, "+"), (1, 2, "-")])
+        matrix, order = to_adjacency_matrix(graph, order=[0, 1, 2])
+        assert matrix[0, 1] == 1 and matrix[1, 2] == -1 and matrix[0, 2] == 0
+
+    def test_default_labels(self):
+        matrix = np.array([[0, 1], [1, 0]])
+        graph = from_adjacency_matrix(matrix)
+        assert graph.has_edge(0, 1)
+
+    def test_float_matrix_signs(self):
+        matrix = np.array([[0.0, -2.5], [-2.5, 0.0]])
+        graph = from_adjacency_matrix(matrix)
+        assert graph.sign(0, 1) == NEGATIVE
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ParseError):
+            from_adjacency_matrix(np.zeros((2, 3)))
+
+    def test_asymmetric_rejected(self):
+        matrix = np.array([[0, 1], [-1, 0]])
+        with pytest.raises(ParseError):
+            from_adjacency_matrix(matrix)
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ParseError):
+            from_adjacency_matrix(np.zeros((2, 2)), nodes=["only-one"])

@@ -1,0 +1,112 @@
+"""Property-based cross-validation of the full pipeline (hypothesis).
+
+The central correctness argument of this reproduction: on arbitrary
+small signed graphs and arbitrary (alpha, k), MSCE (all selection
+strategies), the reference enumerator, and brute force all agree
+exactly, and MCBasic/MCNew compute the same MCCore.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MSCE,
+    AlphaK,
+    brute_force_maximal,
+    mccore_basic,
+    mccore_new,
+    reference_enumerate,
+)
+from repro.graphs import SignedGraph
+
+graph_specs = st.integers(min_value=2, max_value=9).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.sampled_from([0, 0, 1, 1, 1, -1]),  # biased toward edges, mostly positive
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        ),
+    )
+)
+
+param_specs = st.tuples(
+    st.sampled_from([0, 1, 1.5, 2, 3]),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def _build(spec) -> SignedGraph:
+    n, signs = spec
+    graph = SignedGraph(nodes=range(n))
+    for (u, v), sign in zip(itertools.combinations(range(n), 2), signs):
+        if sign:
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+@settings(max_examples=120, deadline=None)
+@given(graph_specs, param_specs)
+def test_msce_matches_brute_force(spec, param_spec):
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    truth = {c.nodes for c in brute_force_maximal(graph, params)}
+    result = MSCE(graph, params, audit=True).enumerate_all()
+    assert {c.nodes for c in result.cliques} == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, param_specs, st.sampled_from(["random", "first"]))
+def test_other_strategies_match_brute_force(spec, param_spec, selection):
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    truth = {c.nodes for c in brute_force_maximal(graph, params)}
+    result = MSCE(graph, params, selection=selection, audit=True).enumerate_all()
+    assert {c.nodes for c in result.cliques} == truth
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph_specs, param_specs)
+def test_mcbasic_equals_mcnew(spec, param_spec):
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    assert mccore_basic(graph, params) == mccore_new(graph, params)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_specs, param_specs)
+def test_reference_enumerator_matches_brute_force(spec, param_spec):
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    truth = {c.nodes for c in brute_force_maximal(graph, params)}
+    assert {c.nodes for c in reference_enumerate(graph, params)} == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, param_specs)
+def test_every_result_satisfies_all_constraints(spec, param_spec):
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    for clique in MSCE(graph, params).enumerate_all().cliques:
+        clique.verify(graph)
+        assert clique.size >= params.min_clique_size
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, param_specs)
+def test_paper_maxtest_is_subset_of_exact(spec, param_spec):
+    # The paper-style MaxTest can only under-report (soundness direction
+    # proven in the maxtest module); its output must be a subset.
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    exact = {c.nodes for c in MSCE(graph, params).enumerate_all().cliques}
+    paper = {c.nodes for c in MSCE(graph, params, maxtest="paper").enumerate_all().cliques}
+    assert paper <= exact

@@ -1,0 +1,84 @@
+"""Tests for the paper-dataset stand-ins (Table-I profiles and workloads)."""
+
+import pytest
+
+from repro.core import enumerate_signed_cliques
+from repro.exceptions import ParameterError
+from repro.experiments.registry import clear_cache, get_dataset
+from repro.generators import PAPER_DATASETS, load_dataset
+from repro.graphs import graph_stats, validate_graph
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", PAPER_DATASETS + ("flysign",))
+    def test_builds_and_validates(self, name):
+        dataset = get_dataset(name)
+        assert dataset.name == name
+        assert dataset.graph.number_of_edges() > 0
+        assert dataset.description
+        validate_graph(dataset.graph)
+
+    @pytest.mark.parametrize(
+        "name, low, high",
+        [
+            ("slashdot", 0.15, 0.32),   # paper: 23.5% negative
+            ("wiki", 0.08, 0.20),       # paper: 11.8%
+            ("dblp", 0.50, 0.85),       # paper: 76.8%
+            ("youtube", 0.28, 0.32),    # paper recipe: exactly 30%
+            ("pokec", 0.28, 0.32),      # paper recipe: exactly 30%
+        ],
+    )
+    def test_negative_fraction_windows(self, name, low, high):
+        stats = graph_stats(get_dataset(name).graph)
+        assert low <= stats.negative_fraction <= high
+
+    def test_relative_sizes_follow_table1(self):
+        # Pokec is the largest and densest; Slashdot the smallest.
+        sizes = {name: graph_stats(get_dataset(name).graph) for name in PAPER_DATASETS}
+        assert sizes["pokec"].edges == max(s.edges for s in sizes.values())
+        assert sizes["slashdot"].nodes == min(s.nodes for s in sizes.values())
+
+    def test_deterministic_generation(self):
+        first = load_dataset("slashdot")
+        second = load_dataset("slashdot")
+        assert first.graph == second.graph
+
+    def test_custom_seed_changes_graph(self):
+        default = load_dataset("youtube")
+        reseeded = load_dataset("youtube", seed=99)
+        assert default.graph != reseeded.graph
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ParameterError):
+            load_dataset("friendster")
+
+    def test_registry_caches(self):
+        assert get_dataset("wiki") is get_dataset("wiki")
+
+
+class TestWorkloads:
+    def test_slashdot_has_cliques_at_paper_default(self):
+        graph = get_dataset("slashdot").graph
+        cliques = enumerate_signed_cliques(
+            graph, alpha=4, k=3, time_limit=60, max_results=20
+        )
+        assert len(cliques) > 0
+
+    def test_dblp_has_cliques_at_paper_default(self):
+        graph = get_dataset("dblp").graph
+        cliques = enumerate_signed_cliques(
+            graph, alpha=4, k=3, time_limit=60, max_results=20
+        )
+        assert len(cliques) > 0
+
+    def test_flysign_ground_truth_usable(self):
+        dataset = get_dataset("flysign")
+        assert dataset.communities
+        assert all(len(c) >= 5 for c in dataset.communities)

@@ -1,0 +1,29 @@
+"""Run every docstring example in the library as a test.
+
+Keeps the documentation honest: any ``>>>`` example that drifts from
+the implementation fails here.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+MODULES = sorted(set(_iter_module_names()))
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

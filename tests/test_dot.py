@@ -1,0 +1,56 @@
+"""Tests for the Graphviz DOT exporter."""
+
+from repro.graphs import SignedGraph
+from repro.io.dot import save_dot, to_dot
+
+
+class TestToDot:
+    def test_sign_styling(self, paper_graph):
+        dot = to_dot(paper_graph)
+        assert dot.startswith("graph signed {")
+        assert dot.rstrip().endswith("}")
+        # The negative edge (2, 3) is red/dashed; a positive one is not.
+        assert '"2" -- "3" [color=red, style=dashed];' in dot
+        assert '"1" -- "2";' in dot
+
+    def test_highlight_groups_colored(self, paper_graph):
+        dot = to_dot(paper_graph, highlight=[{1, 2}, {6, 8}])
+        assert '"1" [fillcolor=lightblue];' in dot
+        assert '"6" [fillcolor=lightgoldenrod];' in dot
+        assert '"4";' in dot  # unhighlighted node, default fill
+
+    def test_members_only_restricts(self, paper_graph):
+        dot = to_dot(paper_graph, highlight=[{1, 2, 3}], members_only=True)
+        assert '"8"' not in dot
+        assert '"2" -- "3"' in dot
+        assert '"2" -- "7"' not in dot  # boundary edge excluded
+
+    def test_node_labels_quoted(self):
+        graph = SignedGraph([('he "x"', "b c", "+")])
+        dot = to_dot(graph)
+        assert r'"he \"x\""' in dot
+        assert '"b c"' in dot
+
+    def test_save_dot(self, paper_graph, tmp_path):
+        path = tmp_path / "graph.dot"
+        save_dot(paper_graph, path, highlight=[{1, 2, 3, 4, 5}])
+        assert path.read_text().startswith("graph signed {")
+
+
+class TestCliPercolate:
+    def test_percolate_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import write_signed_edgelist
+        from tests.conftest import PAPER_EDGES
+
+        graph_path = tmp_path / "g.txt"
+        write_signed_edgelist(SignedGraph(PAPER_EDGES), graph_path)
+        dot_path = tmp_path / "out.dot"
+        code = main([
+            "percolate", str(graph_path), "--alpha", "3", "-k", "0",
+            "--overlap", "2", "--dot", str(dot_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "community #1" in out
+        assert dot_path.exists()

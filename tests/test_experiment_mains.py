@@ -1,0 +1,30 @@
+"""Tests for the experiment entry points (__main__ runners)."""
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.report import main as report_main
+
+
+class TestExperimentsMain:
+    def test_runs_selected_drivers(self, capsys):
+        assert experiments_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_list_driver_output(self, capsys):
+        assert experiments_main(["fig6_mechanism"]) == 0
+        assert "mechanism" in capsys.readouterr().out
+
+    def test_unknown_driver_fails(self, capsys):
+        assert experiments_main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown drivers" in err and "available" in err
+
+
+class TestReportMain:
+    def test_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "out.md"
+        assert report_main([str(target), "table1"]) == 0
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out

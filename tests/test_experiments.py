@@ -1,0 +1,113 @@
+"""Tests for the experiment harness and figure drivers (small configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_DRIVERS,
+    Exhibit,
+    Series,
+    ablation_maxtest,
+    fig4_mccore_size,
+    fig6_growth_mechanism,
+    fig9_memory,
+    fig10_case_study,
+    measure,
+    measure_peak_memory,
+    stopwatch,
+    table1_dataset_stats,
+)
+from repro.experiments.harness import (
+    FAST_ALPHAS,
+    FULL_ALPHAS,
+    full_sweeps_enabled,
+    sweep_alphas,
+    time_limit_seconds,
+)
+
+
+class TestHarness:
+    def test_stopwatch(self):
+        with stopwatch() as elapsed:
+            total = sum(range(1000))
+        assert total == 499500
+        assert elapsed() >= 0.0
+
+    def test_measure(self):
+        result, seconds = measure(sorted, [3, 1, 2])
+        assert result == [1, 2, 3] and seconds >= 0.0
+
+    def test_measure_peak_memory(self):
+        result, peak = measure_peak_memory(lambda: list(range(50_000)))
+        assert len(result) == 50_000
+        assert peak > 100_000  # a 50k list costs well over 100 kB
+
+    def test_sweep_mode_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert not full_sweeps_enabled()
+        assert sweep_alphas() == FAST_ALPHAS
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert full_sweeps_enabled()
+        assert sweep_alphas() == FULL_ALPHAS
+
+    def test_time_limit_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_TIME_LIMIT", raising=False)
+        assert time_limit_seconds() == 15.0
+        monkeypatch.setenv("REPRO_BENCH_TIME_LIMIT", "3.5")
+        assert time_limit_seconds() == 3.5
+
+    def test_series_and_exhibit_rendering(self):
+        series = Series("demo")
+        series.add("a", 1.0)
+        series.add("b", 2)
+        exhibit = Exhibit(title="Demo", series=[series], notes=["hello"])
+        text = exhibit.render()
+        assert "Demo" in text and "demo" in text and "hello" in text
+        assert series.as_rows() == [("a", 1.0), ("b", 2)]
+        assert exhibit.series_by_label()["demo"] is series
+
+
+class TestDrivers:
+    def test_registry_complete(self):
+        # One driver per paper exhibit plus three ablations.
+        expected = {
+            "table1", "fig3", "fig4", "fig5", "fig6", "fig6_mechanism",
+            "fig7", "fig8", "fig9", "table2", "fig10", "fig11",
+            "ablation_pruning", "ablation_maxtest", "ablation_reduction",
+        }
+        assert set(ALL_DRIVERS) == expected
+
+    def test_table1(self):
+        exhibit = table1_dataset_stats(names=("slashdot",))
+        by_label = exhibit.series_by_label()
+        assert by_label["n"].y[0] > 1000
+        assert by_label["E+"].y[0] + by_label["E-"].y[0] == by_label["m"].y[0]
+
+    def test_fig4_small_sweep(self):
+        exhibits = fig4_mccore_size(names=("slashdot",), alphas=(2, 4), ks=(1, 3))
+        assert len(exhibits) == 2
+        alpha_series = exhibits[0].series_by_label()["MCNew"]
+        # MCCore shrinks as alpha grows.
+        assert alpha_series.y[0] >= alpha_series.y[-1]
+
+    def test_fig6_mechanism_shows_growth(self):
+        exhibit = fig6_growth_mechanism(block_size=16, negative_probability=0.3, ks=(1, 2, 3))
+        counts = exhibit.series[0].y
+        assert counts[1] > counts[0]  # the rising regime
+
+    def test_fig9_memory_single_dataset(self):
+        exhibit = fig9_memory(names=("slashdot",), limit=10)
+        by_label = exhibit.series_by_label()
+        assert by_label["MSCE-G peak bytes"].y[0] > 0
+        assert by_label["graph bytes (est.)"].y[0] > 0
+
+    def test_fig10_case_study(self):
+        exhibit = fig10_case_study(limit=20)
+        sizes = exhibit.series_by_label().get("community size")
+        assert sizes is not None
+        tclique_size, signed_size = sizes.y
+        assert signed_size >= tclique_size
+
+    def test_ablation_maxtest(self):
+        exhibit = ablation_maxtest(limit=10)
+        counts = exhibit.series_by_label()["cliques"].y
+        assert counts[1] <= counts[0]  # paper test can only under-report

@@ -1,0 +1,89 @@
+"""Fast-configuration tests for every experiment driver.
+
+The benchmark suite runs the drivers at full workload; these tests run
+each with a minimal sweep so `pytest tests/` alone exercises every
+driver code path (series shapes, notes, timeout handling).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_pruning_rules,
+    ablation_reduction,
+    fig3_reduction_time,
+    fig5_enumeration_time,
+    fig7_topr_time,
+    fig8_scalability,
+    fig11_precision,
+    table2_conductance,
+)
+
+
+class TestReductionDrivers:
+    def test_fig3_series_alignment(self):
+        exhibits = fig3_reduction_time(names=("slashdot",), alphas=(4,), ks=(3,))
+        assert len(exhibits) == 2
+        for exhibit in exhibits:
+            labels = {series.label for series in exhibit.series}
+            assert labels == {"MCNew", "MCBasic"}
+            for series in exhibit.series:
+                assert len(series.x) == 1
+                assert series.y[0] >= 0
+
+
+class TestEnumerationDrivers:
+    def test_fig5_single_point(self):
+        exhibits = fig5_enumeration_time(
+            names=("youtube",), alphas=(4,), ks=(3,), limit=10
+        )
+        assert len(exhibits) == 2
+        for exhibit in exhibits:
+            by_label = exhibit.series_by_label()
+            assert set(by_label) == {"MSCE-G", "MSCE-R"}
+
+    def test_fig5_timeout_notes(self):
+        exhibits = fig5_enumeration_time(
+            names=("slashdot",), alphas=(2,), ks=(1,), limit=1e-6
+        )
+        # An absurdly small cap must be reported, not crash.
+        assert any(exhibit.notes for exhibit in exhibits)
+
+    def test_fig7_axes(self):
+        exhibits = fig7_topr_time(
+            names=("slashdot",), alphas=(4,), ks=(3,), rs=(5,), limit=10
+        )
+        assert len(exhibits) == 3  # alpha, k, r axes
+
+    def test_fig8_small_fractions(self):
+        exhibits = fig8_scalability(fractions=(0.2, 1.0), limit=10)
+        assert len(exhibits) == 2
+        for exhibit in exhibits:
+            assert [str(x) for x in exhibit.series[0].x] == ["20%", "100%"]
+
+
+class TestEffectivenessDrivers:
+    def test_table2_small(self):
+        exhibit = table2_conductance(names=("youtube",), alpha=2, k=3, r=5, limit=10)
+        by_label = exhibit.series_by_label()
+        assert set(by_label) == {"Core", "SignedCore", "TClique", "SignedClique"}
+        for series in exhibit.series:
+            assert len(series.y) == 1
+
+    def test_fig11_small(self):
+        exhibits = fig11_precision(alphas=(4,), ks=(3,), r=10, limit=10)
+        assert len(exhibits) == 2
+        for exhibit in exhibits:
+            for series in exhibit.series:
+                assert all(0.0 <= value <= 1.0 for value in series.y)
+
+
+class TestAblationDrivers:
+    def test_pruning_ablation_rows(self):
+        exhibit = ablation_pruning_rules(alpha=4, k=3, limit=10)
+        recursions = exhibit.series_by_label()["recursions"]
+        assert len(recursions.y) == 4
+
+    def test_reduction_ablation_rows(self):
+        exhibit = ablation_reduction(limit=10)
+        survivors = exhibit.series_by_label()["surviving nodes"]
+        assert survivors.x == ["none", "positive-core", "mcbasic", "mcnew"]

@@ -1,0 +1,92 @@
+"""Failure-injection and fuzz tests.
+
+Three attack surfaces: the edge-list parser (arbitrary text), the graph
+structure (random mutation sequences must never corrupt the internal
+indexes), and the enumeration invariants under mutation-then-enumerate
+workloads.
+"""
+
+import io
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MSCE, AlphaK
+from repro.exceptions import ParseError, ReproError
+from repro.graphs import SignedGraph, validation_errors
+from repro.io import iter_signed_edges, read_signed_edgelist
+
+
+class TestParserFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=200))
+    def test_parser_never_crashes_unexpectedly(self, text):
+        # Arbitrary text either parses into a valid graph or raises the
+        # library's ParseError — never any other exception.
+        try:
+            graph = read_signed_edgelist(io.StringIO(text))
+        except ParseError:
+            return
+        assert validation_errors(graph) == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.sampled_from(["1", "-1", "+", "-", "2.5", "-0.1"]),
+            ),
+            max_size=20,
+        )
+    )
+    def test_wellformed_lines_always_parse(self, rows):
+        lines = [f"{u} {v} {sign}" for u, v, sign in rows]
+        edges = list(iter_signed_edges(lines))
+        # Self-loops are dropped; everything else parses with a +-1 sign.
+        assert all(sign in (1, -1) or sign in ("+", "-") for _u, _v, sign in edges)
+
+
+class TestStructuralFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_random_mutation_scripts_keep_indexes_clean(self, seed):
+        rng = random.Random(seed)
+        graph = SignedGraph(nodes=range(6))
+        for _ in range(40):
+            action = rng.random()
+            u, v = rng.randrange(8), rng.randrange(8)
+            try:
+                if action < 0.35:
+                    graph.add_edge(u, v, rng.choice([1, -1]))
+                elif action < 0.55:
+                    graph.set_sign(u, v, rng.choice(["+", "-"]))
+                elif action < 0.7:
+                    graph.remove_edge(u, v)
+                elif action < 0.85:
+                    graph.add_node(u)
+                else:
+                    graph.remove_node(u)
+            except ReproError:
+                pass  # invalid operations must raise cleanly, not corrupt
+            assert validation_errors(graph) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_enumeration_after_mutation_storm(self, seed):
+        rng = random.Random(seed)
+        graph = SignedGraph(nodes=range(7))
+        for _ in range(30):
+            u, v = rng.sample(range(7), 2)
+            try:
+                if rng.random() < 0.7:
+                    graph.set_sign(u, v, rng.choice([1, -1]))
+                else:
+                    graph.remove_edge(u, v)
+            except ReproError:
+                pass
+        params = AlphaK(rng.choice([1, 2]), rng.choice([0, 1, 2]))
+        result = MSCE(graph, params, audit=True).enumerate_all()
+        for clique in result.cliques:
+            clique.verify(graph)

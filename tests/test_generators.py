@@ -1,0 +1,208 @@
+"""Unit tests for the synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.generators import (
+    CommunitySpec,
+    close_triangles,
+    dblp_like_coauthorship,
+    flysign_like,
+    gnp_signed,
+    heavy_tailed_sizes,
+    plant_community,
+    planted_partition_graph,
+    preferential_attachment,
+    random_edge_subsample,
+    random_node_subsample,
+    random_sign_assignment,
+    sprinkle_negative_edges,
+)
+from repro.graphs import SignedGraph, validate_graph
+
+
+class TestGnpSigned:
+    def test_deterministic_per_seed(self):
+        a = gnp_signed(20, 0.3, 0.4, seed=7)
+        b = gnp_signed(20, 0.3, 0.4, seed=7)
+        assert a == b
+
+    def test_node_count_preserved(self):
+        graph = gnp_signed(15, 0.1, seed=1)
+        assert graph.number_of_nodes() == 15
+
+    def test_extreme_probabilities(self):
+        empty = gnp_signed(6, 0.0, seed=1)
+        assert empty.number_of_edges() == 0
+        full = gnp_signed(6, 1.0, 0.0, seed=1)
+        assert full.number_of_edges() == 15
+        assert full.number_of_negative_edges() == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            gnp_signed(-1, 0.5)
+        with pytest.raises(ParameterError):
+            gnp_signed(5, 1.5)
+        with pytest.raises(ParameterError):
+            gnp_signed(5, 0.5, negative_fraction=2.0)
+
+
+class TestRandomSignAssignment:
+    def test_exact_negative_count(self):
+        graph = gnp_signed(30, 0.3, 0.0, seed=3)
+        signed = random_sign_assignment(graph, 0.30, seed=4)
+        expected = round(graph.number_of_edges() * 0.30)
+        assert signed.number_of_negative_edges() == expected
+        assert signed.number_of_edges() == graph.number_of_edges()
+
+    def test_topology_preserved(self):
+        graph = gnp_signed(20, 0.4, 0.5, seed=5)
+        signed = random_sign_assignment(graph, 0.3, seed=6)
+        for u, v, _sign in graph.edges():
+            assert signed.has_edge(u, v)
+
+    def test_input_untouched(self):
+        graph = gnp_signed(10, 0.5, 0.0, seed=7)
+        random_sign_assignment(graph, 1.0, seed=8)
+        assert graph.number_of_negative_edges() == 0
+
+
+class TestSubsampling:
+    def test_edge_subsample_fraction(self):
+        graph = gnp_signed(30, 0.4, 0.3, seed=9)
+        sample = random_edge_subsample(graph, 0.5, seed=10)
+        assert sample.number_of_edges() == round(graph.number_of_edges() * 0.5)
+        for u, v, sign in sample.edges():
+            assert graph.sign(u, v) == sign
+
+    def test_node_subsample_is_induced(self):
+        graph = gnp_signed(30, 0.4, 0.3, seed=11)
+        sample = random_node_subsample(graph, 0.5, seed=12)
+        assert sample.number_of_nodes() == 15
+        for u, v, sign in sample.edges():
+            assert graph.sign(u, v) == sign
+
+    def test_full_fraction_identity(self):
+        graph = gnp_signed(10, 0.5, 0.3, seed=13)
+        assert random_edge_subsample(graph, 1.0, seed=1).number_of_edges() == graph.number_of_edges()
+
+
+class TestSocialGenerators:
+    def test_preferential_attachment_edge_count(self):
+        graph = preferential_attachment(50, 3, seed=14)
+        assert graph.number_of_nodes() == 50
+        # seed clique C(4,2)=6 plus 3 per remaining node.
+        assert graph.number_of_edges() == 6 + 3 * 46
+        validate_graph(graph)
+
+    def test_preferential_attachment_validation(self):
+        with pytest.raises(ParameterError):
+            preferential_attachment(3, 3)
+        with pytest.raises(ParameterError):
+            preferential_attachment(10, 0)
+
+    def test_close_triangles_adds_edges(self):
+        graph = preferential_attachment(60, 2, seed=15)
+        before = graph.number_of_edges()
+        added = close_triangles(graph, 30, seed=16)
+        assert graph.number_of_edges() == before + added
+        assert added > 0
+
+    def test_close_triangles_empty_graph(self):
+        assert close_triangles(SignedGraph(), 5, seed=1) == 0
+
+
+class TestPlanted:
+    def test_spec_validation(self):
+        with pytest.raises(ParameterError):
+            CommunitySpec(size=1)
+        with pytest.raises(ParameterError):
+            CommunitySpec(size=3, density=0.0)
+        with pytest.raises(ParameterError):
+            CommunitySpec(size=3, negative_fraction=1.0)
+
+    def test_plant_full_clique(self):
+        graph = SignedGraph(nodes=range(6))
+        rng = random.Random(17)
+        plant_community(graph, list(range(5)), CommunitySpec(size=5), rng)
+        assert graph.number_of_edges() == 10
+        assert graph.number_of_negative_edges() == 0
+
+    def test_plant_size_mismatch(self):
+        graph = SignedGraph(nodes=range(6))
+        with pytest.raises(ParameterError):
+            plant_community(graph, [0, 1], CommunitySpec(size=3), random.Random(1))
+
+    def test_planted_partition_returns_communities(self):
+        background = preferential_attachment(80, 2, seed=18)
+        specs = [CommunitySpec(size=6), CommunitySpec(size=5, negative_fraction=0.2)]
+        graph, communities = planted_partition_graph(background, specs, seed=19)
+        assert len(communities) == 2
+        assert all(len(c) == spec.size for c, spec in zip(communities, specs))
+        # Planted cliques actually exist in the output.
+        first = communities[0]
+        for u in first:
+            assert len(graph.neighbor_keys(u) & first) == len(first) - 1
+        # Background untouched.
+        assert background.number_of_nodes() == 80
+
+    def test_heavy_tailed_sizes_in_range(self):
+        rng = random.Random(20)
+        sizes = heavy_tailed_sizes(200, 4, 20, rng)
+        assert all(4 <= size <= 20 for size in sizes)
+        # Heavy tail: small sizes dominate.
+        assert sum(1 for size in sizes if size <= 8) > sum(1 for size in sizes if size > 12)
+
+    def test_heavy_tailed_invalid_range(self):
+        with pytest.raises(ParameterError):
+            heavy_tailed_sizes(5, 1, 10, random.Random(1))
+
+
+class TestSprinkle:
+    def test_flips_positive_edges(self):
+        graph = gnp_signed(12, 0.6, 0.0, seed=21)
+        flipped = sprinkle_negative_edges(graph, 5, seed=22)
+        assert flipped == 5
+        assert graph.number_of_negative_edges() == 5
+
+    def test_respects_candidate_scope(self):
+        graph = gnp_signed(12, 0.8, 0.0, seed=23)
+        sprinkle_negative_edges(graph, 100, candidates={0, 1, 2}, seed=24)
+        for u, v in graph.negative_edges():
+            assert u in {0, 1, 2} and v in {0, 1, 2}
+
+
+class TestDomainGenerators:
+    def test_dblp_recipe_properties(self):
+        graph, groups = dblp_like_coauthorship(
+            authors=300, groups=20, papers=600, consortium_count=1, seed=25
+        )
+        assert graph.number_of_nodes() == 300
+        assert graph.number_of_negative_edges() > graph.number_of_positive_edges() * 0.5
+        assert len(groups) == 20
+        validate_graph(graph)
+
+    def test_dblp_determinism(self):
+        a, _ = dblp_like_coauthorship(authors=200, groups=10, papers=300, seed=26)
+        b, _ = dblp_like_coauthorship(authors=200, groups=10, papers=300, seed=26)
+        assert a == b
+
+    def test_dblp_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            dblp_like_coauthorship(authors=5, groups=2, papers=10, group_size_range=(8, 10))
+        with pytest.raises(ParameterError):
+            dblp_like_coauthorship(authors=50, groups=2, papers=10, team_size_range=(1, 3))
+
+    def test_flysign_returns_ground_truth(self):
+        graph, complexes = flysign_like(
+            proteins=200, complexes=8, complex_size_range=(4, 12),
+            background_edges=100, satellite_count=6, pathway_count=2,
+            pathway_size=8, seed=27,
+        )
+        assert graph.number_of_nodes() == 200
+        assert len(complexes) == 8
+        assert all(members <= graph.node_set() for members in complexes)
+        assert graph.number_of_negative_edges() > 0
+        validate_graph(graph)

@@ -1,0 +1,63 @@
+"""Tests for the greedy heuristic signed clique search."""
+
+import random
+
+from repro.core import MSCE, AlphaK
+from repro.core.heuristic import greedy_signed_cliques
+from tests.conftest import make_random_signed_graph
+
+
+class TestGreedySignedCliques:
+    def test_paper_example(self, paper_graph):
+        cliques = greedy_signed_cliques(paper_graph, 3, 1)
+        assert [sorted(c.nodes) for c in cliques] == [[1, 2, 3, 4, 5]]
+
+    def test_subset_of_exact_answer(self):
+        rng = random.Random(151)
+        for _ in range(40):
+            graph = make_random_signed_graph(rng)
+            alpha = rng.choice([0, 1, 1.5, 2])
+            k = rng.choice([0, 1, 2])
+            exact = {c.nodes for c in MSCE(graph, AlphaK(alpha, k)).enumerate_all().cliques}
+            greedy = {c.nodes for c in greedy_signed_cliques(graph, alpha, k)}
+            assert greedy <= exact
+
+    def test_results_are_valid(self):
+        rng = random.Random(152)
+        graph = make_random_signed_graph(rng, n_range=(10, 14))
+        for clique in greedy_signed_cliques(graph, 1.5, 1):
+            clique.verify(graph)
+
+    def test_finds_something_when_exact_does(self):
+        rng = random.Random(153)
+        hits = total = 0
+        for _ in range(30):
+            graph = make_random_signed_graph(rng)
+            exact = MSCE(graph, AlphaK(1, 1)).enumerate_all().cliques
+            if not exact:
+                continue
+            total += 1
+            if greedy_signed_cliques(graph, 1, 1):
+                hits += 1
+        assert total > 0 and hits == total  # one clique per non-empty instance
+
+    def test_seed_and_cap_controls(self, paper_graph):
+        all_seeds = greedy_signed_cliques(paper_graph, 3, 0)
+        capped = greedy_signed_cliques(paper_graph, 3, 0, max_seeds=1)
+        assert len(capped) <= len(all_seeds)
+        seeded = greedy_signed_cliques(paper_graph, 3, 0, seeds=[6])
+        assert all(6 in c.nodes or c for c in seeded)
+
+    def test_empty_mccore_returns_empty(self, paper_graph):
+        assert greedy_signed_cliques(paper_graph, 10, 1) == []
+
+    def test_uncertified_mode_runs(self, paper_graph):
+        cliques = greedy_signed_cliques(paper_graph, 3, 1, certify=False)
+        assert [sorted(c.nodes) for c in cliques] == [[1, 2, 3, 4, 5]]
+
+    def test_deterministic(self):
+        rng = random.Random(154)
+        graph = make_random_signed_graph(rng, n_range=(10, 14))
+        first = [c.nodes for c in greedy_signed_cliques(graph, 1.5, 1)]
+        second = [c.nodes for c in greedy_signed_cliques(graph, 1.5, 1)]
+        assert first == second

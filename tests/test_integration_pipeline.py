@@ -1,0 +1,112 @@
+"""Integration tests: the full pipeline a downstream user would run.
+
+generate -> persist -> reload -> reduce -> enumerate -> rank -> score ->
+archive. Exercises the public API across package boundaries.
+"""
+
+import json
+
+from repro import (
+    AlphaK,
+    MSCE,
+    SignedGraph,
+    enumerate_signed_cliques,
+    find_mccore,
+    read_signed_edgelist,
+    top_r_signed_cliques,
+    write_signed_edgelist,
+)
+from repro.generators import flysign_like, gnp_signed, planted_partition_graph
+from repro.generators.planted import CommunitySpec
+from repro.io import save_cliques, save_graph, load_graph
+from repro.metrics import average_precision, community_stats, signed_conductance
+
+
+class TestEndToEnd:
+    def test_generate_persist_enumerate(self, tmp_path):
+        background = gnp_signed(60, 0.05, 0.4, seed=31)
+        graph, communities = planted_partition_graph(
+            background,
+            [CommunitySpec(size=7, negative_fraction=0.1), CommunitySpec(size=6)],
+            seed=32,
+        )
+        path = tmp_path / "net.txt"
+        write_signed_edgelist(graph, path)
+        reloaded = read_signed_edgelist(path)
+        # Isolated nodes are lost in edge-list form; everything else kept.
+        assert reloaded.number_of_edges() == graph.number_of_edges()
+
+        cliques = enumerate_signed_cliques(reloaded, alpha=2, k=2)
+        assert cliques, "planted cliques must be discoverable after a round-trip"
+        biggest = cliques[0]
+        planted_sets = [frozenset(c) for c in communities]
+        assert any(biggest.nodes <= p or len(biggest.nodes & p) >= 5 for p in planted_sets)
+
+        out = tmp_path / "cliques.json"
+        save_cliques(cliques, out)
+        payload = json.loads(out.read_text())
+        assert payload["alpha"] == 2 and len(payload["cliques"]) == len(cliques)
+
+    def test_reduction_feeds_enumeration(self):
+        graph, _ = planted_partition_graph(
+            gnp_signed(80, 0.04, 0.3, seed=33),
+            [CommunitySpec(size=8)],
+            seed=34,
+        )
+        survivors = find_mccore(graph, alpha=2, k=2)
+        cliques = enumerate_signed_cliques(graph, alpha=2, k=2)
+        for clique in cliques:
+            assert set(clique.nodes) <= survivors
+
+    def test_topr_and_scoring(self):
+        graph, truth = flysign_like(
+            proteins=150, complexes=6, complex_size_range=(5, 12),
+            background_edges=80, satellite_count=4, pathway_count=1,
+            pathway_size=8, seed=35,
+        )
+        top = top_r_signed_cliques(graph, alpha=2, k=1, r=5)
+        assert len(top) <= 5
+        predictions = [set(c.nodes) for c in top]
+        precision = average_precision(predictions, truth)
+        assert 0.0 <= precision <= 1.0
+        for members in predictions:
+            stats = community_stats(graph, members)
+            assert stats.density == 1.0  # cliques by construction
+            assert -1.0 <= signed_conductance(graph, members) <= 1.0
+
+    def test_json_graph_round_trip_preserves_results(self, tmp_path):
+        graph = SignedGraph(
+            [(1, 2, "+"), (1, 3, "+"), (2, 3, "+"), (3, 4, "-"), (1, 4, "+"), (2, 4, "+")]
+        )
+        save_graph(graph, tmp_path / "g.json")
+        reloaded = load_graph(tmp_path / "g.json")
+        before = {c.nodes for c in MSCE(graph, AlphaK(2, 1)).enumerate_all().cliques}
+        after = {c.nodes for c in MSCE(reloaded, AlphaK(2, 1)).enumerate_all().cliques}
+        assert before == after
+
+
+class TestLemmasOnRealWorkloads:
+    def test_lemma3_holds_on_dataset(self):
+        # Every enumerated maximal clique lies inside the MCCore, on an
+        # actual dataset workload (not just random micro-graphs).
+        from repro.core import find_mccore
+        from repro.experiments.registry import get_dataset
+
+        graph = get_dataset("slashdot").graph
+        survivors = find_mccore(graph, 4, 3)
+        cliques = enumerate_signed_cliques(graph, 4, 3, max_results=50)
+        assert cliques
+        for clique in cliques:
+            assert set(clique.nodes) <= survivors
+
+    def test_reduction_nesting_on_dataset(self):
+        from repro.core import AlphaK as _AlphaK
+        from repro.core.reduction import reduce_graph
+        from repro.experiments.registry import get_dataset
+
+        graph = get_dataset("wiki").graph
+        params = _AlphaK(4, 3)
+        none = reduce_graph(graph, params, "none")
+        positive = reduce_graph(graph, params, "positive-core")
+        mccore = reduce_graph(graph, params, "mcnew")
+        assert mccore <= positive <= none

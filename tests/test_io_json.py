@@ -1,0 +1,59 @@
+"""Unit tests for JSON (de)serialisation of graphs and clique results."""
+
+import json
+
+import pytest
+
+from repro.core import AlphaK, SignedClique
+from repro.exceptions import ParseError
+from repro.io import (
+    cliques_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_cliques,
+    save_graph,
+)
+
+
+class TestGraphJson:
+    def test_round_trip(self, paper_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(paper_graph, path)
+        assert load_graph(path) == paper_graph
+
+    def test_dict_shape(self, paper_graph):
+        payload = graph_to_dict(paper_graph)
+        assert payload["directed"] is False
+        assert len(payload["nodes"]) == 8
+        assert len(payload["edges"]) == 17
+        json.dumps(payload)  # must be JSON-serialisable
+
+    def test_isolated_nodes_survive(self):
+        from repro.graphs import SignedGraph
+
+        graph = SignedGraph(nodes=["x"])
+        assert graph_from_dict(graph_to_dict(graph)).has_node("x")
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ParseError):
+            graph_from_dict({"nodes": []})
+        with pytest.raises(ParseError):
+            graph_from_dict({"edges": [[1, 2]]})
+
+
+class TestCliqueJson:
+    def test_cliques_payload(self, paper_graph, tmp_path):
+        params = AlphaK(3, 1)
+        clique = SignedClique.from_nodes(paper_graph, {1, 2, 3, 4, 5}, params)
+        payload = cliques_to_dict([clique])
+        assert payload["alpha"] == 3
+        assert payload["k"] == 1
+        assert payload["cliques"][0]["nodes"] == [1, 2, 3, 4, 5]
+        assert payload["cliques"][0]["negative_edges"] == 1
+        path = tmp_path / "cliques.json"
+        save_cliques([clique], path)
+        assert json.loads(path.read_text())["cliques"][0]["positive_edges"] == 9
+
+    def test_empty_clique_list(self):
+        assert cliques_to_dict([]) == {"cliques": []}

@@ -1,0 +1,106 @@
+"""Unit tests for maximality testing (Definition 2), exact vs paper-style.
+
+Includes the two crafted cases from DESIGN.md showing where the paper's
+single-extension MaxTest diverges from Definition 2.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import AlphaK, brute_force_maximal, is_alpha_k_clique, is_maximal
+from repro.core.maxtest import make_maxtest, single_extension_test
+from repro.exceptions import ParameterError
+from repro.graphs import SignedGraph
+from tests.conftest import make_random_signed_graph
+
+
+def _positive_clique(nodes):
+    return [(u, v, "+") for u, v in itertools.combinations(nodes, 2)]
+
+
+class TestPaperExample:
+    def test_31_clique_is_maximal(self, paper_graph):
+        members = {1, 2, 3, 4, 5}
+        params = AlphaK(3, 1)
+        assert is_maximal(paper_graph, members, params)
+        assert single_extension_test(paper_graph, members, params)
+
+    def test_subclique_is_not_maximal(self, paper_graph):
+        params = AlphaK(3, 1)
+        assert is_alpha_k_clique(paper_graph, {1, 2, 4, 5}, params)
+        assert not is_maximal(paper_graph, {1, 2, 4, 5}, params)
+
+
+class TestDivergenceFromPaperTest:
+    def test_paper_test_falsely_rejects(self):
+        # C = positive 4-clique {a,b,c,d}; v is adjacent to all of C with
+        # 2 positive and 2 negative edges. At (alpha=1.5, k=2) =>
+        # threshold 3: v passes the negative screen (so the paper's test
+        # says "extendable"), but C u {v} fails the positive constraint
+        # and no larger superset exists — C IS maximal.
+        params = AlphaK(1.5, 2)
+        edges = _positive_clique("abcd") + [
+            ("v", "a", "+"), ("v", "b", "+"), ("v", "c", "-"), ("v", "d", "-"),
+        ]
+        graph = SignedGraph(edges)
+        members = set("abcd")
+        assert is_alpha_k_clique(graph, members, params)
+        assert is_maximal(graph, members, params)          # exact: maximal
+        assert not single_extension_test(graph, members, params)  # paper: wrong
+
+    def test_two_node_extension_found_by_exact_search(self):
+        # v and w individually fail the positive constraint but lift
+        # each other over it: C u {v, w} is a valid (1.5, 2)-clique, so
+        # C is NOT maximal — the exact search must look past single
+        # extensions to see it.
+        params = AlphaK(1.5, 2)
+        edges = _positive_clique("abcd") + [
+            ("v", "a", "+"), ("v", "b", "+"), ("v", "c", "-"), ("v", "d", "-"),
+            ("w", "a", "+"), ("w", "b", "+"), ("w", "c", "-"), ("w", "d", "-"),
+            ("v", "w", "+"),
+        ]
+        graph = SignedGraph(edges)
+        members = set("abcd")
+        assert is_alpha_k_clique(graph, members, params)
+        assert is_alpha_k_clique(graph, members | {"v", "w"}, params)
+        assert not is_maximal(graph, members, params)
+
+    def test_paper_test_never_wrong_when_reporting_maximal(self):
+        # Soundness direction: whenever the paper's test says "maximal",
+        # the exact test agrees (see maxtest module docstring).
+        rng = random.Random(41)
+        for _ in range(40):
+            graph = make_random_signed_graph(rng)
+            params = AlphaK(rng.choice([1, 1.5, 2]), rng.choice([0, 1, 2]))
+            for clique in brute_force_maximal(graph, params):
+                members = set(clique.nodes)
+                if single_extension_test(graph, members, params):
+                    assert is_maximal(graph, members, params)
+
+
+class TestExactAgainstBruteForce:
+    def test_exact_matches_ground_truth(self):
+        rng = random.Random(42)
+        for _ in range(30):
+            graph = make_random_signed_graph(rng, n_range=(4, 9))
+            params = AlphaK(rng.choice([1, 1.5, 2]), rng.choice([0, 1, 2]))
+            maximal_sets = {c.nodes for c in brute_force_maximal(graph, params)}
+            # Every valid (alpha, k)-clique must be classified correctly.
+            nodes = sorted(graph.nodes(), key=repr)
+            for size in range(max(params.min_clique_size, 1), len(nodes) + 1):
+                for subset in itertools.combinations(nodes, size):
+                    subset_set = set(subset)
+                    if not is_alpha_k_clique(graph, subset_set, params):
+                        continue
+                    expected = frozenset(subset_set) in maximal_sets
+                    assert is_maximal(graph, subset_set, params) == expected
+
+
+class TestFactory:
+    def test_make_maxtest(self):
+        assert make_maxtest("exact") is is_maximal
+        assert make_maxtest("paper") is single_extension_test
+        with pytest.raises(ParameterError):
+            make_maxtest("hopeful")

@@ -1,0 +1,129 @@
+"""Unit tests for the signed graph reduction (Section III).
+
+Covers the positive-core reduction (Lemma 1), MCBasic (Algorithm 2) and
+MCNew (Algorithm 3), including the paper's worked examples and the
+containment lemmas cross-checked against brute-force ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import has_k_core
+from repro.core import (
+    AlphaK,
+    brute_force_maximal,
+    mccore_basic,
+    mccore_new,
+    positive_core_reduction,
+    reduce_graph,
+    reduction_components,
+    reduction_report,
+)
+from repro.exceptions import ParameterError
+from repro.graphs import SignedGraph
+from tests.conftest import make_random_signed_graph
+
+PARAMS_31 = AlphaK(3, 1)
+
+
+class TestPositiveCoreReduction:
+    def test_example2(self, paper_graph):
+        # Example 2: the maximal positive-edge 3-core is {v1..v7}; only
+        # v8 is pruned at this stage.
+        assert positive_core_reduction(paper_graph, PARAMS_31) == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_degenerate_threshold_keeps_all(self, paper_graph):
+        assert positive_core_reduction(paper_graph, AlphaK(0, 3)) == paper_graph.node_set()
+
+    def test_lemma1_containment(self):
+        # Every maximal (alpha, k)-clique lies inside the positive core.
+        rng = random.Random(31)
+        for _ in range(30):
+            graph = make_random_signed_graph(rng)
+            params = AlphaK(rng.choice([1, 1.5, 2]), rng.choice([1, 2]))
+            survivors = positive_core_reduction(graph, params)
+            for clique in brute_force_maximal(graph, params):
+                assert set(clique.nodes) <= survivors
+
+
+class TestMCCoreAlgorithms:
+    def test_example3_and_4_mcbasic(self, paper_graph):
+        # Examples 3/4: the MCCore at (3, 1) is exactly {v1..v5}.
+        assert mccore_basic(paper_graph, PARAMS_31) == {1, 2, 3, 4, 5}
+
+    def test_example7_mcnew(self, paper_graph):
+        assert mccore_new(paper_graph, PARAMS_31) == {1, 2, 3, 4, 5}
+
+    def test_algorithms_agree_on_random_graphs(self):
+        rng = random.Random(32)
+        for _ in range(60):
+            graph = make_random_signed_graph(rng, n_range=(4, 14))
+            params = AlphaK(rng.choice([1, 1.5, 2, 3]), rng.choice([0, 1, 2]))
+            assert mccore_basic(graph, params) == mccore_new(graph, params)
+
+    def test_mccore_subset_of_positive_core(self):
+        rng = random.Random(33)
+        for _ in range(20):
+            graph = make_random_signed_graph(rng)
+            params = AlphaK(2, 1)
+            assert mccore_new(graph, params) <= positive_core_reduction(graph, params)
+
+    def test_lemma3_containment(self):
+        # Every maximal (alpha, k)-clique lies inside the MCCore.
+        rng = random.Random(34)
+        for _ in range(30):
+            graph = make_random_signed_graph(rng)
+            params = AlphaK(rng.choice([1, 2]), rng.choice([1, 2]))
+            survivors = mccore_new(graph, params)
+            for clique in brute_force_maximal(graph, params):
+                assert set(clique.nodes) <= survivors
+
+    def test_neighbor_core_constraint_holds_on_result(self):
+        # Definition 3: each survivor's ego network (within the MCCore)
+        # contains a (threshold - 1)-core.
+        rng = random.Random(35)
+        for _ in range(20):
+            graph = make_random_signed_graph(rng)
+            params = AlphaK(2, 1)
+            survivors = mccore_new(graph, params)
+            for node in survivors:
+                ego = graph.positive_neighbors(node) & survivors
+                assert has_k_core(graph, params.core_order, within=ego, sign="all")
+
+    def test_degenerate_parameters(self, paper_graph):
+        assert mccore_basic(paper_graph, AlphaK(3, 0)) == paper_graph.node_set()
+        assert mccore_new(paper_graph, AlphaK(0, 2)) == paper_graph.node_set()
+
+    def test_empty_result_when_threshold_too_high(self, paper_graph):
+        params = AlphaK(10, 1)
+        assert mccore_basic(paper_graph, params) == set()
+        assert mccore_new(paper_graph, params) == set()
+
+    def test_threshold_one(self):
+        # threshold 1 => core order 0: survivors are the positive 1-core.
+        graph = SignedGraph([(1, 2, "+"), (3, 4, "-")], nodes=[5])
+        params = AlphaK(1, 1)
+        assert mccore_basic(graph, params) == {1, 2}
+        assert mccore_new(graph, params) == {1, 2}
+
+
+class TestReductionDispatch:
+    def test_methods(self, paper_graph):
+        assert reduce_graph(paper_graph, PARAMS_31, "none") == paper_graph.node_set()
+        assert reduce_graph(paper_graph, PARAMS_31, "positive-core") == {1, 2, 3, 4, 5, 6, 7}
+        assert reduce_graph(paper_graph, PARAMS_31, "mcbasic") == {1, 2, 3, 4, 5}
+        assert reduce_graph(paper_graph, PARAMS_31, "mcnew") == {1, 2, 3, 4, 5}
+
+    def test_unknown_method(self, paper_graph):
+        with pytest.raises(ParameterError):
+            reduce_graph(paper_graph, PARAMS_31, "quantum")
+
+    def test_components(self, paper_graph):
+        components = list(reduction_components(paper_graph, PARAMS_31))
+        assert components == [{1, 2, 3, 4, 5}]
+
+    def test_report_monotone(self, paper_graph):
+        report = reduction_report(paper_graph, PARAMS_31)
+        assert report["graph"] >= report["positive-core"] >= report["mcnew"]
+        assert report["mcbasic"] == report["mcnew"]

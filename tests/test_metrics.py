@@ -1,0 +1,139 @@
+"""Unit tests for signed conductance, precision, and community stats."""
+
+import pytest
+
+from repro.graphs import SignedGraph
+from repro.metrics import (
+    average_f1,
+    average_precision,
+    average_signed_conductance,
+    best_match,
+    community_stats,
+    conductance_breakdown,
+    describe_community,
+    signed_conductance,
+)
+
+
+def _two_camp_graph() -> SignedGraph:
+    """Two positive triangles joined by negative edges — the ideal
+    signed-community structure: phi of one triangle should be -1."""
+    edges = [
+        (1, 2, "+"), (2, 3, "+"), (1, 3, "+"),
+        (4, 5, "+"), (5, 6, "+"), (4, 6, "+"),
+        (1, 4, "-"), (2, 5, "-"),
+    ]
+    return SignedGraph(edges)
+
+
+class TestSignedConductance:
+    def test_ideal_community_scores_minus_one(self):
+        graph = _two_camp_graph()
+        assert signed_conductance(graph, {1, 2, 3}) == pytest.approx(-1.0)
+
+    def test_breakdown_terms(self):
+        graph = _two_camp_graph()
+        breakdown = conductance_breakdown(graph, {1, 2, 3})
+        assert breakdown.positive_term == pytest.approx(0.0)
+        assert breakdown.negative_term == pytest.approx(1.0)
+        assert breakdown.signed == pytest.approx(-1.0)
+
+    def test_worst_community_scores_plus_one(self):
+        # Flip the structure: a "community" of strangers connected only
+        # outward by positive edges, holding all internal negatives.
+        edges = [
+            (1, 2, "-"), (2, 3, "-"), (1, 3, "-"),
+            (1, 4, "+"), (2, 5, "+"),
+            (4, 5, "+"),
+        ]
+        graph = SignedGraph(edges)
+        assert signed_conductance(graph, {1, 2, 3}) == pytest.approx(1.0)
+
+    def test_manual_mixed_case(self):
+        # S = {1,2}: positive cut 1 (edge 2-3), positive volume inside 3
+        # (1-2 twice + 2-3), outside 1; negative cut 1 (1-4), volumes 1/1.
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "+"), (1, 4, "-")])
+        breakdown = conductance_breakdown(graph, {1, 2})
+        assert breakdown.positive_term == pytest.approx(1.0)  # 1 / min(3, 1)
+        assert breakdown.negative_term == pytest.approx(1.0)  # 1 / min(1, 1)
+        assert breakdown.signed == pytest.approx(0.0)
+
+    def test_value_range(self):
+        graph = _two_camp_graph()
+        for members in ({1}, {1, 2}, {1, 4}, {1, 2, 3, 4}):
+            assert -1.0 <= signed_conductance(graph, members) <= 1.0
+
+    def test_degenerate_denominators_score_zero(self):
+        all_positive = SignedGraph([(1, 2, "+"), (2, 3, "+")])
+        assert signed_conductance(all_positive, {1, 2}) >= 0.0
+        empty_side = SignedGraph([(1, 2, "+")])
+        assert signed_conductance(empty_side, {1, 2}) == 0.0
+
+    def test_unknown_members_ignored(self):
+        graph = _two_camp_graph()
+        assert signed_conductance(graph, {1, 2, 3, 99}) == signed_conductance(
+            graph, {1, 2, 3}
+        )
+
+    def test_average(self):
+        graph = _two_camp_graph()
+        average = average_signed_conductance(graph, [{1, 2, 3}, {4, 5, 6}])
+        assert average == pytest.approx(-1.0)
+        assert average_signed_conductance(graph, []) == 0.0
+
+
+class TestPrecision:
+    TRUTH = [{1, 2, 3, 4}, {5, 6, 7}]
+
+    def test_perfect_match(self):
+        score = best_match({1, 2, 3, 4}, self.TRUTH)
+        assert score.precision == 1.0 and score.recall == 1.0 and score.f1 == 1.0
+
+    def test_partial_match_picks_best_complex(self):
+        score = best_match({3, 4, 5}, self.TRUTH)
+        # Best overlap is 2 (with the first complex).
+        assert score.precision == pytest.approx(2 / 3)
+        assert score.recall == pytest.approx(2 / 4)
+
+    def test_disjoint_prediction(self):
+        score = best_match({8, 9}, self.TRUTH)
+        assert score.precision == 0.0 and score.f1 == 0.0
+
+    def test_empty_inputs(self):
+        assert best_match(set(), self.TRUTH).precision == 0.0
+        assert best_match({1}, []).precision == 0.0
+
+    def test_average_precision(self):
+        value = average_precision([{1, 2}, {5, 8}], self.TRUTH)
+        assert value == pytest.approx((1.0 + 0.5) / 2)
+        assert average_precision([], self.TRUTH) == 0.0
+
+    def test_average_f1(self):
+        assert 0.0 <= average_f1([{1, 2}, {8, 9}], self.TRUTH) <= 1.0
+        assert average_f1([], self.TRUTH) == 0.0
+
+
+class TestCommunityStats:
+    def test_paper_clique_profile(self, paper_graph):
+        stats = community_stats(paper_graph, {1, 2, 3, 4, 5})
+        assert stats.size == 5
+        assert stats.internal_positive == 9
+        assert stats.internal_negative == 1
+        assert stats.density == pytest.approx(1.0)
+        assert stats.internal_negative_fraction == pytest.approx(0.1)
+        assert stats.boundary_positive == 4  # 2-7, 5-7, 5-6, 3-6
+        assert stats.boundary_negative == 0
+
+    def test_boundary_negative_fraction(self, paper_graph):
+        # Boundary of {6,7}: 6-8(+), 6-3(+), 6-5(+), 7-8(-), 7-2(+), 7-5(+).
+        stats = community_stats(paper_graph, {6, 7})
+        assert stats.boundary_negative == 1
+        assert stats.boundary_positive == 5
+        assert stats.boundary_negative_fraction == pytest.approx(1 / 6)
+
+    def test_unknown_members_ignored(self, paper_graph):
+        assert community_stats(paper_graph, {1, 99}).size == 1
+
+    def test_describe(self, paper_graph):
+        text = describe_community(paper_graph, {1, 2, 3, 4, 5}, name="camp")
+        assert "camp" in text and "5 nodes" in text

@@ -1,0 +1,107 @@
+"""Unit tests for Definition-1 predicates and the SignedClique value object."""
+
+import pytest
+
+from repro.core import (
+    AlphaK,
+    SignedClique,
+    filter_maximal_sets,
+    is_alpha_k_clique,
+    sort_cliques,
+    top_r,
+    violates_clique_constraint,
+    violates_negative_constraint,
+    violates_positive_constraint,
+)
+from repro.exceptions import GraphError
+
+
+PARAMS_31 = AlphaK(3, 1)
+PARAMS_30 = AlphaK(3, 0)
+
+
+class TestConstraintPredicates:
+    def test_example1_31_clique(self, paper_graph):
+        # Example 1: {v1..v5} is a (3,1)-clique.
+        assert is_alpha_k_clique(paper_graph, {1, 2, 3, 4, 5}, PARAMS_31)
+
+    def test_example1_30_violation(self, paper_graph):
+        # With k=0, v2 (and v3) violate the negative-edge constraint.
+        members = {1, 2, 3, 4, 5}
+        witness = violates_negative_constraint(paper_graph, members, PARAMS_30)
+        assert witness in (2, 3)
+        assert not is_alpha_k_clique(paper_graph, members, PARAMS_30)
+
+    def test_example1_30_subcliques(self, paper_graph):
+        assert is_alpha_k_clique(paper_graph, {1, 2, 4, 5}, PARAMS_30)
+        assert is_alpha_k_clique(paper_graph, {1, 3, 4, 5}, PARAMS_30)
+
+    def test_clique_constraint_witness(self, paper_graph):
+        assert violates_clique_constraint(paper_graph, {1, 2, 3, 4, 5}) is None
+        assert violates_clique_constraint(paper_graph, {1, 8}) in (1, 8)
+
+    def test_positive_constraint_witness(self, paper_graph):
+        # {v5, v6, v7} is a clique but each member has only 2 positive
+        # internal neighbours < ceil(3 * 1) = 3.
+        witness = violates_positive_constraint(paper_graph, {5, 6, 7}, PARAMS_31)
+        assert witness in {5, 6, 7}
+
+    def test_positive_constraint_vacuous_when_threshold_zero(self, paper_graph):
+        assert violates_positive_constraint(paper_graph, {6, 8}, PARAMS_30) is None
+
+    def test_empty_set_not_a_clique(self, paper_graph):
+        assert not is_alpha_k_clique(paper_graph, set(), PARAMS_30)
+
+    def test_unknown_members_rejected(self, paper_graph):
+        assert not is_alpha_k_clique(paper_graph, {1, 42}, PARAMS_30)
+
+
+class TestSignedClique:
+    def test_from_nodes_counts_edges(self, paper_graph):
+        clique = SignedClique.from_nodes(paper_graph, {1, 2, 3, 4, 5}, PARAMS_31)
+        assert clique.size == 5
+        assert clique.positive_edges == 9
+        assert clique.negative_edges == 1
+        assert clique.internal_edges == 10
+        assert clique.negative_fraction == pytest.approx(0.1)
+
+    def test_verify_accepts_valid(self, paper_graph):
+        clique = SignedClique.from_nodes(paper_graph, {1, 2, 3, 4, 5}, PARAMS_31)
+        clique.verify(paper_graph)
+
+    def test_verify_rejects_invalid(self, paper_graph):
+        bogus = SignedClique.from_nodes(paper_graph, {1, 2, 3, 4, 5}, PARAMS_30)
+        with pytest.raises(GraphError):
+            bogus.verify(paper_graph)
+        non_clique = SignedClique.from_nodes(paper_graph, {1, 8}, PARAMS_30)
+        with pytest.raises(GraphError):
+            non_clique.verify(paper_graph)
+
+    def test_container_protocol(self, paper_graph):
+        clique = SignedClique.from_nodes(paper_graph, {1, 2, 3}, PARAMS_30)
+        assert 1 in clique and 9 not in clique
+        assert len(clique) == 3
+        assert sorted(clique) == [1, 2, 3]
+
+    def test_sorting_and_top_r(self, paper_graph):
+        small = SignedClique.from_nodes(paper_graph, {6, 8}, PARAMS_30)
+        big = SignedClique.from_nodes(paper_graph, {1, 2, 4, 5}, PARAMS_30)
+        ranked = sort_cliques([small, big])
+        assert ranked[0] is big
+        assert top_r([small, big], 1) == [big]
+        assert top_r([small, big], 5) == [big, small]
+        assert top_r([small, big], 0) == []
+
+
+class TestFilterMaximalSets:
+    def test_keeps_only_maximal(self):
+        sets = [frozenset({1}), frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 2})]
+        kept = filter_maximal_sets(sets)
+        assert sorted(kept, key=sorted) == [frozenset({1, 2}), frozenset({2, 3})]
+
+    def test_empty_input(self):
+        assert filter_maximal_sets([]) == []
+
+    def test_chain_of_subsets(self):
+        chain = [frozenset(range(i)) for i in range(1, 6)]
+        assert filter_maximal_sets(chain) == [frozenset(range(5))]

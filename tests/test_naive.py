@@ -1,0 +1,62 @@
+"""Unit tests for the reference enumerators."""
+
+import random
+
+import pytest
+
+from repro.core import AlphaK, brute_force_maximal, reference_enumerate
+from repro.exceptions import ParameterError
+from repro.graphs import SignedGraph
+from tests.conftest import make_random_signed_graph
+
+
+class TestBruteForce:
+    def test_paper_example(self, paper_graph):
+        cliques = brute_force_maximal(paper_graph, AlphaK(3, 1))
+        assert [sorted(c.nodes) for c in cliques] == [[1, 2, 3, 4, 5]]
+
+    def test_node_limit_guard(self):
+        graph = SignedGraph([(u, u + 1, "+") for u in range(30)])
+        with pytest.raises(ParameterError):
+            brute_force_maximal(graph, AlphaK(1, 1), node_limit=20)
+
+    def test_results_are_sorted_and_maximal(self):
+        rng = random.Random(71)
+        graph = make_random_signed_graph(rng, n_range=(8, 11))
+        params = AlphaK(1, 1)
+        cliques = brute_force_maximal(graph, params)
+        sizes = [c.size for c in cliques]
+        assert sizes == sorted(sizes, reverse=True)
+        sets = [c.nodes for c in cliques]
+        for a in sets:
+            assert not any(a < b for b in sets)
+
+    def test_every_result_is_valid(self):
+        rng = random.Random(72)
+        graph = make_random_signed_graph(rng)
+        params = AlphaK(1.5, 1)
+        for clique in brute_force_maximal(graph, params):
+            clique.verify(graph)
+
+
+class TestReferenceEnumerate:
+    def test_matches_brute_force(self):
+        rng = random.Random(73)
+        for _ in range(30):
+            graph = make_random_signed_graph(rng)
+            params = AlphaK(rng.choice([1, 1.5, 2, 3]), rng.choice([0, 1, 2]))
+            brute = {c.nodes for c in brute_force_maximal(graph, params)}
+            reference = {c.nodes for c in reference_enumerate(graph, params)}
+            assert brute == reference
+
+    def test_clique_size_guard(self):
+        clique = SignedGraph(
+            [(u, v, "+") for u in range(25) for v in range(u + 1, 25)]
+        )
+        with pytest.raises(ParameterError):
+            reference_enumerate(clique, AlphaK(1, 1), max_clique_size=22)
+
+    def test_paper_example_30(self, paper_graph):
+        found = {frozenset(c.nodes) for c in reference_enumerate(paper_graph, AlphaK(3, 0))}
+        assert frozenset({1, 2, 4, 5}) in found
+        assert frozenset({1, 3, 4, 5}) in found

@@ -1,0 +1,78 @@
+"""Tests for NMI, the omega index, and coverage."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.metrics.nmi import coverage, nmi, omega_index
+
+
+PARTITION = [{1, 2, 3}, {4, 5}, {6}]
+
+
+class TestNmi:
+    def test_identical_partitions(self):
+        assert nmi(PARTITION, PARTITION) == pytest.approx(1.0)
+
+    def test_single_block_identical(self):
+        assert nmi([{1, 2, 3}], [{1, 2, 3}]) == pytest.approx(1.0)
+
+    def test_orthogonal_partitions(self):
+        # Rows vs columns of a 2x2 grid: zero mutual information.
+        rows = [{0, 1}, {2, 3}]
+        cols = [{0, 2}, {1, 3}]
+        assert nmi(rows, cols) == pytest.approx(0.0)
+
+    def test_partial_agreement_between_bounds(self):
+        a = [{1, 2, 3}, {4, 5, 6}]
+        b = [{1, 2, 4}, {3, 5, 6}]
+        value = nmi(a, b)
+        assert 0.0 < value < 1.0
+
+    def test_symmetry(self):
+        a = [{1, 2}, {3, 4, 5}]
+        b = [{1, 2, 3}, {4, 5}]
+        assert nmi(a, b) == pytest.approx(nmi(b, a))
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(ParameterError):
+            nmi([{1, 2}, {2, 3}], [{1, 2, 3}])
+
+    def test_mismatched_universe_rejected(self):
+        with pytest.raises(ParameterError):
+            nmi([{1, 2}], [{1, 2, 3}])
+
+    def test_empty_inputs(self):
+        assert nmi([], []) == 1.0
+
+
+class TestOmegaIndex:
+    def test_identical_covers(self):
+        cover = [{1, 2, 3}, {3, 4}]
+        assert omega_index(cover, cover, universe=range(1, 6)) == pytest.approx(1.0)
+
+    def test_handles_overlap(self):
+        a = [{1, 2, 3}, {3, 4, 5}]
+        b = [{1, 2, 3}, {4, 5}]
+        value = omega_index(a, b, universe=range(1, 6))
+        assert -1.0 <= value <= 1.0
+
+    def test_disagreement_scores_low(self):
+        a = [{1, 2}, {3, 4}]
+        b = [{1, 3}, {2, 4}]
+        assert omega_index(a, b, universe=range(1, 5)) < omega_index(
+            a, a, universe=range(1, 5)
+        )
+
+    def test_empty_universe(self):
+        assert omega_index([], [], universe=[]) == 1.0
+
+    def test_single_node(self):
+        assert omega_index([{1}], [{1}], universe=[1]) == 1.0
+
+
+class TestCoverage:
+    def test_full_and_partial(self):
+        assert coverage([{1, 2}, {3}], universe={1, 2, 3}) == 1.0
+        assert coverage([{1}], universe={1, 2}) == 0.5
+        assert coverage([], universe={1}) == 0.0
+        assert coverage([], universe=set()) == 1.0

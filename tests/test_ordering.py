@@ -1,0 +1,61 @@
+"""Unit tests for degeneracy ordering and peel orders."""
+
+import random
+
+from repro.algorithms import core_numbers, degeneracy_ordering, peel_order_by_positive_degree
+from repro.graphs import SignedGraph
+from tests.conftest import make_random_signed_graph
+
+
+class TestDegeneracyOrdering:
+    def test_order_covers_all_nodes(self, paper_graph):
+        order, _ = degeneracy_ordering(paper_graph)
+        assert sorted(order) == sorted(paper_graph.nodes())
+
+    def test_degeneracy_equals_max_core_number(self):
+        rng = random.Random(21)
+        for _ in range(25):
+            graph = make_random_signed_graph(rng)
+            _order, degeneracy = degeneracy_ordering(graph)
+            numbers = core_numbers(graph)
+            assert degeneracy == max(numbers.values(), default=0)
+
+    def test_later_degree_bounded_by_degeneracy(self):
+        # Defining property: every node has at most `degeneracy`
+        # neighbours later in the ordering.
+        rng = random.Random(22)
+        for _ in range(15):
+            graph = make_random_signed_graph(rng)
+            order, degeneracy = degeneracy_ordering(graph)
+            position = {node: index for index, node in enumerate(order)}
+            for node in order:
+                later = sum(
+                    1 for neighbor in graph.neighbors(node) if position[neighbor] > position[node]
+                )
+                assert later <= degeneracy
+
+    def test_empty_graph(self):
+        assert degeneracy_ordering(SignedGraph()) == ([], 0)
+
+    def test_positive_sign_mode(self, paper_graph):
+        _order, degeneracy = degeneracy_ordering(paper_graph, sign="positive")
+        assert degeneracy == 3
+
+    def test_within_scope(self, paper_graph):
+        order, degeneracy = degeneracy_ordering(paper_graph, within={1, 2, 3})
+        assert sorted(order) == [1, 2, 3]
+        assert degeneracy == 2
+
+
+class TestPeelOrder:
+    def test_sorted_by_positive_degree(self, paper_graph):
+        order = peel_order_by_positive_degree(paper_graph)
+        degrees = [paper_graph.positive_degree(node) for node in order]
+        assert degrees == sorted(degrees)
+        assert order[0] == 8  # unique minimum (d+ = 1)
+
+    def test_within_scope_uses_scoped_degrees(self, paper_graph):
+        order = peel_order_by_positive_degree(paper_graph, within={1, 2, 3})
+        assert set(order) == {1, 2, 3}
+        # Within {1,2,3}: d+(1)=2, d+(2)=1, d+(3)=1 -> node 1 last.
+        assert order[-1] == 1

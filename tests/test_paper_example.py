@@ -1,0 +1,86 @@
+"""The paper's worked examples (Fig. 1, Examples 1-7) end to end.
+
+One test per example keeps the reproduction honest: every concrete
+number the paper derives from its running example is asserted here.
+"""
+
+from repro.algorithms import ego_triangle_degree, icore
+from repro.core import (
+    MSCE,
+    AlphaK,
+    is_alpha_k_clique,
+    mccore_basic,
+    mccore_new,
+    positive_core_reduction,
+)
+
+
+class TestExample1:
+    def test_31_clique(self, paper_graph):
+        params = AlphaK(3, 1)
+        assert is_alpha_k_clique(paper_graph, {1, 2, 3, 4, 5}, params)
+        result = MSCE(paper_graph, params, audit=True).enumerate_all()
+        assert [sorted(c.nodes) for c in result.cliques] == [[1, 2, 3, 4, 5]]
+
+    def test_30_cliques(self, paper_graph):
+        params = AlphaK(3, 0)
+        assert not is_alpha_k_clique(paper_graph, {1, 2, 3, 4, 5}, params)
+        found = {frozenset(c.nodes) for c in MSCE(paper_graph, params).enumerate_all().cliques}
+        assert frozenset({1, 2, 4, 5}) in found
+        assert frozenset({1, 3, 4, 5}) in found
+
+
+class TestExample2:
+    def test_positive_core_prunes_v8(self, paper_graph):
+        survivors = positive_core_reduction(paper_graph, AlphaK(3, 1))
+        assert survivors == {1, 2, 3, 4, 5, 6, 7}
+        assert 8 not in survivors
+
+
+class TestExample3And4:
+    def test_mccore_prunes_v6_v7_v8(self, paper_graph):
+        assert mccore_basic(paper_graph, AlphaK(3, 1)) == {1, 2, 3, 4, 5}
+
+
+class TestExample5:
+    def test_ego_networks(self, paper_graph):
+        assert paper_graph.positive_neighbors(2) == {1, 4, 5, 7}
+        ego_v2 = paper_graph.induced_positive_neighborhood(2)
+        assert ego_v2.node_set() == {1, 4, 5, 7}
+        ego_v5 = paper_graph.induced_positive_neighborhood(5)
+        assert 2 in ego_v5.node_set() and 6 in ego_v5.node_set()
+
+
+class TestExample6:
+    def test_delta_asymmetry(self, paper_graph):
+        assert ego_triangle_degree(paper_graph, 2, 5) == 3
+        assert ego_triangle_degree(paper_graph, 5, 2) == 4
+        assert ego_triangle_degree(paper_graph, 2, 5) != ego_triangle_degree(paper_graph, 5, 2)
+
+    def test_the_three_ego_triangles_of_v2(self, paper_graph):
+        # (v2,v1,v5), (v2,v4,v5), (v2,v5,v7) close the edge (v2, v5).
+        closers = paper_graph.positive_neighbors(2) & paper_graph.neighbors(5)
+        assert closers == {1, 4, 7}
+
+
+class TestExample7:
+    def test_mcnew_initial_deltas(self, paper_graph):
+        # Algorithm 3 computes deltas inside the positive 3-core
+        # R = {v1..v7}; the paper lists six directed positive edges with
+        # delta = 1 there.
+        core = {1, 2, 3, 4, 5, 6, 7}
+        expected_low = {(7, 2), (7, 6), (6, 7), (6, 3), (2, 7), (3, 6)}
+        for u, v in expected_low:
+            assert ego_triangle_degree(paper_graph, u, v, within=core) == 1
+
+    def test_mcnew_result(self, paper_graph):
+        assert mccore_new(paper_graph, AlphaK(3, 1)) == {1, 2, 3, 4, 5}
+
+
+class TestAlgorithm1Behaviour:
+    def test_icore_flag_semantics(self, paper_graph):
+        # ICore(G+, {}, 3) keeps {v1..v7}; fixing v8 fails immediately.
+        flag, members = icore(paper_graph, fixed=(), tau=3, sign="positive")
+        assert flag and members == {1, 2, 3, 4, 5, 6, 7}
+        flag, members = icore(paper_graph, fixed={8}, tau=3, sign="positive")
+        assert not flag and members == set()

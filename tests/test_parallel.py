@@ -1,0 +1,60 @@
+"""Tests for parallel component-level enumeration."""
+
+import random
+
+from repro.core import MSCE, AlphaK, enumerate_parallel
+from repro.graphs import SignedGraph
+from tests.conftest import make_random_signed_graph
+
+
+def _multi_component_graph(seed: int, components: int = 3) -> SignedGraph:
+    """Several disjoint random blobs — the parallel-friendly regime."""
+    rng = random.Random(seed)
+    graph = SignedGraph()
+    offset = 0
+    for _ in range(components):
+        blob = make_random_signed_graph(
+            rng, n_range=(30, 40), edge_probability_range=(0.3, 0.5)
+        )
+        for u, v, sign in blob.edges():
+            graph.add_edge(u + offset, v + offset, sign)
+        offset += 100
+    return graph
+
+
+class TestParallelEnumeration:
+    def test_matches_sequential_on_multi_component_graph(self):
+        graph = _multi_component_graph(seed=7)
+        params = AlphaK(2, 1)
+        sequential = {c.nodes for c in MSCE(graph, params).enumerate_all().cliques}
+        parallel = {c.nodes for c in enumerate_parallel(graph, 2, 1, workers=2)}
+        assert parallel == sequential
+
+    def test_falls_back_for_single_component(self, paper_graph):
+        cliques = enumerate_parallel(paper_graph, 3, 1, workers=4)
+        assert [sorted(c.nodes) for c in cliques] == [[1, 2, 3, 4, 5]]
+
+    def test_workers_one_is_sequential(self, paper_graph):
+        cliques = enumerate_parallel(paper_graph, 3, 1, workers=1)
+        assert len(cliques) == 1
+
+    def test_results_sorted_and_counted(self):
+        graph = _multi_component_graph(seed=9)
+        cliques = enumerate_parallel(graph, 1.5, 1, workers=2)
+        sizes = [c.size for c in cliques]
+        assert sizes == sorted(sizes, reverse=True)
+        for clique in cliques[:5]:
+            rebuilt = sum(
+                len(graph.positive_neighbors(n) & clique.nodes) for n in clique.nodes
+            ) // 2
+            assert clique.positive_edges == rebuilt
+
+    def test_random_strategy_same_set(self):
+        graph = _multi_component_graph(seed=11)
+        params = AlphaK(1.5, 1)
+        sequential = {c.nodes for c in MSCE(graph, params).enumerate_all().cliques}
+        parallel = {
+            c.nodes
+            for c in enumerate_parallel(graph, 1.5, 1, workers=2, selection="random")
+        }
+        assert parallel == sequential

@@ -1,0 +1,79 @@
+"""Tests for the (alpha, k) parameter-exploration tooling."""
+
+import pytest
+
+from repro.core import MSCE, AlphaK
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    parameter_map,
+    render_parameter_map,
+    suggest_parameters,
+)
+
+
+class TestParameterMap:
+    def test_counts_match_direct_enumeration(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(3,), ks=(0, 1))
+        by_k = {point.k: point for point in points}
+        for k in (0, 1):
+            expected = MSCE(paper_graph, AlphaK(3, k)).enumerate_all().cliques
+            assert by_k[k].clique_count == len(expected)
+            assert by_k[k].largest_clique == (expected[0].size if expected else 0)
+            assert by_k[k].complete
+
+    def test_empty_mccore_short_circuits(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(10,), ks=(2,))
+        point = points[0]
+        assert point.mccore_nodes == 0
+        assert point.clique_count == 0
+        assert point.seconds == 0.0
+
+    def test_grid_shape(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(2, 3), ks=(0, 1, 2))
+        assert len(points) == 6
+        assert {(p.alpha, p.k) for p in points} == {
+            (a, k) for a in (2, 3) for k in (0, 1, 2)
+        }
+
+    def test_positive_threshold_property(self, paper_graph):
+        point = parameter_map(paper_graph, alphas=(2.5,), ks=(2,))[0]
+        assert point.positive_threshold == 5
+
+    def test_empty_grid_rejected(self, paper_graph):
+        with pytest.raises(ParameterError):
+            parameter_map(paper_graph, alphas=(), ks=(1,))
+
+    def test_max_results_marks_incomplete(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(3,), ks=(0,), max_results=2)
+        assert not points[0].complete
+        assert points[0].clique_count == 2
+
+
+class TestRendering:
+    def test_render_contains_counts(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(3,), ks=(0, 1))
+        text = render_parameter_map(points)
+        assert "alpha\\k" in text
+        assert str(points[0].clique_count) in text
+
+    def test_capped_points_flagged(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(3,), ks=(0,), max_results=1)
+        assert "+" in render_parameter_map(points)
+
+
+class TestSuggestion:
+    def test_picks_strictest_viable(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(2, 3), ks=(0, 1))
+        best = suggest_parameters(points, min_count=1)
+        assert best is not None
+        # (3, 1) yields exactly one clique and has the highest threshold.
+        assert (best.alpha, best.k) == (3, 1)
+
+    def test_count_window(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(3,), ks=(0, 1))
+        best = suggest_parameters(points, min_count=2)
+        assert best is not None and best.k == 0  # k=0 yields 6 cliques
+
+    def test_none_when_nothing_fits(self, paper_graph):
+        points = parameter_map(paper_graph, alphas=(10,), ks=(2,))
+        assert suggest_parameters(points, min_count=1) is None

@@ -1,0 +1,63 @@
+"""Unit tests for the (alpha, k) parameter object."""
+
+import pytest
+
+from repro.core import AlphaK, make_params
+from repro.exceptions import ParameterError
+
+
+class TestValidation:
+    def test_valid_parameters(self):
+        params = AlphaK(alpha=3, k=1)
+        assert params.alpha == 3 and params.k == 1
+
+    def test_float_integer_k_accepted(self):
+        assert AlphaK(alpha=2, k=3.0).k == 3
+
+    def test_fractional_k_rejected(self):
+        with pytest.raises(ParameterError):
+            AlphaK(alpha=2, k=1.5)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ParameterError):
+            AlphaK(alpha=2, k=-1)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ParameterError):
+            AlphaK(alpha=-0.5, k=1)
+
+    def test_nan_alpha_rejected(self):
+        with pytest.raises(ParameterError):
+            AlphaK(alpha=float("nan"), k=1)
+
+    def test_make_params_wrapper(self):
+        assert make_params(4, 3) == AlphaK(4, 3)
+
+
+class TestDerivedThresholds:
+    def test_positive_threshold_ceils(self):
+        assert AlphaK(alpha=1.5, k=3).positive_threshold == 5  # ceil(4.5)
+        assert AlphaK(alpha=3, k=1).positive_threshold == 3
+        assert AlphaK(alpha=2.5, k=2).positive_threshold == 5
+
+    def test_core_order(self):
+        assert AlphaK(3, 1).core_order == 2
+        assert AlphaK(0, 5).core_order == 0  # clamped
+
+    def test_min_clique_size(self):
+        assert AlphaK(3, 1).min_clique_size == 4
+        assert AlphaK(4, 3).min_clique_size == 13
+        assert AlphaK(2, 0).min_clique_size == 1
+
+    def test_degenerate_detection(self):
+        assert AlphaK(0, 3).is_degenerate
+        assert AlphaK(3, 0).is_degenerate
+        assert not AlphaK(1, 1).is_degenerate
+
+    def test_str(self):
+        assert str(AlphaK(2.5, 3)) == "(alpha=2.5, k=3)"
+
+    def test_frozen(self):
+        params = AlphaK(2, 1)
+        with pytest.raises(Exception):
+            params.k = 5

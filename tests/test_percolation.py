@@ -1,0 +1,85 @@
+"""Tests for signed clique percolation."""
+
+import pytest
+
+from repro.core import MSCE, AlphaK
+from repro.core.percolation import merge_overlapping_cliques, signed_clique_percolation
+from repro.core.cliques import SignedClique
+from repro.exceptions import ParameterError
+from repro.generators import lfr_like_signed
+from repro.graphs import SignedGraph
+
+
+def _clique(graph, nodes):
+    return SignedClique.from_nodes(graph, nodes, AlphaK(1, 1))
+
+
+class TestMergeOverlappingCliques:
+    def test_chained_overlap_merges_transitively(self, paper_graph):
+        cliques = [
+            _clique(paper_graph, {1, 2, 4}),
+            _clique(paper_graph, {2, 4, 5}),
+            _clique(paper_graph, {4, 5, 7}),
+            _clique(paper_graph, {6, 8}),
+        ]
+        communities = merge_overlapping_cliques(cliques, overlap=2)
+        assert communities[0] == {1, 2, 4, 5, 7}
+        assert {6, 8} in communities
+
+    def test_overlap_threshold(self, paper_graph):
+        cliques = [
+            _clique(paper_graph, {1, 2, 4}),
+            _clique(paper_graph, {4, 5, 7}),  # shares only node 4
+        ]
+        assert len(merge_overlapping_cliques(cliques, overlap=2)) == 2
+        assert len(merge_overlapping_cliques(cliques, overlap=1)) == 1
+
+    def test_empty_input(self):
+        assert merge_overlapping_cliques([], overlap=2) == []
+
+    def test_invalid_overlap(self, paper_graph):
+        with pytest.raises(ParameterError):
+            merge_overlapping_cliques([_clique(paper_graph, {1, 2})], overlap=0)
+
+    def test_sorted_largest_first(self, paper_graph):
+        cliques = [
+            _clique(paper_graph, {6, 8}),
+            _clique(paper_graph, {1, 2, 4}),
+            _clique(paper_graph, {1, 2, 5}),
+        ]
+        communities = merge_overlapping_cliques(cliques, overlap=2)
+        sizes = [len(c) for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestSignedCliquePercolation:
+    def test_two_camp_graph(self):
+        edges = [
+            (1, 2, "+"), (2, 3, "+"), (1, 3, "+"), (3, 4, "+"), (1, 4, "+"), (2, 4, "+"),
+            (5, 6, "+"), (6, 7, "+"), (5, 7, "+"),
+            (4, 5, "-"),
+        ]
+        graph = SignedGraph(edges)
+        communities = signed_clique_percolation(graph, alpha=2, k=0, overlap=2)
+        assert {1, 2, 3, 4} in communities
+        assert {5, 6, 7} in communities
+
+    def test_communities_are_clique_unions(self, paper_graph):
+        communities = signed_clique_percolation(paper_graph, alpha=3, k=0, overlap=2)
+        cliques = MSCE(paper_graph, AlphaK(3, 0)).enumerate_all().cliques
+        clique_union = set().union(*(c.nodes for c in cliques))
+        for community in communities:
+            assert community <= clique_union
+
+    def test_recovers_planted_lfr_communities(self):
+        graph, truth = lfr_like_signed(
+            n=150, mu=0.05, internal_noise=0.0, external_noise=0.0,
+            community_size_range=(12, 30), seed=9,
+        )
+        communities = signed_clique_percolation(graph, alpha=2, k=1, overlap=3)
+        # The biggest detected community must align well with one
+        # planted community.
+        from repro.metrics import best_match
+
+        top = communities[0]
+        assert best_match(top, [set(c) for c in truth]).precision > 0.8

@@ -1,0 +1,84 @@
+"""Unit tests for graph statistics (Table-I quantities and friends)."""
+
+import pytest
+
+from repro.graphs import (
+    SignedGraph,
+    arboricity_upper_bound,
+    degeneracy,
+    degree_histogram,
+    estimated_bytes,
+    graph_stats,
+    positive_degree_sequence,
+    sign_assortativity,
+)
+
+
+class TestGraphStats:
+    def test_paper_example_counts(self, paper_graph):
+        stats = graph_stats(paper_graph)
+        assert stats.nodes == 8
+        assert stats.edges == 17
+        assert stats.positive_edges == 15
+        assert stats.negative_edges == 2
+        assert stats.negative_fraction == pytest.approx(2 / 17)
+        assert stats.max_negative_degree == 1
+
+    def test_k_max_matches_core_number(self, paper_graph):
+        stats = graph_stats(paper_graph)
+        # {v1..v5} is a 5-clique (sign-blind), so k_max = 4.
+        assert stats.k_max == 4
+
+    def test_empty_graph(self):
+        stats = graph_stats(SignedGraph())
+        assert stats.nodes == 0
+        assert stats.k_max == 0
+        assert stats.negative_fraction == 0.0
+
+    def test_table_row_rendering(self, paper_graph):
+        row = graph_stats(paper_graph).as_table_row("toy")
+        assert "toy" in row and "17" in row
+
+
+class TestDegeneracyAndArboricity:
+    def test_clique_degeneracy(self):
+        clique = SignedGraph(
+            [(u, v, "+") for u in range(5) for v in range(u + 1, 5)]
+        )
+        assert degeneracy(clique) == 4
+
+    def test_arboricity_bound_at_most_degeneracy(self, paper_graph):
+        assert arboricity_upper_bound(paper_graph) <= degeneracy(paper_graph)
+
+    def test_arboricity_bound_empty(self):
+        assert arboricity_upper_bound(SignedGraph()) == 0
+
+
+class TestDegreeSummaries:
+    def test_degree_histogram_sums_to_n(self, paper_graph):
+        histogram = degree_histogram(paper_graph)
+        assert sum(histogram.values()) == 8
+
+    def test_positive_degree_sequence_sorted(self, paper_graph):
+        sequence = positive_degree_sequence(paper_graph)
+        assert sequence == sorted(sequence, reverse=True)
+        assert sum(sequence) == 2 * paper_graph.number_of_positive_edges()
+
+    def test_estimated_bytes_scales_with_size(self):
+        small = SignedGraph([(1, 2, "+")])
+        large = SignedGraph([(u, u + 1, "+") for u in range(100)])
+        assert estimated_bytes(large) > estimated_bytes(small) > 0
+
+
+class TestSignAssortativity:
+    def test_balanced_triangle(self):
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "-"), (1, 3, "-")])
+        assert sign_assortativity(graph) == 1.0
+
+    def test_unbalanced_triangle(self):
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "+"), (1, 3, "-")])
+        assert sign_assortativity(graph) == 0.0
+
+    def test_triangle_free_graph_reports_one(self):
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "-")])
+        assert sign_assortativity(graph) == 1.0

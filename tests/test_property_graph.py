@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the SignedGraph structure."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import SignedGraph, validation_errors
+
+# A small signed graph described by node count and per-pair sign choices:
+# for each unordered pair an element of {absent, +1, -1}.
+signed_graphs = st.integers(min_value=0, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.sampled_from([0, 1, -1]),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        ),
+    )
+)
+
+
+def _build(spec) -> SignedGraph:
+    n, signs = spec
+    graph = SignedGraph(nodes=range(n))
+    for (u, v), sign in zip(itertools.combinations(range(n), 2), signs):
+        if sign:
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(signed_graphs)
+def test_construction_keeps_indexes_consistent(spec):
+    graph = _build(spec)
+    assert validation_errors(graph) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(signed_graphs)
+def test_degree_identities(spec):
+    graph = _build(spec)
+    for node in graph.nodes():
+        assert graph.degree(node) == graph.positive_degree(node) + graph.negative_degree(node)
+    assert sum(graph.degree(v) for v in graph.nodes()) == 2 * graph.number_of_edges()
+    assert (
+        graph.number_of_edges()
+        == graph.number_of_positive_edges() + graph.number_of_negative_edges()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(signed_graphs)
+def test_copy_equals_and_is_detached(spec):
+    graph = _build(spec)
+    clone = graph.copy()
+    assert clone == graph
+    clone.add_edge("x", "y", "+")
+    assert not graph.has_node("x")
+    assert validation_errors(clone) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(signed_graphs, st.sets(st.integers(min_value=0, max_value=7)))
+def test_subgraph_is_induced(spec, keep):
+    graph = _build(spec)
+    sub = graph.subgraph(keep)
+    scope = keep & graph.node_set()
+    assert sub.node_set() == scope
+    for u, v, sign in sub.edges():
+        assert graph.sign(u, v) == sign
+    # Every host edge with both endpoints kept must survive.
+    for u, v, sign in graph.edges():
+        if u in scope and v in scope:
+            assert sub.sign(u, v) == sign
+    assert validation_errors(sub) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(signed_graphs)
+def test_positive_subgraph_drops_exactly_negatives(spec):
+    graph = _build(spec)
+    positive = graph.positive_subgraph()
+    assert positive.number_of_negative_edges() == 0
+    assert positive.number_of_positive_edges() == graph.number_of_positive_edges()
+    assert positive.node_set() == graph.node_set()
+
+
+@settings(max_examples=60, deadline=None)
+@given(signed_graphs)
+def test_edge_removal_reverses_addition(spec):
+    graph = _build(spec)
+    edges = list(graph.edges())
+    for u, v, sign in edges:
+        graph.remove_edge(u, v)
+        assert not graph.has_edge(u, v)
+    assert graph.number_of_edges() == 0
+    assert validation_errors(graph) == []

@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for core computations."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import core_numbers, icore, k_core
+from repro.graphs import SignedGraph
+
+graph_specs = st.integers(min_value=0, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.sampled_from([0, 1, -1]),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        ),
+    )
+)
+
+
+def _build(spec) -> SignedGraph:
+    n, signs = spec
+    graph = SignedGraph(nodes=range(n))
+    for (u, v), sign in zip(itertools.combinations(range(n), 2), signs):
+        if sign:
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, st.integers(min_value=0, max_value=6))
+def test_kcore_members_meet_degree_bound(spec, k):
+    graph = _build(spec)
+    members = k_core(graph, k)
+    for node in members:
+        assert len(graph.neighbors(node) & members) >= k
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, st.integers(min_value=0, max_value=6))
+def test_kcore_nested_in_lower_cores(spec, k):
+    graph = _build(spec)
+    higher = k_core(graph, k + 1)
+    lower = k_core(graph, k)
+    assert higher <= lower
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs)
+def test_core_numbers_consistent_with_kcore(spec):
+    graph = _build(spec)
+    numbers = core_numbers(graph)
+    for k in range(0, 7):
+        expected = {node for node, c in numbers.items() if c >= k}
+        assert k_core(graph, k) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, st.integers(min_value=0, max_value=4))
+def test_icore_fixed_nodes_respected(spec, tau):
+    graph = _build(spec)
+    plain = k_core(graph, tau)
+    for node in graph.nodes():
+        flag, members = icore(graph, fixed={node}, tau=tau)
+        if node in plain:
+            # Fixing a survivor changes nothing.
+            assert flag and members == plain
+        else:
+            # Fixing a peeled node must fail.
+            assert not flag and members == set()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, st.integers(min_value=0, max_value=4))
+def test_positive_core_equals_core_of_positive_subgraph(spec, tau):
+    graph = _build(spec)
+    direct = k_core(graph, tau, sign="positive")
+    via_subgraph = k_core(graph.positive_subgraph(), tau)
+    assert direct == via_subgraph

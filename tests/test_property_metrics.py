@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the metrics layer."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import SignedGraph
+from repro.metrics import (
+    average_precision,
+    best_match,
+    community_stats,
+    conductance_breakdown,
+    signed_conductance,
+)
+
+graph_specs = st.integers(min_value=2, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.sampled_from([0, 1, -1]),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        ),
+        st.sets(st.integers(min_value=0, max_value=7)),
+    )
+)
+
+
+def _build(spec):
+    n, signs, subset = spec
+    graph = SignedGraph(nodes=range(n))
+    for (u, v), sign in zip(itertools.combinations(range(n), 2), signs):
+        if sign:
+            graph.add_edge(u, v, sign)
+    members = {node for node in subset if node < n}
+    return graph, members
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph_specs)
+def test_signed_conductance_bounded(spec):
+    graph, members = _build(spec)
+    value = signed_conductance(graph, members)
+    assert -1.0 <= value <= 1.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph_specs)
+def test_breakdown_terms_bounded_and_consistent(spec):
+    graph, members = _build(spec)
+    breakdown = conductance_breakdown(graph, members)
+    assert 0.0 <= breakdown.positive_term <= 1.0
+    assert 0.0 <= breakdown.negative_term <= 1.0
+    assert breakdown.signed == breakdown.positive_term - breakdown.negative_term
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph_specs)
+def test_conductance_complement_invariant(spec):
+    # phi(S) is defined symmetrically in S and V \ S (both cut and the
+    # min-volume denominators are complement-invariant).
+    graph, members = _build(spec)
+    complement = graph.node_set() - members
+    assert signed_conductance(graph, members) == signed_conductance(graph, complement)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph_specs)
+def test_community_stats_edge_accounting(spec):
+    graph, members = _build(spec)
+    stats = community_stats(graph, members)
+    # Internal + boundary + external = all edges.
+    external = sum(
+        1
+        for u, v, _s in graph.edges()
+        if u not in members and v not in members
+    )
+    total = stats.internal_edges + stats.boundary_positive + stats.boundary_negative + external
+    assert total == graph.number_of_edges()
+    assert 0.0 <= stats.density <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.sets(st.integers(min_value=0, max_value=9), min_size=1), max_size=4),
+    st.lists(st.sets(st.integers(min_value=0, max_value=9), min_size=1), min_size=1, max_size=4),
+)
+def test_precision_bounded_and_monotone_in_truth(predictions, truth):
+    value = average_precision(predictions, truth)
+    assert 0.0 <= value <= 1.0
+    # Adding a ground-truth complex can only improve the best match.
+    extended = truth + [set(range(10))]
+    for prediction in predictions:
+        assert best_match(prediction, extended).precision >= best_match(
+            prediction, truth
+        ).precision

@@ -1,0 +1,108 @@
+"""Unit tests for query-driven signed community search."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    MSCE,
+    AlphaK,
+    best_signed_clique_for,
+    query_candidate_space,
+    query_search,
+    signed_cliques_containing,
+)
+from repro.exceptions import ParameterError
+from tests.conftest import make_random_signed_graph
+
+
+class TestPaperExampleQueries:
+    def test_member_query(self, paper_graph):
+        cliques = signed_cliques_containing(paper_graph, {1}, alpha=3, k=1)
+        assert [sorted(c.nodes) for c in cliques] == [[1, 2, 3, 4, 5]]
+
+    def test_pair_query(self, paper_graph):
+        cliques = signed_cliques_containing(paper_graph, {2, 3}, alpha=3, k=1)
+        assert [sorted(c.nodes) for c in cliques] == [[1, 2, 3, 4, 5]]
+
+    def test_outside_mccore_query_is_empty(self, paper_graph):
+        assert signed_cliques_containing(paper_graph, {8}, alpha=3, k=1) == []
+
+    def test_non_adjacent_query_is_empty(self, paper_graph):
+        # v1 and v8 share no edge: no clique can contain both.
+        assert signed_cliques_containing(paper_graph, {1, 8}, alpha=3, k=0) == []
+
+    def test_budget_violating_query_is_empty(self, paper_graph):
+        # v2 and v3 are negative neighbours: any clique containing both
+        # violates the k=0 budget.
+        assert signed_cliques_containing(paper_graph, {2, 3}, alpha=3, k=0) == []
+
+    def test_best_clique(self, paper_graph):
+        best = best_signed_clique_for(paper_graph, {4}, alpha=3, k=1)
+        assert best is not None and sorted(best.nodes) == [1, 2, 3, 4, 5]
+        assert best_signed_clique_for(paper_graph, {8}, alpha=3, k=1) is None
+
+
+class TestValidation:
+    def test_empty_query_rejected(self, paper_graph):
+        with pytest.raises(ParameterError):
+            signed_cliques_containing(paper_graph, set(), alpha=2, k=1)
+
+    def test_unknown_node_rejected(self, paper_graph):
+        with pytest.raises(ParameterError):
+            signed_cliques_containing(paper_graph, {42}, alpha=2, k=1)
+
+
+class TestCandidateSpace:
+    def test_space_covers_answers(self, paper_graph):
+        params = AlphaK(3, 1)
+        space = query_candidate_space(paper_graph, {1}, params)
+        assert space is not None and {1, 2, 3, 4, 5} <= space
+
+    def test_space_none_for_infeasible(self, paper_graph):
+        params = AlphaK(3, 0)
+        assert query_candidate_space(paper_graph, {2, 3}, params) is None
+        assert query_candidate_space(paper_graph, {8}, AlphaK(3, 1)) is None
+
+
+class TestCrossValidation:
+    def test_matches_filtered_full_enumeration(self):
+        rng = random.Random(91)
+        for _ in range(60):
+            graph = make_random_signed_graph(rng)
+            alpha = rng.choice([0, 1, 1.5, 2])
+            k = rng.choice([0, 1, 2])
+            params = AlphaK(alpha, k)
+            full = MSCE(graph, params).enumerate_all().cliques
+            nodes = sorted(graph.nodes())
+            queries = [
+                {rng.choice(nodes)},
+                {rng.choice(nodes), rng.choice(nodes)},
+            ]
+            for query in queries:
+                expected = {c.nodes for c in full if query <= c.nodes}
+                got = {
+                    c.nodes
+                    for c in signed_cliques_containing(graph, query, alpha, k)
+                }
+                assert got == expected, (sorted(query), alpha, k)
+
+    def test_query_search_explores_less_than_full(self):
+        rng = random.Random(92)
+        graph = make_random_signed_graph(
+            rng, n_range=(11, 13), edge_probability_range=(0.6, 0.9)
+        )
+        params = AlphaK(1.5, 1)
+        full = MSCE(graph, params).enumerate_all()
+        if not full.cliques:
+            pytest.skip("no cliques in this draw")
+        seed = next(iter(full.cliques[0].nodes))
+        scoped = query_search(graph, {seed}, 1.5, 1)
+        assert scoped.stats.recursions <= full.stats.recursions
+
+    def test_results_contain_query_and_are_verified(self):
+        rng = random.Random(93)
+        graph = make_random_signed_graph(rng, n_range=(8, 12))
+        for clique in signed_cliques_containing(graph, {0}, 1, 1):
+            assert 0 in clique.nodes
+            clique.verify(graph)

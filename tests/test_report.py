@@ -1,0 +1,25 @@
+"""Tests for the markdown evaluation-report generator."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.report import generate_report
+
+
+class TestGenerateReport:
+    def test_small_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = generate_report(path, sections=("table1", "fig6_mechanism"))
+        assert path.read_text() == text
+        assert "# Signed clique search" in text
+        assert "## table1" in text
+        assert "## fig6_mechanism" in text
+        assert "Table I" in text
+
+    def test_returns_without_writing(self):
+        text = generate_report(path=None, sections=("table1",))
+        assert "Table I" in text
+
+    def test_unknown_section_rejected_before_running(self):
+        with pytest.raises(ExperimentError):
+            generate_report(sections=("table1", "fig99"))

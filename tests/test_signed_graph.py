@@ -1,0 +1,226 @@
+"""Unit tests for the SignedGraph data structure."""
+
+import pytest
+
+from repro.exceptions import EdgeSignError, GraphError, SelfLoopError
+from repro.graphs import NEGATIVE, POSITIVE, SignedGraph, normalize_sign, validate_graph
+
+
+class TestNormalizeSign:
+    def test_integer_forms(self):
+        assert normalize_sign(1) == POSITIVE
+        assert normalize_sign(-1) == NEGATIVE
+
+    def test_string_forms(self):
+        assert normalize_sign("+") == POSITIVE
+        assert normalize_sign("-") == NEGATIVE
+        assert normalize_sign("positive") == POSITIVE
+        assert normalize_sign("neg") == NEGATIVE
+
+    def test_boolean_forms(self):
+        assert normalize_sign(True) == POSITIVE
+        assert normalize_sign(False) == NEGATIVE
+
+    def test_invalid_sign_raises(self):
+        with pytest.raises(EdgeSignError):
+            normalize_sign(0)
+        with pytest.raises(EdgeSignError):
+            normalize_sign("maybe")
+        with pytest.raises(EdgeSignError):
+            normalize_sign(None)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = SignedGraph()
+        assert len(graph) == 0
+        assert graph.number_of_edges() == 0
+
+    def test_init_with_edges_and_nodes(self):
+        graph = SignedGraph([(1, 2, "+")], nodes=[3])
+        assert graph.has_edge(1, 2)
+        assert graph.has_node(3)
+        assert graph.degree(3) == 0
+
+    def test_add_edge_creates_endpoints(self):
+        graph = SignedGraph()
+        graph.add_edge("a", "b", "-")
+        assert graph.has_node("a") and graph.has_node("b")
+        assert graph.sign("a", "b") == NEGATIVE
+
+    def test_self_loop_rejected(self):
+        graph = SignedGraph()
+        with pytest.raises(SelfLoopError):
+            graph.add_edge(1, 1, "+")
+        with pytest.raises(SelfLoopError):
+            graph.set_sign(2, 2, "-")
+
+    def test_duplicate_same_sign_is_noop(self):
+        graph = SignedGraph([(1, 2, "+")])
+        graph.add_edge(2, 1, "+")
+        assert graph.number_of_edges() == 1
+
+    def test_duplicate_conflicting_sign_raises(self):
+        graph = SignedGraph([(1, 2, "+")])
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 2, "-")
+
+    def test_set_sign_overwrites(self):
+        graph = SignedGraph([(1, 2, "+")])
+        graph.set_sign(1, 2, "-")
+        assert graph.sign(1, 2) == NEGATIVE
+        assert graph.number_of_positive_edges() == 0
+        assert graph.number_of_negative_edges() == 1
+        validate_graph(graph)
+
+
+class TestQueries:
+    def test_sign_missing_edge_raises(self):
+        graph = SignedGraph([(1, 2, "+")])
+        with pytest.raises(GraphError):
+            graph.sign(1, 3)
+
+    def test_degree_partition(self, paper_graph):
+        # v2: positive neighbors {1, 4, 5, 7}, negative {3}.
+        assert paper_graph.positive_degree(2) == 4
+        assert paper_graph.negative_degree(2) == 1
+        assert paper_graph.degree(2) == 5
+        assert paper_graph.positive_neighbors(2) == {1, 4, 5, 7}
+        assert paper_graph.negative_neighbors(2) == {3}
+
+    def test_neighbors_returns_copy(self):
+        graph = SignedGraph([(1, 2, "+")])
+        neighbors = graph.neighbors(1)
+        neighbors.add(99)
+        assert not graph.has_node(99)
+        assert graph.neighbors(1) == {2}
+
+    def test_neighbor_keys_is_live_view(self):
+        graph = SignedGraph([(1, 2, "+")])
+        view = graph.neighbor_keys(1)
+        graph.add_edge(1, 3, "-")
+        assert set(view) == {2, 3}
+
+    def test_neighbor_queries_unknown_node(self):
+        graph = SignedGraph()
+        for accessor in (
+            graph.neighbors,
+            graph.neighbor_keys,
+            graph.positive_neighbors,
+            graph.negative_neighbors,
+            graph.degree,
+        ):
+            with pytest.raises(GraphError):
+                accessor(42)
+
+    def test_edges_reported_once(self, paper_graph):
+        edges = list(paper_graph.edges())
+        assert len(edges) == paper_graph.number_of_edges() == 17
+        seen = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(seen) == 17
+
+    def test_positive_and_negative_edge_iterators(self, paper_graph):
+        positives = set(frozenset(e) for e in paper_graph.positive_edges())
+        negatives = set(frozenset(e) for e in paper_graph.negative_edges())
+        assert frozenset((2, 3)) in negatives
+        assert frozenset((7, 8)) in negatives
+        assert len(negatives) == 2
+        assert len(positives) == 15
+
+    def test_max_negative_degree(self, paper_graph):
+        assert paper_graph.max_negative_degree() == 1
+        assert SignedGraph().max_negative_degree() == 0
+
+    def test_degrees_within(self, paper_graph):
+        members = {1, 2, 3, 4, 5}
+        pos, neg = paper_graph.degrees_within(members, 2)
+        assert (pos, neg) == (3, 1)
+        with pytest.raises(GraphError):
+            paper_graph.degrees_within(members, 42)
+
+    def test_contains_iter_len(self, paper_graph):
+        assert 1 in paper_graph
+        assert 42 not in paper_graph
+        assert sorted(paper_graph) == list(range(1, 9))
+        assert len(paper_graph) == 8
+
+
+class TestMutation:
+    def test_remove_edge(self, paper_graph):
+        paper_graph.remove_edge(2, 3)
+        assert not paper_graph.has_edge(2, 3)
+        assert paper_graph.negative_degree(2) == 0
+        validate_graph(paper_graph)
+
+    def test_remove_missing_edge_raises(self):
+        graph = SignedGraph([(1, 2, "+")])
+        with pytest.raises(GraphError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_node_cleans_incident_edges(self, paper_graph):
+        paper_graph.remove_node(5)
+        assert not paper_graph.has_node(5)
+        assert 5 not in paper_graph.neighbors(1)
+        validate_graph(paper_graph)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            SignedGraph().remove_node(1)
+
+    def test_remove_nodes_bulk(self, paper_graph):
+        paper_graph.remove_nodes([6, 7, 8])
+        assert paper_graph.node_set() == {1, 2, 3, 4, 5}
+        validate_graph(paper_graph)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, paper_graph):
+        clone = paper_graph.copy()
+        assert clone == paper_graph
+        clone.remove_node(8)
+        assert paper_graph.has_node(8)
+        validate_graph(clone)
+
+    def test_subgraph_keeps_internal_edges_only(self, paper_graph):
+        sub = paper_graph.subgraph({1, 2, 3, 99})
+        assert sub.node_set() == {1, 2, 3}
+        assert sub.sign(2, 3) == NEGATIVE
+        assert sub.number_of_edges() == 3
+        validate_graph(sub)
+
+    def test_positive_subgraph(self, paper_graph):
+        positive = paper_graph.positive_subgraph()
+        assert positive.number_of_nodes() == 8
+        assert positive.number_of_negative_edges() == 0
+        assert positive.number_of_positive_edges() == 15
+        assert not positive.has_edge(2, 3)
+        validate_graph(positive)
+
+    def test_ego_network_definition(self, paper_graph):
+        # Example 5: the ego network of v2 is induced by {v1, v4, v5, v7}.
+        ego = paper_graph.induced_positive_neighborhood(2)
+        assert ego.node_set() == {1, 4, 5, 7}
+        assert not ego.has_node(2)
+
+    def test_ego_network_may_contain_negative_edges(self):
+        graph = SignedGraph([(0, 1, "+"), (0, 2, "+"), (1, 2, "-")])
+        ego = graph.induced_positive_neighborhood(0)
+        assert ego.sign(1, 2) == NEGATIVE
+
+
+class TestDunder:
+    def test_equality(self):
+        a = SignedGraph([(1, 2, "+")])
+        b = SignedGraph([(2, 1, "+")])
+        assert a == b
+        b.set_sign(1, 2, "-")
+        assert a != b
+        assert a != "not a graph"
+
+    def test_repr_mentions_counts(self, paper_graph):
+        text = repr(paper_graph)
+        assert "n=8" in text and "m=17" in text
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(SignedGraph())

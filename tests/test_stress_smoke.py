@@ -1,0 +1,20 @@
+"""Smoke test for the committed stress harness (tools/stress.py)."""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_stress():
+    spec = importlib.util.spec_from_file_location("stress", ROOT / "tools" / "stress.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestStressHarness:
+    def test_short_run_is_clean(self, capsys):
+        stress = _load_stress()
+        assert stress.main(["--trials", "10", "--seed", "11"]) == 0
+        assert "all 10 trials clean" in capsys.readouterr().out

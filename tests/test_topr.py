@@ -1,0 +1,59 @@
+"""Unit tests for the top-r search mode (Section IV, 'Finding the top-r results')."""
+
+import random
+
+import pytest
+
+from repro.core import MSCE, AlphaK, top_r_signed_cliques
+from repro.exceptions import ParameterError
+from tests.conftest import make_random_signed_graph
+
+
+class TestTopRSemantics:
+    def test_matches_prefix_of_full_enumeration(self):
+        # Top-r must return the r largest cliques of the full answer
+        # (sizes must match; ties may resolve to different but
+        # equally-sized cliques).
+        rng = random.Random(61)
+        for _ in range(25):
+            graph = make_random_signed_graph(rng, n_range=(8, 13))
+            params = AlphaK(rng.choice([1, 1.5, 2]), rng.choice([0, 1, 2]))
+            full = MSCE(graph, params).enumerate_all().cliques
+            for r in (1, 3, 10):
+                top = MSCE(graph, params).top_r(r).cliques
+                assert len(top) == min(r, len(full))
+                assert [c.size for c in top] == [c.size for c in full[: len(top)]]
+                # Each reported clique really is maximal (appears in full).
+                full_sets = {c.nodes for c in full}
+                assert all(c.nodes in full_sets for c in top)
+
+    def test_r_larger_than_population(self, paper_graph):
+        top = MSCE(paper_graph, AlphaK(3, 1)).top_r(100).cliques
+        assert len(top) == 1
+
+    def test_invalid_r(self, paper_graph):
+        with pytest.raises(ParameterError):
+            MSCE(paper_graph, AlphaK(3, 1)).top_r(0)
+
+    def test_convenience_wrapper(self, paper_graph):
+        top = top_r_signed_cliques(paper_graph, alpha=3, k=1, r=1)
+        assert [sorted(c.nodes) for c in top] == [[1, 2, 3, 4, 5]]
+
+
+class TestTopRPruning:
+    def test_prunes_search_space(self):
+        # The size cutoff should make top-1 explore no more than the
+        # full enumeration does.
+        rng = random.Random(62)
+        pruned_somewhere = False
+        for _ in range(20):
+            graph = make_random_signed_graph(
+                rng, n_range=(10, 13), edge_probability_range=(0.6, 0.9)
+            )
+            params = AlphaK(1.5, 1)
+            full = MSCE(graph, params).enumerate_all()
+            top = MSCE(graph, params).top_r(1)
+            assert top.stats.recursions <= full.stats.recursions
+            if top.stats.topr_prunes > 0:
+                pruned_somewhere = True
+        assert pruned_somewhere

@@ -1,0 +1,89 @@
+"""Unit tests for triangle and ego-triangle primitives (Definition 5, Lemma 4)."""
+
+import random
+
+from repro.algorithms import (
+    all_ego_triangle_degrees,
+    clustering_coefficient,
+    ego_triangle_degree,
+    iter_triangles,
+    local_triangle_counts,
+    triangle_count,
+    triangles_per_edge,
+)
+from repro.graphs import SignedGraph
+from tests.conftest import make_random_signed_graph
+
+
+class TestEgoTriangles:
+    def test_example6_delta_values(self, paper_graph):
+        # Example 6: delta(v2, v5) = 3 and delta(v5, v2) = 4 — and the
+        # two directions genuinely differ.
+        assert ego_triangle_degree(paper_graph, 2, 5) == 3
+        assert ego_triangle_degree(paper_graph, 5, 2) == 4
+
+    def test_lemma4_delta_equals_ego_network_degree(self, paper_graph):
+        # delta(u, v) must equal v's degree inside u's ego network.
+        for u in paper_graph.nodes():
+            ego = paper_graph.induced_positive_neighborhood(u)
+            for v in paper_graph.positive_neighbors(u):
+                assert ego_triangle_degree(paper_graph, u, v) == ego.degree(v)
+
+    def test_lemma4_on_random_graphs(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            graph = make_random_signed_graph(rng)
+            for u in graph.nodes():
+                ego = graph.induced_positive_neighborhood(u)
+                for v in graph.positive_neighbors(u):
+                    assert ego_triangle_degree(graph, u, v) == ego.degree(v)
+
+    def test_within_restriction(self, paper_graph):
+        full = ego_triangle_degree(paper_graph, 5, 2)
+        restricted = ego_triangle_degree(paper_graph, 5, 2, within={1, 2, 4, 5})
+        assert restricted <= full
+        assert ego_triangle_degree(paper_graph, 5, 2, within={5}) == 0
+
+    def test_all_ego_triangle_degrees_both_directions(self, paper_graph):
+        deltas = all_ego_triangle_degrees(paper_graph)
+        assert deltas[(2, 5)] == 3
+        assert deltas[(5, 2)] == 4
+        # Every directed positive edge appears.
+        positive_pairs = {
+            (u, v)
+            for u, v in (
+                pair
+                for edge in paper_graph.positive_edges()
+                for pair in (edge, edge[::-1])
+            )
+        }
+        assert set(deltas) == positive_pairs
+
+
+class TestTriangleEnumeration:
+    def test_triangle_count_small(self):
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "-"), (1, 3, "+"), (3, 4, "+")])
+        assert triangle_count(graph) == 1
+
+    def test_each_triangle_once(self, paper_graph):
+        triangles = list(iter_triangles(paper_graph))
+        as_sets = [frozenset(t) for t in triangles]
+        assert len(as_sets) == len(set(as_sets))
+
+    def test_matches_support_sum(self, paper_graph):
+        support = triangles_per_edge(paper_graph)
+        assert sum(support.values()) == 3 * triangle_count(paper_graph)
+
+    def test_local_counts_sum(self, paper_graph):
+        local = local_triangle_counts(paper_graph)
+        assert sum(local.values()) == 3 * triangle_count(paper_graph)
+
+
+class TestClustering:
+    def test_full_triangle(self):
+        graph = SignedGraph([(1, 2, "+"), (2, 3, "+"), (1, 3, "+")])
+        assert clustering_coefficient(graph, 1) == 1.0
+
+    def test_leaf_node(self):
+        graph = SignedGraph([(1, 2, "+")])
+        assert clustering_coefficient(graph, 1) == 0.0

@@ -1,0 +1,50 @@
+"""Unit tests for the internal-index consistency auditor."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import SignedGraph, validate_graph, validation_errors
+
+
+class TestValidation:
+    def test_clean_graph_passes(self, paper_graph):
+        assert validation_errors(paper_graph) == []
+        validate_graph(paper_graph)
+
+    def test_detects_broken_symmetry(self):
+        graph = SignedGraph([(1, 2, "+")])
+        del graph._sign[2][1]
+        errors = validation_errors(graph)
+        assert any("symmetric" in error for error in errors)
+
+    def test_detects_wrong_sign_index(self):
+        graph = SignedGraph([(1, 2, "+")])
+        graph._pos[1].discard(2)
+        graph._neg[1].add(2)
+        errors = validation_errors(graph)
+        assert errors
+        with pytest.raises(GraphError):
+            validate_graph(graph)
+
+    def test_detects_stale_index_entries(self):
+        graph = SignedGraph([(1, 2, "+")])
+        graph._pos[1].add(42)
+        assert any("stale" in error for error in validation_errors(graph))
+
+    def test_detects_counter_drift(self):
+        graph = SignedGraph([(1, 2, "+")])
+        graph._num_pos_edges = 7
+        assert any("counter" in error for error in validation_errors(graph))
+
+    def test_detects_non_canonical_sign(self):
+        graph = SignedGraph([(1, 2, "+")])
+        graph._sign[1][2] = 5
+        graph._sign[2][1] = 5
+        assert any("non-canonical" in error for error in validation_errors(graph))
+
+    def test_survives_mutation_sequences(self, paper_graph):
+        paper_graph.set_sign(1, 2, "-")
+        paper_graph.remove_node(7)
+        paper_graph.add_edge(9, 1, "+")
+        paper_graph.remove_edge(9, 1)
+        validate_graph(paper_graph)
