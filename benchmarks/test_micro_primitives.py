@@ -3,16 +3,28 @@
 Not a paper exhibit — these pin the cost of the hot building blocks
 (core peeling, ego-triangle initialisation, Bron–Kerbosch, maximality
 testing) so refactors that regress the enumerator show up at the
-primitive level first.
+primitive level first. The fastpath-vs-pure comparison at the bottom
+additionally records a speedup table under
+``benchmarks/results/micro_primitives.txt``.
 """
 
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import record_exhibits
 from repro.algorithms import core_numbers, icore, maximal_cliques
 from repro.algorithms.kcore import icore_tracked
-from repro.algorithms.triangles import all_ego_triangle_degrees
+from repro.algorithms.triangles import all_ego_triangle_degrees, triangle_count
 from repro.core import AlphaK
 from repro.core.maxtest import is_maximal
 from repro.core.mcnew import mccore_new
+from repro.experiments.harness import Exhibit, Series
 from repro.experiments.registry import get_dataset
+from repro.fastpath import compile_graph
+from repro.fastpath.bitset import bit_count
+from repro.graphs import SignedGraph
 
 
 def test_icore_positive(benchmark):
@@ -67,3 +79,103 @@ def test_exact_maxtest(benchmark):
     clique = MSCE(graph, params).top_r(1).cliques[0]
     verdict = benchmark(is_maximal, graph, set(clique.nodes), params)
     assert verdict
+
+
+# -- fastpath vs pure --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def large_random_graph() -> SignedGraph:
+    """10k-node random signed graph, ~100k edges (sampled, not G(n, p))."""
+    rng = random.Random(20180414)
+    n, m = 10_000, 100_000
+    edges = {}
+    while len(edges) < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key not in edges:
+            edges[key] = -1 if rng.random() < 0.25 else 1
+    return SignedGraph(
+        ((u, v, sign) for (u, v), sign in edges.items()), nodes=range(n)
+    )
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fastpath_speedups_on_10k_graph(large_random_graph):
+    """Record pure-vs-fastpath timings; assert the headline >= 2x claims."""
+    graph = large_random_graph
+    compile_seconds = _best_of(lambda: compile_graph(graph), repeats=1)
+    compiled = compile_graph(graph)
+
+    pure = Series("pure_s")
+    fast = Series("fastpath_s")
+    speedup = Series("speedup")
+
+    def record(label, pure_fn, fast_fn, repeats=3):
+        pure_result, fast_result = pure_fn(), fast_fn()
+        assert fast_result == pure_result, f"{label}: fastpath output differs"
+        pure_time = _best_of(pure_fn, repeats)
+        fast_time = _best_of(fast_fn, repeats)
+        pure.add(label, pure_time)
+        fast.add(label, fast_time)
+        speedup.add(label, pure_time / fast_time)
+        return pure_time / fast_time
+
+    core_x = record(
+        "core-decomposition",
+        lambda: core_numbers(graph),
+        lambda: core_numbers(compiled),
+    )
+    tri_x = record(
+        "triangle-count",
+        lambda: triangle_count(graph),
+        lambda: triangle_count(compiled),
+    )
+    record(
+        "ego-triangle-degrees",
+        lambda: all_ego_triangle_degrees(graph),
+        lambda: all_ego_triangle_degrees(compiled),
+        repeats=2,
+    )
+
+    # Candidate-set intersection: hashed set & set vs one big-int AND.
+    rng = random.Random(7)
+    pairs = [
+        (rng.randrange(compiled.n), rng.randrange(compiled.n)) for _ in range(2000)
+    ]
+    index = compiled.index
+    neighbor_sets = {index[u]: graph.neighbor_keys(u) for u in graph.nodes()}
+    masks = compiled.masks("all")
+
+    def pure_intersections():
+        return [len(neighbor_sets[u] & neighbor_sets[v]) for u, v in pairs]
+
+    def fast_intersections():
+        return [bit_count(masks[u] & masks[v]) for u, v in pairs]
+
+    record("candidate-intersection", pure_intersections, fast_intersections)
+
+    exhibit = Exhibit(
+        title="Micro-primitives: pure Python vs fastpath (10k nodes, 100k edges)",
+        series=[pure, fast, speedup],
+        notes=[
+            f"one-off compile_graph cost: {compile_seconds:.4g}s",
+            "candidate-intersection row = 2000 random neighbourhood pairs",
+        ],
+    )
+    record_exhibits("micro_primitives", exhibit)
+
+    # Acceptance: >= 2x on core decomposition or triangle counting.
+    assert max(core_x, tri_x) >= 2.0, (
+        f"expected >=2x speedup, got core={core_x:.2f}x triangles={tri_x:.2f}x"
+    )

@@ -40,6 +40,7 @@ from repro.core import (
     reference_enumerate,
     top_r_signed_cliques,
 )
+from repro.fastpath import CompiledGraph, compile_graph
 from repro.graphs import (
     NEGATIVE,
     POSITIVE,
@@ -78,6 +79,8 @@ __all__ = [
     "signed_cliques_containing",
     "best_signed_clique_for",
     "DynamicSignedCliqueIndex",
+    "CompiledGraph",
+    "compile_graph",
     "read_signed_edgelist",
     "write_signed_edgelist",
 ]

@@ -36,13 +36,22 @@ from repro.graphs.signed_graph import Node, SignedGraph
 _DirectedEdge = Tuple[Node, Node]
 
 
-def mccore_new(graph: SignedGraph, params: AlphaK) -> Set[Node]:
+def mccore_new(graph: SignedGraph, params: AlphaK, compile: bool = True) -> Set[Node]:
     """Return the node set of the MCCore via Algorithm 3 (MCNew).
 
     Produces the same set as :func:`repro.core.mcbasic.mccore_basic`;
     the property-based test-suite cross-validates the two on random
-    graphs.
+    graphs. Accepts a :class:`repro.fastpath.CompiledGraph` for the
+    bitmask kernel (``compile=False`` forces the pure path).
     """
+    from repro.fastpath.compiled import CompiledGraph
+
+    if isinstance(graph, CompiledGraph):
+        if compile:
+            from repro.fastpath.kernels import mccore_new_fast
+
+            return mccore_new_fast(graph, params)
+        graph = graph.source
     threshold = params.positive_threshold
     if threshold == 0:
         return graph.node_set()

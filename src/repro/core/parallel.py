@@ -20,45 +20,58 @@ path for few/small components.
 
 from __future__ import annotations
 
+import zlib
 from concurrent.futures import ProcessPoolExecutor
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.bbe import MSCE
 from repro.core.cliques import SignedClique, sort_cliques
 from repro.core.params import AlphaK
 from repro.core.reduction import reduction_components
+from repro.fastpath.compiled import CompiledGraph, compile_graph
 from repro.graphs.signed_graph import Node, SignedGraph
 
 #: Components below this node count are batched into the local worker.
 SMALL_COMPONENT = 32
 
 
-def _component_fingerprint(component: Set[Node]) -> int:
-    """Stable seed material for a component (order-independent)."""
-    return sum(hash(repr(node)) % 1_000_003 for node in component) % 2_147_483_647
+def _component_fingerprint(component: Iterable[Node]) -> int:
+    """Stable seed material for a component (order-independent).
+
+    Uses ``zlib.crc32`` over the repr bytes: built-in ``hash`` of a str
+    is salted per process (PYTHONHASHSEED), which would hand every
+    worker a different RNG seed and break the determinism promise above
+    for string-labelled graphs.
+    """
+    total = 0
+    for node in component:
+        total += zlib.crc32(repr(node).encode("utf-8")) % 1_000_003
+    return total % 2_147_483_647
 
 
 def _enumerate_component(
-    payload: Tuple[SignedGraph, float, int, Set[Node], str, str, int]
+    payload: Tuple[CompiledGraph, float, int, str, str, int]
 ) -> List[Tuple[FrozenSet[Node], int, int]]:
-    """Worker: enumerate one component's subgraph; return plain tuples.
+    """Worker: enumerate one compiled component; return plain tuples.
 
-    The component's *induced subgraph* is shipped (not the whole graph)
-    to keep pickling costs proportional to the work. Maximality within
-    the subgraph equals global maximality because a clique's common
-    neighbourhood never leaves its (sign-blind) component.
+    The component ships as a :class:`CompiledGraph` — four flat arrays
+    plus the node list — which pickles far smaller than the dict-of-sets
+    ``SignedGraph`` subgraph it replaces, and lands ready for the
+    fastpath search (no re-hashing on the worker side). Maximality
+    within the component equals global maximality because a clique's
+    common neighbourhood never leaves its (sign-blind) component.
     """
-    subgraph, alpha, k, component, selection, maxtest, seed = payload
+    compiled, alpha, k, selection, maxtest, seed = payload
     params = AlphaK(alpha, k)
     searcher = MSCE(
-        subgraph,
+        compiled,
         params,
         selection=selection,
         reduction="none",  # the parent already reduced; avoid re-reducing
         maxtest=maxtest,
         seed=seed,
     )
-    result = searcher.enumerate_seeded(set(component), frozenset())
+    result = searcher.enumerate_seeded(set(compiled.nodes), frozenset())
     return [
         (clique.nodes, clique.positive_edges, clique.negative_edges)
         for clique in result.cliques
@@ -80,30 +93,37 @@ def enumerate_parallel(
     Returns exactly the sequential answer (sorted largest-first). Falls
     back to the sequential enumerator when the reduced graph has fewer
     than *min_parallel_components* non-trivial components or when
-    ``workers <= 1``.
+    ``workers <= 1``. Accepts a :class:`repro.fastpath.CompiledGraph`
+    for *graph*; each shipped component is itself compiled, so workers
+    receive compact CSR arrays and run the fastpath search either way.
     """
     params = AlphaK(alpha, k)
-    components = [set(c) for c in reduction_components(graph, params, method=reduction)]
+    compiled = graph if isinstance(graph, CompiledGraph) else None
+    graph = graph.source if compiled is not None else graph
+    components = [
+        set(c) for c in reduction_components(compiled or graph, params, method=reduction)
+    ]
     large = [c for c in components if len(c) >= SMALL_COMPONENT]
     if workers <= 1 or len(large) < min_parallel_components:
-        searcher = MSCE(graph, params, selection=selection, reduction=reduction, maxtest=maxtest)
+        searcher = MSCE(
+            compiled or graph, params, selection=selection, reduction=reduction, maxtest=maxtest
+        )
         return searcher.enumerate_all().cliques
 
     payloads = []
     for component in components:
         payloads.append(
             (
-                graph.subgraph(component),
+                compile_graph(graph.subgraph(component)),
                 alpha,
                 k,
-                component,
                 selection,
                 maxtest,
                 _component_fingerprint(component),
             )
         )
     # Biggest components first so stragglers start early.
-    payloads.sort(key=lambda p: -len(p[3]))
+    payloads.sort(key=lambda p: -p[0].n)
 
     cliques: List[SignedClique] = []
     with ProcessPoolExecutor(max_workers=workers) as executor:

@@ -35,6 +35,10 @@ def positive_core_reduction(graph: SignedGraph, params: AlphaK) -> Set[Node]:
     """
     threshold = params.positive_threshold
     if threshold == 0:
+        from repro.fastpath.compiled import CompiledGraph
+
+        if isinstance(graph, CompiledGraph):
+            return set(graph.nodes)
         return graph.node_set()
     _flag, nodes = icore(graph, fixed=(), tau=threshold, sign="positive")
     return nodes
@@ -43,19 +47,27 @@ def positive_core_reduction(graph: SignedGraph, params: AlphaK) -> Set[Node]:
 _METHODS: Dict[str, Callable[[SignedGraph, AlphaK], Set[Node]]] = {}
 
 
-def reduce_graph(graph: SignedGraph, params: AlphaK, method: str = "mcnew") -> Set[Node]:
+def reduce_graph(
+    graph: SignedGraph, params: AlphaK, method: str = "mcnew", compile: bool = True
+) -> Set[Node]:
     """Return the surviving node set under the requested reduction *method*.
 
     ``method`` is one of ``"none"``, ``"positive-core"``, ``"mcbasic"``,
-    ``"mcnew"``.
+    ``"mcnew"``. Accepts a :class:`repro.fastpath.CompiledGraph`, in
+    which case the reduction runs on the fastpath kernels
+    (``compile=False`` forces the pure path).
     """
     # Imported lazily to keep module import acyclic (mcbasic/mcnew import
     # this module's positive_core_reduction).
     from repro.core.mcbasic import mccore_basic
     from repro.core.mcnew import mccore_new
+    from repro.fastpath.compiled import CompiledGraph
+
+    if isinstance(graph, CompiledGraph) and not compile:
+        graph = graph.source
 
     methods: Dict[str, Callable[[], Set[Node]]] = {
-        "none": graph.node_set,
+        "none": lambda: set(graph.nodes) if isinstance(graph, CompiledGraph) else graph.node_set(),
         "positive-core": lambda: positive_core_reduction(graph, params),
         "mcbasic": lambda: mccore_basic(graph, params),
         "mcnew": lambda: mccore_new(graph, params),
@@ -70,7 +82,7 @@ def reduce_graph(graph: SignedGraph, params: AlphaK, method: str = "mcnew") -> S
 
 
 def reduction_components(
-    graph: SignedGraph, params: AlphaK, method: str = "mcnew"
+    graph: SignedGraph, params: AlphaK, method: str = "mcnew", compile: bool = True
 ) -> Iterator[Set[Node]]:
     """Yield the connected components of the reduced node set.
 
@@ -79,8 +91,17 @@ def reduction_components(
     "connected component of the core" phrasing; for the degenerate
     threshold-0 case this is simply the components of the graph.
     """
-    survivors = reduce_graph(graph, params, method=method)
-    yield from connected_components(graph, nodes=survivors)
+    from repro.fastpath.compiled import CompiledGraph, source_graph
+
+    if isinstance(graph, CompiledGraph) and compile:
+        from repro.fastpath.kernels import component_masks, reduce_mask
+
+        survivor_mask = reduce_mask(graph, params, method=method)
+        for mask in component_masks(graph, survivor_mask):
+            yield graph.nodes_from_mask(mask)
+        return
+    survivors = reduce_graph(graph, params, method=method, compile=compile)
+    yield from connected_components(source_graph(graph), nodes=survivors)
 
 
 def reduction_report(graph: SignedGraph, params: AlphaK) -> Dict[str, int]:

@@ -1,0 +1,159 @@
+"""Integer-backed bitsets for candidate sets over compiled node indices.
+
+A candidate set over nodes ``0..n-1`` is a single Python ``int`` whose
+bit ``i`` is set iff node ``i`` is a member. All set algebra then runs
+through CPython's C big-integer kernels — intersection is one ``&`` over
+packed 30-bit digits instead of a hashed probe per element — which is
+what makes the fastpath pruning loops cheap.
+
+Two layers are provided:
+
+* module functions (:func:`bit_count`, :func:`iter_bits`,
+  :func:`mask_of`) operating on raw ``int`` masks — these are what the
+  kernels use on hot paths;
+* :class:`IntBitset`, a small mutable set-like wrapper used by the BBE
+  search frames where readability matters more than the last few
+  nanoseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+try:  # int.bit_count is Python >= 3.10; CI also runs 3.9.
+    (0).bit_count
+except AttributeError:  # pragma: no cover - exercised only on 3.9
+
+    def bit_count(mask: int) -> int:
+        """Return the number of set bits of *mask* (popcount)."""
+        return bin(mask).count("1")
+
+else:
+
+    def bit_count(mask: int) -> int:
+        """Return the number of set bits of *mask* (popcount)."""
+        return mask.bit_count()
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of *mask*, ascending.
+
+    Uses the lowest-set-bit trick ``mask & -mask`` so the cost per
+    element is O(words), independent of the highest bit.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Return the mask with exactly the bits in *indices* set."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+class IntBitset:
+    """A mutable set of small non-negative integers over one ``int``.
+
+    Implements enough of the ``set`` protocol for the BBE search frames:
+    membership, iteration (ascending), length, and the binary operators
+    ``& | - ^`` against other bitsets or raw masks.
+
+    >>> s = IntBitset([1, 5, 9])
+    >>> 5 in s, 4 in s
+    (True, False)
+    >>> sorted(s & IntBitset([5, 9, 10]))
+    [5, 9]
+    >>> len(s)
+    3
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, members: Iterable[int] = (), bits: int = 0):
+        self.bits = bits
+        for member in members:
+            self.bits |= 1 << member
+
+    @classmethod
+    def from_mask(cls, mask: int) -> "IntBitset":
+        """Wrap a raw integer *mask* without copying."""
+        new = cls.__new__(cls)
+        new.bits = mask
+        return new
+
+    @classmethod
+    def full(cls, n: int) -> "IntBitset":
+        """Return the set ``{0, ..., n-1}``."""
+        return cls.from_mask((1 << n) - 1)
+
+    # -- set protocol --------------------------------------------------
+    def __contains__(self, index: int) -> bool:
+        return (self.bits >> index) & 1 == 1
+
+    def __iter__(self) -> Iterator[int]:
+        return iter_bits(self.bits)
+
+    def __len__(self) -> int:
+        return bit_count(self.bits)
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def add(self, index: int) -> None:
+        """Insert *index*."""
+        self.bits |= 1 << index
+
+    def discard(self, index: int) -> None:
+        """Remove *index* if present."""
+        self.bits &= ~(1 << index)
+
+    def copy(self) -> "IntBitset":
+        """Return a copy (O(words))."""
+        return IntBitset.from_mask(self.bits)
+
+    def isdisjoint(self, other: "IntBitset") -> bool:
+        """Return ``True`` when no index is shared."""
+        return (self.bits & _mask(other)) == 0
+
+    def issubset(self, other: "IntBitset") -> bool:
+        """Return ``True`` when every member is also in *other*."""
+        return (self.bits & ~_mask(other)) == 0
+
+    def intersection_count(self, other: "IntBitset") -> int:
+        """Return ``len(self & other)`` without materialising the set."""
+        return bit_count(self.bits & _mask(other))
+
+    # -- algebra -------------------------------------------------------
+    def __and__(self, other) -> "IntBitset":
+        return IntBitset.from_mask(self.bits & _mask(other))
+
+    def __or__(self, other) -> "IntBitset":
+        return IntBitset.from_mask(self.bits | _mask(other))
+
+    def __sub__(self, other) -> "IntBitset":
+        return IntBitset.from_mask(self.bits & ~_mask(other))
+
+    def __xor__(self, other) -> "IntBitset":
+        return IntBitset.from_mask(self.bits ^ _mask(other))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IntBitset):
+            return self.bits == other.bits
+        if isinstance(other, int):
+            return self.bits == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.bits)
+
+    def __repr__(self) -> str:
+        return f"IntBitset({sorted(self)})"
+
+
+def _mask(value) -> int:
+    """Return the raw mask of an :class:`IntBitset` or a raw ``int``."""
+    return value.bits if isinstance(value, IntBitset) else value

@@ -1,0 +1,356 @@
+"""Compilation of a :class:`SignedGraph` into flat CSR integer arrays.
+
+``SignedGraph`` stores adjacency as per-node hashed sets of arbitrary
+hashable nodes — ideal for construction and mutation, expensive to scan.
+:class:`CompiledGraph` is the read-only counterpart: nodes are densely
+renumbered ``0..n-1`` and each adjacency class (combined / positive /
+negative) becomes one CSR (compressed sparse row) pair of stdlib
+``array`` buffers, so the kernels in :mod:`repro.fastpath.kernels` scan
+neighbours by integer indexing with no hashing at all.
+
+Besides the CSR arrays the compilation carries:
+
+* a stable node<->index mapping (``nodes`` list / :meth:`index_of`);
+* edge signs aligned with the combined adjacency, which is enough to
+  reconstruct an equal ``SignedGraph`` (:meth:`to_signed_graph`) — this
+  is what makes a ``CompiledGraph`` a *compact pickle* for shipping
+  subgraphs to worker processes;
+* lazily-built per-node adjacency bitmasks (:meth:`masks`) used by the
+  bitset kernels; built with numpy's ``packbits`` when numpy is
+  importable, with a pure-Python fallback otherwise (numpy is an
+  optional accelerator, never a dependency);
+* lazily-built degeneracy orders and degeneracy-oriented adjacency
+  (:meth:`oriented`), the substrate of the triangle kernels;
+* a lazily-built ``repr``-rank permutation used to replicate the pure
+  path's deterministic tie-breaking exactly.
+
+Compiled graphs deliberately support no mutation: recompile after
+changing the source graph.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.fastpath.bitset import iter_bits, mask_of
+from repro.graphs.signed_graph import NEGATIVE, POSITIVE, Node, SignedGraph
+
+try:  # Optional accelerator only; every code path has a stdlib fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+_SIGN_SELECTORS = ("all", "positive", "negative")
+
+
+class CompiledGraph:
+    """A read-only CSR compilation of a :class:`SignedGraph`.
+
+    Build one with :func:`compile_graph`; hand it to any fastpath-aware
+    entry point (``MSCE``, ``mccore_new``, ``core_numbers``, ...) in
+    place of the source graph.
+
+    Attributes
+    ----------
+    nodes:
+        Index -> original node, in source-graph iteration order.
+    xadj / adj / signs:
+        Combined CSR: the neighbours of node ``i`` are
+        ``adj[xadj[i]:xadj[i+1]]`` (ascending indices) and
+        ``signs[...]`` carries the aligned ``+1``/``-1`` labels.
+    pxadj / padj, nxadj / nadj:
+        Positive-only and negative-only CSR adjacency.
+    """
+
+    __slots__ = (
+        "nodes",
+        "n",
+        "xadj",
+        "adj",
+        "signs",
+        "pxadj",
+        "padj",
+        "nxadj",
+        "nadj",
+        "_index",
+        "_source",
+        "_masks",
+        "_oriented",
+        "_repr_rank",
+    )
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        xadj: Sequence[int],
+        adj: Sequence[int],
+        signs: Sequence[int],
+        source: Optional[SignedGraph] = None,
+    ):
+        self.nodes: List[Node] = list(nodes)
+        self.n = len(self.nodes)
+        self.xadj = array("q", xadj)
+        self.adj = array("q", adj)
+        self.signs = array("b", signs)
+        pxadj, padj, nxadj, nadj = _split_by_sign(self.n, self.xadj, self.adj, self.signs)
+        self.pxadj, self.padj = pxadj, padj
+        self.nxadj, self.nadj = nxadj, nadj
+        self._index: Optional[Dict[Node, int]] = None
+        self._source = source
+        self._masks: Dict[str, List[int]] = {}
+        self._oriented: Dict[str, Tuple[List[int], List[List[int]]]] = {}
+        self._repr_rank: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Mapping between nodes and indices
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> Dict[Node, int]:
+        """The node -> index mapping (built on first use)."""
+        if self._index is None:
+            self._index = {node: i for i, node in enumerate(self.nodes)}
+        return self._index
+
+    def index_of(self, node: Node) -> int:
+        """Return the compiled index of *node* (KeyError when absent)."""
+        return self.index[node]
+
+    def node_of(self, index: int) -> Node:
+        """Return the original node at compiled *index*."""
+        return self.nodes[index]
+
+    def mask_from_nodes(self, members: Iterable[Node]) -> int:
+        """Return the bitmask of the compiled indices of *members*.
+
+        Nodes absent from the compilation are ignored silently, matching
+        the tolerant ``within`` semantics of the pure kernels.
+        """
+        index = self.index
+        mask = 0
+        for node in members:
+            i = index.get(node)
+            if i is not None:
+                mask |= 1 << i
+        return mask
+
+    def nodes_from_mask(self, mask: int) -> Set[Node]:
+        """Return the original-node set selected by bitmask *mask*."""
+        nodes = self.nodes
+        return {nodes[i] for i in iter_bits(mask)}
+
+    @property
+    def full_mask(self) -> int:
+        """The mask with all ``n`` node bits set."""
+        return (1 << self.n) - 1
+
+    @property
+    def repr_rank(self) -> List[int]:
+        """``repr_rank[i]`` = rank of node ``i`` under ``sorted(key=repr)``.
+
+        The pure-Python selectors break ties by ``repr`` of the node;
+        comparing these precomputed ranks reproduces that order exactly
+        without re-stringifying nodes inside the search.
+        """
+        if self._repr_rank is None:
+            order = sorted(range(self.n), key=lambda i: repr(self.nodes[i]))
+            rank = [0] * self.n
+            for position, i in enumerate(order):
+                rank[i] = position
+            self._repr_rank = rank
+        return self._repr_rank
+
+    # ------------------------------------------------------------------
+    # Adjacency accessors
+    # ------------------------------------------------------------------
+    def csr(self, sign: str = "all") -> Tuple[array, array]:
+        """Return the ``(xadj, adj)`` CSR pair for the sign class."""
+        if sign == "all":
+            return self.xadj, self.adj
+        if sign == "positive":
+            return self.pxadj, self.padj
+        if sign == "negative":
+            return self.nxadj, self.nadj
+        from repro.exceptions import ParameterError
+
+        raise ParameterError(
+            f"unknown sign selector {sign!r}; expected one of {_SIGN_SELECTORS}"
+        )
+
+    def degree(self, i: int, sign: str = "all") -> int:
+        """Return the degree of compiled node *i* in the sign class."""
+        xadj, _adj = self.csr(sign)
+        return xadj[i + 1] - xadj[i]
+
+    def masks(self, sign: str = "all") -> List[int]:
+        """Return per-node adjacency bitmasks for the sign class (cached).
+
+        ``masks(sign)[i]`` has bit ``j`` set iff ``j`` is a *sign*-class
+        neighbour of ``i``. Memory is O(n^2 / 8) bits, so this is meant
+        for the (reduced) graphs the enumerator actually searches, not
+        for million-node inputs; the CSR kernels never require it.
+        """
+        cached = self._masks.get(sign)
+        if cached is None:
+            xadj, adj = self.csr(sign)
+            cached = _build_masks(self.n, xadj, adj)
+            self._masks[sign] = cached
+        return cached
+
+    def degeneracy_order(self, sign: str = "all") -> List[int]:
+        """Return a degeneracy (smallest-remaining-degree) peel order."""
+        return self.oriented(sign)[0]
+
+    def oriented(self, sign: str = "all") -> Tuple[List[int], List[List[int]]]:
+        """Return ``(order, rows)``: degeneracy-oriented adjacency (cached).
+
+        ``order`` is a degeneracy peel order of the sign-class graph;
+        ``rows[i]`` lists the neighbours of ``i`` that appear *later* in
+        that order. Orienting every edge from earlier to later bounds
+        each out-degree by the degeneracy, which is what makes the
+        triangle kernels O(degeneracy * m).
+        """
+        cached = self._oriented.get(sign)
+        if cached is None:
+            from repro.fastpath.kernels import core_numbers_csr
+
+            xadj, adj = self.csr(sign)
+            order = core_numbers_csr(self.n, xadj, adj)[1]
+            position = [0] * self.n
+            for rank, i in enumerate(order):
+                position[i] = rank
+            rows: List[List[int]] = [[] for _ in range(self.n)]
+            for i in range(self.n):
+                pos_i = position[i]
+                row = rows[i]
+                for t in range(xadj[i], xadj[i + 1]):
+                    j = adj[t]
+                    if position[j] > pos_i:
+                        row.append(j)
+            cached = (order, rows)
+            self._oriented[sign] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Round trips
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> SignedGraph:
+        """The source :class:`SignedGraph` (reconstructed after unpickling).
+
+        When the compilation crossed a process boundary the original
+        graph is rebuilt from the CSR arrays on first access; the result
+        compares equal (``==``) to the graph that was compiled.
+        """
+        if self._source is None:
+            self._source = self.to_signed_graph()
+        return self._source
+
+    def to_signed_graph(self) -> SignedGraph:
+        """Materialise a fresh, equal :class:`SignedGraph` from the CSR."""
+        graph = SignedGraph(nodes=self.nodes)
+        nodes, xadj, adj, signs = self.nodes, self.xadj, self.adj, self.signs
+        for i in range(self.n):
+            u = nodes[i]
+            for t in range(xadj[i], xadj[i + 1]):
+                j = adj[t]
+                if j > i:  # each undirected edge once
+                    graph.add_edge(u, nodes[j], signs[t])
+        return graph
+
+    def __getstate__(self):
+        # Ship only the compact arrays; the source graph, masks,
+        # orientations and ranks are all derivable on the far side.
+        return (self.nodes, self.xadj, self.adj, self.signs)
+
+    def __setstate__(self, state):
+        nodes, xadj, adj, signs = state
+        self.__init__(nodes, xadj, adj, signs, source=None)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGraph(n={self.n}, m={len(self.adj) // 2}, "
+            f"pos={len(self.padj) // 2}, neg={len(self.nadj) // 2})"
+        )
+
+
+def compile_graph(graph: SignedGraph) -> CompiledGraph:
+    """Compile *graph* into a :class:`CompiledGraph` (the graph is untouched).
+
+    Node indices follow the graph's iteration order; neighbour lists are
+    sorted by index so the kernels can rely on ascending CSR rows.
+    """
+    if isinstance(graph, CompiledGraph):
+        return graph
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    xadj: List[int] = [0]
+    adj: List[int] = []
+    signs: List[int] = []
+    for node in nodes:
+        positive = graph.positive_neighbors(node)
+        row = [(index[v], POSITIVE) for v in positive]
+        row.extend((index[v], NEGATIVE) for v in graph.negative_neighbors(node))
+        row.sort()
+        adj.extend(j for j, _s in row)
+        signs.extend(s for _j, s in row)
+        xadj.append(len(adj))
+    compiled = CompiledGraph(nodes, xadj, adj, signs, source=graph)
+    compiled._index = index
+    return compiled
+
+
+def as_compiled(graph) -> Optional[CompiledGraph]:
+    """Return *graph* when it is a :class:`CompiledGraph`, else ``None``.
+
+    The dispatch helper used by the fastpath-aware entry points.
+    """
+    return graph if isinstance(graph, CompiledGraph) else None
+
+
+def source_graph(graph) -> SignedGraph:
+    """Return the underlying :class:`SignedGraph` of either representation."""
+    return graph.source if isinstance(graph, CompiledGraph) else graph
+
+
+def _split_by_sign(
+    n: int, xadj: array, adj: array, signs: array
+) -> Tuple[array, array, array, array]:
+    """Split the combined CSR into positive-only and negative-only CSR."""
+    pxadj = array("q", [0])
+    nxadj = array("q", [0])
+    padj: List[int] = []
+    nadj: List[int] = []
+    for i in range(n):
+        for t in range(xadj[i], xadj[i + 1]):
+            if signs[t] == POSITIVE:
+                padj.append(adj[t])
+            else:
+                nadj.append(adj[t])
+        pxadj.append(len(padj))
+        nxadj.append(len(nadj))
+    return pxadj, array("q", padj), nxadj, array("q", nadj)
+
+
+def _build_masks(n: int, xadj: array, adj: array) -> List[int]:
+    """Build one adjacency bitmask per node from a CSR pair."""
+    if _np is not None and n:
+        # numpy path: one packbits per node, C speed end to end.
+        np_adj = _np.frombuffer(adj, dtype=_np.int64) if len(adj) else _np.zeros(0, _np.int64)
+        masks: List[int] = []
+        row_bits = _np.zeros(n, dtype=_np.uint8)
+        for i in range(n):
+            start, stop = xadj[i], xadj[i + 1]
+            if start == stop:
+                masks.append(0)
+                continue
+            row = np_adj[start:stop]
+            row_bits[row] = 1
+            packed = _np.packbits(row_bits, bitorder="little")
+            masks.append(int.from_bytes(packed.tobytes(), "little"))
+            row_bits[row] = 0
+        return masks
+    return [mask_of(adj[xadj[i] : xadj[i + 1]]) for i in range(n)]

@@ -1,0 +1,205 @@
+"""Bitset port of MSCE's branch-and-bound component search.
+
+:func:`search_component_fast` mirrors
+:meth:`repro.core.bbe.MSCE._search_component` frame for frame: the same
+pruning rules in the same order, the same tracked-degree threading, and
+byte-identical branch selection (ties broken through the compiled
+``repr``-rank permutation, the random strategy drawing from the same
+sorted candidate list so the RNG stream matches). The only difference is
+the data layout — candidate sets and included sets are integer bitmasks
+over compiled node indices, so the clique- and negative-constraint
+pruning loops intersect with one C-level AND per candidate instead of a
+hashed set intersection.
+
+Cliques are emitted through the enumerator's own ``_emit`` (after
+mapping indices back to nodes), so dedup, auditing, top-r bookkeeping
+and result caps behave identically; the cross-validation tests assert
+the full result sets match the pure path exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.exceptions import ParameterError
+from repro.fastpath.bitset import bit_count, iter_bits
+from repro.fastpath.kernels import icore_tracked_fast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.bbe import MSCE, SearchStats
+
+
+def search_component_fast(
+    msce: "MSCE",
+    component_mask: int,
+    stats: "SearchStats",
+    found,
+    size_heap: List[int],
+    top_r: Optional[int],
+    deadline: Optional[float],
+    seed_mask: int = 0,
+) -> None:
+    """Run the BBE search over one component given as an index bitmask.
+
+    Raises the enumerator's internal ``_StopSearch`` on timeout or
+    result caps, exactly like the pure search.
+    """
+    from repro.core.bbe import _StopSearch
+
+    compiled = msce.compiled
+    params = msce.params
+    threshold = params.positive_threshold
+    budget = params.k
+    pos_masks = compiled.masks("positive")
+    neg_masks = compiled.masks("negative")
+    adj_masks = compiled.masks("all")
+    select = _make_selector(msce, pos_masks)
+
+    def is_valid_clique(members: int, degrees: Optional[Dict[int, int]]) -> bool:
+        # Mirror of the pure inline Definition-1 check (see bbe.py).
+        if not members:
+            return False
+        need = bit_count(members) - 1
+        if degrees is not None:
+            for i in iter_bits(members):
+                positive = degrees[i]
+                if positive < threshold:
+                    return False
+                expected_negative = need - positive
+                if expected_negative < 0 or expected_negative > budget:
+                    return False
+                if bit_count(neg_masks[i] & members) != expected_negative:
+                    return False
+            return True
+        for i in iter_bits(members):
+            if bit_count(adj_masks[i] & members) < need:
+                return False
+            if bit_count(neg_masks[i] & members) > budget:
+                return False
+            if threshold and bit_count(pos_masks[i] & members) < threshold:
+                return False
+        return True
+
+    # Frames are (candidates_mask, included_mask, degrees) exactly like
+    # the pure search's (candidates, included, degrees); include branch
+    # pushed last so it is explored first.
+    Frame = Tuple[int, int, Optional[Dict[int, int]]]
+    stack: List[Frame] = [(component_mask, seed_mask, None)]
+
+    while stack:
+        if deadline is not None and time.perf_counter() > deadline:
+            raise _StopSearch("timeout")
+        candidates, included, degrees = stack.pop()
+        stats.recursions += 1
+
+        if msce.core_pruning:
+            flag, candidates, degrees = icore_tracked_fast(
+                compiled, included, threshold, candidates, degrees, sign="positive"
+            )
+            if not flag:
+                stats.core_prunes += 1
+                continue
+
+        size = bit_count(candidates)
+        if msce.min_size is not None and size < msce.min_size:
+            stats.topr_prunes += 1
+            continue
+        if top_r is not None and len(size_heap) >= top_r and size < size_heap[0]:
+            stats.topr_prunes += 1
+            continue
+
+        if is_valid_clique(candidates, degrees):
+            stats.early_terminations += 1
+            stats.maxtests += 1
+            members = compiled.nodes_from_mask(candidates)
+            if msce._maxtest(msce.graph, members, params):
+                msce._emit(members, found, size_heap, top_r, stats)
+            continue
+
+        free = candidates & ~included
+        if not free:
+            # Unreachable with core pruning on; defensive for ablations.
+            continue
+        branch = select(candidates, included, degrees)
+        branch_bit = 1 << branch
+        new_included = included | branch_bit
+
+        keep = new_included
+        adjacency = adj_masks[branch]
+        negative_inside = {
+            i: bit_count(neg_masks[i] & new_included) for i in iter_bits(new_included)
+        }
+        for i in iter_bits(candidates & ~new_included):
+            if msce.clique_pruning and not (adjacency >> i) & 1:
+                stats.clique_pruned_candidates += 1
+                continue
+            if msce.negative_pruning:
+                negatives = neg_masks[i] & new_included
+                if bit_count(negatives) > budget or any(
+                    negative_inside[member] + 1 > budget for member in iter_bits(negatives)
+                ):
+                    stats.negative_pruned_candidates += 1
+                    continue
+            keep |= 1 << i
+
+        # Exclude branch: candidates lose the branch node.
+        exclude_candidates = candidates & ~branch_bit
+        if degrees is not None:
+            exclude_degrees: Optional[Dict[int, int]] = dict(degrees)
+            exclude_degrees.pop(branch, None)
+            for i in iter_bits(pos_masks[branch] & exclude_candidates):
+                exclude_degrees[i] -= 1
+        else:
+            exclude_degrees = None
+        stack.append((exclude_candidates, included, exclude_degrees))
+
+        # Include branch: same decremental-vs-recompute policy as the
+        # pure search (recompute when more than a third was pruned).
+        include_degrees: Optional[Dict[int, int]] = None
+        if degrees is not None:
+            removed = candidates & ~keep
+            if 3 * bit_count(removed) <= bit_count(keep):
+                include_degrees = dict(degrees)
+                for i in iter_bits(removed):
+                    include_degrees.pop(i, None)
+                for i in iter_bits(removed):
+                    for j in iter_bits(pos_masks[i] & keep):
+                        include_degrees[j] -= 1
+        stack.append((keep, new_included, include_degrees))
+
+
+def _make_selector(msce: "MSCE", pos_masks: List[int]):
+    """Index-space ports of the branch-node selectors in bbe.py.
+
+    Tie-breaking goes through the compiled ``repr``-rank permutation so
+    the chosen node is exactly the one the pure selector would pick.
+    """
+    repr_rank = msce.compiled.repr_rank
+
+    def greedy(candidates: int, included: int, degrees: Optional[Dict[int, int]]) -> int:
+        best = -1
+        best_key: Optional[Tuple[int, int]] = None
+        for i in iter_bits(candidates & ~included):
+            degree = degrees[i] if degrees is not None else bit_count(pos_masks[i] & candidates)
+            key = (degree, repr_rank[i])
+            if best_key is None or key < best_key:
+                best_key = key
+                best = i
+        return best
+
+    def first(candidates: int, included: int, degrees) -> int:
+        return min(iter_bits(candidates & ~included), key=repr_rank.__getitem__)
+
+    def randomized(candidates: int, included: int, degrees) -> int:
+        free = sorted(iter_bits(candidates & ~included), key=repr_rank.__getitem__)
+        return msce._rng.choice(free)
+
+    selectors = {"greedy": greedy, "random": randomized, "first": first}
+    try:
+        return selectors[msce.selection]
+    except KeyError:
+        raise ParameterError(
+            f"unknown selection strategy {msce.selection!r}; "
+            f"expected one of {sorted(selectors)}"
+        ) from None

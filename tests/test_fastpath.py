@@ -1,0 +1,325 @@
+"""Cross-validation of the fastpath CSR/bitset kernels against the pure path.
+
+The fastpath subsystem (``repro.fastpath``) re-implements the hot
+kernels — core decomposition, ICore, ego-triangle counting, MCCore
+peeling and the MSCE branch-and-bound — on compact CSR arrays and
+big-int bitmasks. Correctness is argued by *bit-identical* agreement
+with the pure-Python reference path on the generator suite (random,
+planted-community, LFR-like) and on arbitrary hypothesis graphs,
+including identical :class:`repro.core.bbe.SearchStats` counters, which
+proves the two paths explore the same search tree node for node.
+"""
+
+import itertools
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.kcore import core_numbers, icore
+from repro.algorithms.triangles import all_ego_triangle_degrees, triangle_count
+from repro.core import MSCE, AlphaK, mccore_basic, mccore_new
+from repro.core.reduction import reduce_graph, reduction_components
+from repro.exceptions import ParameterError
+from repro.fastpath import (
+    CompiledGraph,
+    IntBitset,
+    as_compiled,
+    bit_count,
+    compile_graph,
+    iter_bits,
+)
+from repro.generators import (
+    CommunitySpec,
+    gnp_signed,
+    lfr_like_signed,
+    planted_partition_graph,
+)
+from repro.graphs import SignedGraph
+from tests.conftest import PAPER_EDGES
+
+
+def _generator_suite():
+    """One representative graph per generator family (plus Fig. 1)."""
+    paper = SignedGraph(PAPER_EDGES)
+    random_small = gnp_signed(24, 0.45, negative_fraction=0.25, seed=11)
+    random_sparse = gnp_signed(60, 0.08, negative_fraction=0.4, seed=12)
+    planted, _communities = planted_partition_graph(
+        gnp_signed(50, 0.06, negative_fraction=0.3, seed=13),
+        [CommunitySpec(8, 1.0, 0.1), CommunitySpec(6), CommunitySpec(7, 0.9, 0.05)],
+        seed=14,
+    )
+    lfr, _truth = lfr_like_signed(n=70, average_degree=6.0, seed=15)
+    return [
+        ("paper", paper),
+        ("random-dense", random_small),
+        ("random-sparse", random_sparse),
+        ("planted", planted),
+        ("lfr-like", lfr),
+    ]
+
+
+GRAPHS = _generator_suite()
+PARAM_GRID = [AlphaK(3, 1), AlphaK(2, 1), AlphaK(1.5, 2), AlphaK(0, 1)]
+
+
+def _cases():
+    return [
+        pytest.param(graph, id=name)
+        for name, graph in GRAPHS
+    ]
+
+
+class TestCompiledGraph:
+    def test_roundtrip_preserves_graph(self):
+        for _name, graph in GRAPHS:
+            compiled = compile_graph(graph)
+            assert compiled.to_signed_graph() == graph
+            assert set(compiled.nodes) == graph.node_set()
+
+    def test_pickle_roundtrip(self):
+        graph = dict(GRAPHS)["random-dense"]
+        compiled = compile_graph(graph)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.nodes == compiled.nodes
+        assert clone.source == graph
+
+    def test_mask_helpers(self):
+        graph = SignedGraph(PAPER_EDGES)
+        compiled = compile_graph(graph)
+        mask = compiled.mask_from_nodes([1, 2, 3, 999])  # absent nodes ignored
+        assert compiled.nodes_from_mask(mask) == {1, 2, 3}
+        assert bit_count(compiled.full_mask) == compiled.n
+
+    def test_bad_sign_selector_raises(self):
+        compiled = compile_graph(SignedGraph(PAPER_EDGES))
+        with pytest.raises(ParameterError):
+            compiled.csr("bogus")
+
+    def test_as_compiled(self):
+        graph = SignedGraph(PAPER_EDGES)
+        assert as_compiled(graph) is None
+        compiled = compile_graph(graph)
+        assert as_compiled(compiled) is compiled
+
+
+class TestBitset:
+    def test_basic_set_operations(self):
+        a = IntBitset([0, 2, 5])
+        b = IntBitset([2, 5, 9])
+        assert sorted(a & b) == [2, 5]
+        assert sorted(a | b) == [0, 2, 5, 9]
+        assert sorted(a - b) == [0]
+        assert len(a) == 3 and 5 in a and 1 not in a
+        assert a.intersection_count(b) == 2
+        assert not a.isdisjoint(b)
+        assert IntBitset([2]).issubset(a)
+
+    def test_iter_bits_matches_membership(self):
+        rng = random.Random(3)
+        indices = sorted(rng.sample(range(200), 40))
+        mask = 0
+        for i in indices:
+            mask |= 1 << i
+        assert list(iter_bits(mask)) == indices
+        assert bit_count(mask) == 40
+
+
+class TestKernelCrossValidation:
+    @pytest.mark.parametrize("graph", _cases())
+    @pytest.mark.parametrize("sign", ["all", "positive", "negative"])
+    def test_core_numbers_match(self, graph, sign):
+        compiled = compile_graph(graph)
+        assert core_numbers(compiled, sign=sign) == core_numbers(graph, sign=sign)
+
+    @pytest.mark.parametrize("graph", _cases())
+    def test_icore_matches(self, graph):
+        compiled = compile_graph(graph)
+        nodes = sorted(graph.nodes(), key=repr)
+        for tau in (1, 2, 3):
+            for sign in ("all", "positive"):
+                for fixed in ((), (nodes[0],), tuple(nodes[:2])):
+                    pure = icore(graph, fixed=fixed, tau=tau, sign=sign)
+                    fast = icore(compiled, fixed=fixed, tau=tau, sign=sign)
+                    assert fast == pure
+
+    @pytest.mark.parametrize("graph", _cases())
+    def test_icore_within_matches(self, graph):
+        compiled = compile_graph(graph)
+        nodes = sorted(graph.nodes(), key=repr)
+        within = set(nodes[: max(4, len(nodes) // 2)])
+        pure = icore(graph, fixed=(), tau=2, within=within, sign="all")
+        fast = icore(compiled, fixed=(), tau=2, within=within, sign="all")
+        assert fast == pure
+
+    def test_icore_unknown_fixed_node(self):
+        compiled = compile_graph(SignedGraph(PAPER_EDGES))
+        assert icore(compiled, fixed=["nope"], tau=1) == (False, set())
+
+    @pytest.mark.parametrize("graph", _cases())
+    def test_triangle_count_matches(self, graph):
+        compiled = compile_graph(graph)
+        assert triangle_count(compiled) == triangle_count(graph)
+
+    @pytest.mark.parametrize("graph", _cases())
+    def test_ego_triangle_degrees_match(self, graph):
+        compiled = compile_graph(graph)
+        assert all_ego_triangle_degrees(compiled) == all_ego_triangle_degrees(graph)
+
+    @pytest.mark.parametrize("graph", _cases())
+    @pytest.mark.parametrize("params", PARAM_GRID, ids=str)
+    def test_mccore_matches(self, graph, params):
+        compiled = compile_graph(graph)
+        pure = mccore_new(graph, params)
+        assert mccore_new(compiled, params) == pure
+        assert mccore_basic(compiled, params) == pure
+        assert mccore_basic(graph, params) == pure
+
+    @pytest.mark.parametrize("graph", _cases())
+    @pytest.mark.parametrize("method", ["none", "positive-core", "mcbasic", "mcnew"])
+    def test_reduce_graph_matches(self, graph, method):
+        compiled = compile_graph(graph)
+        params = AlphaK(2, 1)
+        assert reduce_graph(compiled, params, method=method) == reduce_graph(
+            graph, params, method=method
+        )
+
+    @pytest.mark.parametrize("graph", _cases())
+    def test_reduction_components_match(self, graph):
+        compiled = compile_graph(graph)
+        params = AlphaK(1.5, 1)
+        pure = sorted(
+            (frozenset(c) for c in reduction_components(graph, params)), key=sorted
+        )
+        fast = sorted(
+            (frozenset(c) for c in reduction_components(compiled, params)), key=sorted
+        )
+        assert fast == pure
+
+
+class TestSearchCrossValidation:
+    @pytest.mark.parametrize("graph", _cases())
+    @pytest.mark.parametrize("params", PARAM_GRID, ids=str)
+    def test_msce_identical_cliques_and_stats(self, graph, params):
+        compiled = compile_graph(graph)
+        pure = MSCE(graph, params).enumerate_all()
+        fast = MSCE(compiled, params).enumerate_all()
+        assert [c.nodes for c in fast.cliques] == [c.nodes for c in pure.cliques]
+        # Identical counters prove the two paths walk the same tree.
+        assert fast.stats.as_dict() == pure.stats.as_dict()
+
+    @pytest.mark.parametrize("graph", _cases())
+    @pytest.mark.parametrize("selection", ["first", "random"])
+    def test_other_selections_match(self, graph, selection):
+        params = AlphaK(1.5, 1)
+        compiled = compile_graph(graph)
+        pure = MSCE(graph, params, selection=selection, seed=5).enumerate_all()
+        fast = MSCE(compiled, params, selection=selection, seed=5).enumerate_all()
+        assert [c.nodes for c in fast.cliques] == [c.nodes for c in pure.cliques]
+        assert fast.stats.as_dict() == pure.stats.as_dict()
+
+    @pytest.mark.parametrize("graph", _cases())
+    def test_paper_maxtest_matches(self, graph):
+        params = AlphaK(2, 1)
+        compiled = compile_graph(graph)
+        pure = MSCE(graph, params, maxtest="paper").enumerate_all()
+        fast = MSCE(compiled, params, maxtest="paper").enumerate_all()
+        assert {c.nodes for c in fast.cliques} == {c.nodes for c in pure.cliques}
+
+    @pytest.mark.parametrize("graph", _cases())
+    @pytest.mark.parametrize("r", [1, 3])
+    def test_top_r_matches(self, graph, r):
+        params = AlphaK(1.5, 1)
+        compiled = compile_graph(graph)
+        pure = MSCE(graph, params).top_r(r)
+        fast = MSCE(compiled, params).top_r(r)
+        assert [c.nodes for c in fast.cliques] == [c.nodes for c in pure.cliques]
+        assert fast.stats.as_dict() == pure.stats.as_dict()
+
+    def test_compile_false_forces_pure_path(self):
+        graph = dict(GRAPHS)["random-dense"]
+        compiled = compile_graph(graph)
+        searcher = MSCE(compiled, AlphaK(2, 1), compile=False)
+        assert searcher.compiled is None
+        pure = MSCE(graph, AlphaK(2, 1)).enumerate_all()
+        assert {c.nodes for c in searcher.enumerate_all().cliques} == {
+            c.nodes for c in pure.cliques
+        }
+
+    def test_enumerate_seeded_matches(self):
+        graph = dict(GRAPHS)["paper"]
+        compiled = compile_graph(graph)
+        params = AlphaK(3, 1)
+        space = graph.node_set()
+        pure = MSCE(graph, params).enumerate_seeded(set(space), frozenset({1}))
+        fast = MSCE(compiled, params).enumerate_seeded(set(space), frozenset({1}))
+        assert {c.nodes for c in fast.cliques} == {c.nodes for c in pure.cliques}
+
+    def test_every_fast_result_verifies(self):
+        for _name, graph in GRAPHS:
+            compiled = compile_graph(graph)
+            for clique in MSCE(compiled, AlphaK(1.5, 1)).enumerate_all().cliques:
+                clique.verify(graph)
+
+
+# -- hypothesis: arbitrary small graphs, arbitrary (alpha, k) ----------------
+
+graph_specs = st.integers(min_value=2, max_value=9).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.sampled_from([0, 0, 1, 1, 1, -1]),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        ),
+    )
+)
+
+param_specs = st.tuples(
+    st.sampled_from([0, 1, 1.5, 2, 3]),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def _build(spec) -> SignedGraph:
+    n, signs = spec
+    graph = SignedGraph(nodes=range(n))
+    for (u, v), sign in zip(itertools.combinations(range(n), 2), signs):
+        if sign:
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph_specs, param_specs)
+def test_hypothesis_fast_search_identical(spec, param_spec):
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    compiled = compile_graph(graph)
+    pure = MSCE(graph, params, audit=True).enumerate_all()
+    fast = MSCE(compiled, params, audit=True).enumerate_all()
+    assert [c.nodes for c in fast.cliques] == [c.nodes for c in pure.cliques]
+    assert fast.stats.as_dict() == pure.stats.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, param_specs)
+def test_hypothesis_mccore_identical(spec, param_spec):
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    compiled = compile_graph(graph)
+    assert mccore_new(compiled, params) == mccore_new(graph, params)
+    assert mccore_basic(compiled, params) == mccore_basic(graph, params)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs)
+def test_hypothesis_core_numbers_identical(spec):
+    graph = _build(spec)
+    compiled = compile_graph(graph)
+    for sign in ("all", "positive", "negative"):
+        assert core_numbers(compiled, sign=sign) == core_numbers(graph, sign=sign)

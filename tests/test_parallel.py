@@ -1,8 +1,12 @@
 """Tests for parallel component-level enumeration."""
 
+import itertools
 import random
 
 from repro.core import MSCE, AlphaK, enumerate_parallel
+from repro.core.parallel import SMALL_COMPONENT, _component_fingerprint
+from repro.core.reduction import reduction_components
+from repro.fastpath import compile_graph
 from repro.graphs import SignedGraph
 from tests.conftest import make_random_signed_graph
 
@@ -49,6 +53,28 @@ class TestParallelEnumeration:
             ) // 2
             assert clique.positive_edges == rebuilt
 
+    def test_worker_path_matches_sequential_on_reduced_components(self):
+        # Two disjoint positive 35-cliques: MCCore keeps both, so the
+        # reduced graph has two components above SMALL_COMPONENT and the
+        # real multi-process path (not the fallback) is exercised.
+        graph = SignedGraph()
+        for offset in (0, 100):
+            for u, v in itertools.combinations(range(offset, offset + 35), 2):
+                graph.add_edge(u, v, 1)
+        params = AlphaK(2, 2)
+        components = [set(c) for c in reduction_components(graph, params)]
+        assert sum(len(c) >= SMALL_COMPONENT for c in components) >= 2
+        sequential = {c.nodes for c in MSCE(graph, params).enumerate_all().cliques}
+        parallel = {c.nodes for c in enumerate_parallel(graph, 2, 2, workers=2)}
+        assert parallel == sequential
+
+    def test_accepts_compiled_graph(self):
+        graph = _multi_component_graph(seed=7)
+        compiled = compile_graph(graph)
+        sequential = {c.nodes for c in MSCE(graph, AlphaK(2, 1)).enumerate_all().cliques}
+        parallel = {c.nodes for c in enumerate_parallel(compiled, 2, 1, workers=2)}
+        assert parallel == sequential
+
     def test_random_strategy_same_set(self):
         graph = _multi_component_graph(seed=11)
         params = AlphaK(1.5, 1)
@@ -58,3 +84,16 @@ class TestParallelEnumeration:
             for c in enumerate_parallel(graph, 1.5, 1, workers=2, selection="random")
         }
         assert parallel == sequential
+
+
+class TestComponentFingerprint:
+    def test_order_independent(self):
+        assert _component_fingerprint([1, 2, "a"]) == _component_fingerprint(["a", 2, 1])
+
+    def test_stable_across_processes(self):
+        # crc32-based, so the value is a fixed function of the labels —
+        # unlike builtin str hashing, which PYTHONHASHSEED salts per
+        # process and would hand every worker a different RNG seed.
+        assert _component_fingerprint(["v1", "v2"]) == 733442
+        assert _component_fingerprint(range(5)) == 1835748
+        assert _component_fingerprint([]) == 0
