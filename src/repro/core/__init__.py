@@ -9,6 +9,9 @@ Layout:
   Section-III signed graph reduction (positive core, MCBasic, MCNew);
 * :mod:`repro.core.maxtest` — exact and paper-style maximality tests;
 * :mod:`repro.core.bbe` — the MSCE branch-and-bound enumerator;
+* :mod:`repro.core.parallel` / :mod:`repro.core.scheduler` — the
+  multi-process enumerator: root-branch task decomposition, a
+  work-stealing scheduler, and shared-memory graph shipping;
 * :mod:`repro.core.naive` — brute-force reference enumerators;
 * :mod:`repro.core.api` — two-line convenience functions.
 """
@@ -24,6 +27,7 @@ from repro.core.dynamic import DynamicSignedCliqueIndex
 from repro.core.heuristic import greedy_signed_cliques
 from repro.core.parallel import enumerate_parallel
 from repro.core.percolation import merge_overlapping_cliques, signed_clique_percolation
+from repro.core.scheduler import WorkStealingScheduler
 from repro.core.cliques import (
     SignedClique,
     filter_maximal_sets,
@@ -86,6 +90,7 @@ __all__ = [
     "query_candidate_space",
     "DynamicSignedCliqueIndex",
     "enumerate_parallel",
+    "WorkStealingScheduler",
     "greedy_signed_cliques",
     "signed_clique_percolation",
     "merge_overlapping_cliques",

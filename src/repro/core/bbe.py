@@ -41,9 +41,10 @@ from __future__ import annotations
 
 import random
 import time
+import zlib
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.kcore import icore_tracked
 from repro.core.cliques import SignedClique, sort_cliques
@@ -82,7 +83,10 @@ class EnumerationResult:
     ``timed_out`` / ``truncated`` report whether a ``time_limit`` or
     ``max_results`` cap stopped the search before exhausting the space —
     in that case the clique list is a valid subset of the full answer,
-    not necessarily the complete one.
+    not necessarily the complete one. ``parallel`` is filled only by
+    :func:`repro.core.parallel.enumerate_parallel`: scheduling counters
+    (tasks seeded/completed, frames re-split, shared-memory payload
+    bytes) that describe how the run was distributed.
     """
 
     cliques: List[SignedClique]
@@ -90,6 +94,7 @@ class EnumerationResult:
     elapsed_seconds: float
     timed_out: bool = False
     truncated: bool = False
+    parallel: Optional[Dict[str, int]] = None
 
     def __iter__(self):
         return iter(self.cliques)
@@ -97,9 +102,27 @@ class EnumerationResult:
     def __len__(self) -> int:
         return len(self.cliques)
 
+    def __getitem__(self, index):
+        return self.cliques[index]
+
 
 class _StopSearch(Exception):
     """Internal control-flow signal: a run cap was reached."""
+
+
+def frame_draw(seed: int, free_reprs: Sequence[str]) -> int:
+    """Frame-deterministic random draw: an index into *free_reprs*.
+
+    Hashes the ``repr`` strings of a frame's free candidates (sorted by
+    the caller) with ``zlib.crc32`` — stable across processes and
+    Python hash seeds — so the "random" branch choice is a pure
+    function of the frame, not of how many frames some RNG stream saw
+    before it. This is what keeps the parallel enumerator's search tree
+    (and therefore its aggregated :class:`SearchStats`) bit-identical
+    no matter how frames are re-split across workers.
+    """
+    payload = "\x1f".join(free_reprs).encode("utf-8")
+    return zlib.crc32(payload, seed & 0xFFFFFFFF) % len(free_reprs)
 
 
 class MSCE:
@@ -132,6 +155,15 @@ class MSCE:
         default honours whichever representation was handed in).
     seed:
         RNG seed for the random selection strategy.
+    frame_rng:
+        When ``True``, the ``"random"`` strategy derives each branch
+        choice from a stable hash of the frame's free candidates
+        (:func:`frame_draw`) instead of one sequential RNG stream. The
+        search tree then no longer depends on the order frames are
+        processed in, which is what the parallel enumerator
+        (:mod:`repro.core.parallel`) relies on for bit-identical
+        results and stats across worker counts. No effect on the
+        deterministic ``"greedy"``/``"first"`` strategies.
     audit:
         When ``True``, every emitted clique is re-verified against all
         three constraints and duplicate emission raises.
@@ -162,6 +194,7 @@ class MSCE:
         max_results: Optional[int] = None,
         min_size: Optional[int] = None,
         compile: bool = True,
+        frame_rng: bool = False,
     ):
         #: Compiled fastpath representation, when one was handed in (and
         #: not disabled); the search then runs on bitset kernels.
@@ -184,6 +217,8 @@ class MSCE:
         #: clique in a subspace is at most |R| large), so large floors
         #: make the search dramatically cheaper.
         self.min_size = min_size
+        self.seed = seed
+        self.frame_rng = frame_rng
         self._rng = random.Random(seed)
         self._maxtest = make_maxtest(maxtest)
         self._select = self._make_selector(selection)
@@ -260,6 +295,57 @@ class MSCE:
             truncated=truncated,
         )
 
+    def run_frames(
+        self,
+        frames: Sequence[Tuple[int, int]],
+        budget: Optional[int] = None,
+        offload: Optional[Callable[[Tuple[int, int]], None]] = None,
+        max_offload: int = 16,
+    ) -> EnumerationResult:
+        """Search an explicit list of ``(candidates, included)`` mask frames.
+
+        The re-entrant subproblem entry point of the parallel
+        enumerator: a worker process attaches the shared compiled graph,
+        builds one ``MSCE`` around it, and feeds it frames produced by
+        :func:`repro.fastpath.search.decompose_root` or offloaded by
+        other workers. Masks are bitmasks over the compiled node
+        indices (requires a :class:`~repro.fastpath.CompiledGraph`;
+        raises :class:`~repro.exceptions.ParameterError` otherwise).
+
+        With a *budget*, every ``budget`` processed frames the deepest
+        unexplored branches are handed to *offload* as
+        ``(candidates, included)`` pairs instead of being recursed into
+        — see :meth:`repro.fastpath.search.FrameSearch.run`. The
+        returned result covers exactly the frames this call processed;
+        counters aggregate across calls because every frame is
+        processed exactly once somewhere.
+        """
+        from repro.fastpath.search import FrameSearch
+
+        if self.compiled is None:
+            raise ParameterError(
+                "run_frames requires a compiled fastpath graph; "
+                "construct the enumerator from a CompiledGraph"
+            )
+        stats = SearchStats()
+        found: Dict[FrozenSet[Node], SignedClique] = {}
+        size_heap: List[int] = []
+        started = time.perf_counter()
+        searcher = FrameSearch(self, stats, found, size_heap, None, None)
+        searcher.run(
+            [(candidates, included, None) for candidates, included in frames],
+            budget=budget,
+            offload=offload,
+            max_offload=max_offload,
+        )
+        cliques = sort_cliques(found.values())
+        stats.maximal_found = len(cliques)
+        return EnumerationResult(
+            cliques=cliques,
+            stats=stats,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -292,6 +378,8 @@ class MSCE:
 
         def randomized(candidates, included, degrees):
             free = sorted(candidates - included, key=repr)
+            if self.frame_rng:
+                return free[frame_draw(self.seed, [repr(node) for node in free])]
             return self._rng.choice(free)
 
         selectors = {"greedy": greedy, "random": randomized, "first": first}

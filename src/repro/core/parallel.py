@@ -1,81 +1,73 @@
 """Parallel maximal (alpha, k)-clique enumeration.
 
-MSCE's structure is embarrassingly parallel at the component level:
-after the MCCore reduction, each connected component is an independent
-search (Algorithm 4, lines 2-4), and maximality testing only looks at a
-clique's common neighbourhood — which stays inside its component. This
-module fans the components out over worker processes.
+Two levels of parallelism compose here, both operating on *frames* —
+``(candidates, included)`` bitmask pairs naming one subtree of MSCE's
+branch-and-bound search:
 
-Determinism: results are identical to the sequential enumerator
-(component order does not matter; each worker uses its own seeded RNG
-for the random strategy, keyed by a stable component fingerprint).
+* **component fan-out** (Algorithm 4, lines 2-4): after the MCCore
+  reduction each connected component is an independent search, so every
+  medium component becomes one seed frame;
+* **intra-component root branching**: a giant component's search is
+  split *at the root* along the exclude spine
+  (:func:`repro.fastpath.search.decompose_root`) — with the default
+  greedy selector the branch vertices follow a degeneracy-style
+  min-positive-degree order, so task ``i`` is vertex ``v_i`` plus its
+  surviving later-ordered candidates, with all earlier branch vertices
+  excluded. Subtrees partition the search tree, so every maximal clique
+  is found exactly once and merging needs no cross-task dedup. This is
+  what makes single-giant-component workloads (the common shape of real
+  signed networks after reduction) scale past one core.
 
-When to use: component fan-out only helps when the reduced graph has
-several *large* components (e.g. low thresholds on community-rich
-graphs). Single-huge-component workloads gain nothing — the paper's
-branch-and-bound tree is sequential within a component — so
-:func:`enumerate_parallel` transparently falls back to the in-process
-path for few/small components.
+Frames are driven by a work-stealing scheduler
+(:class:`repro.core.scheduler.WorkStealingScheduler`): a worker whose
+subtree exceeds a node budget sheds its deepest unexplored branches
+back to the queue, so load balances adaptively even when the presplit
+guessed wrong. Graph data crosses the process boundary exactly once —
+the reduced survivor subgraph is CSR-sliced out of the parent's
+compilation (:meth:`~repro.fastpath.CompiledGraph.extract`, no
+dict-of-sets subgraphs) and published as a
+:class:`~repro.fastpath.shared.SharedCompiledGraph` shared-memory
+block; tasks themselves are two integers. Components below
+:data:`SMALL_COMPONENT` nodes never ship at all: the parent searches
+them inline while the workers chew on the big frames.
+
+Determinism: every frame is processed exactly once somewhere, with
+branch selection a pure function of the frame (the random strategy
+hashes the frame instead of consuming a sequential stream — see
+``frame_rng`` on :class:`~repro.core.bbe.MSCE`). The merged cliques
+*and* the summed :class:`~repro.core.bbe.SearchStats` are therefore
+bit-identical across ``workers`` counts and repeated runs, and — for
+the deterministic selection strategies — bit-identical to the
+sequential enumerator.
 """
 
 from __future__ import annotations
 
-import zlib
-from concurrent.futures import ProcessPoolExecutor
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+import time
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.core.bbe import MSCE
+from repro.core.bbe import MSCE, EnumerationResult, SearchStats
 from repro.core.cliques import SignedClique, sort_cliques
 from repro.core.params import AlphaK
-from repro.core.reduction import reduction_components
-from repro.fastpath.compiled import CompiledGraph, compile_graph
+from repro.core.scheduler import (
+    DEFAULT_MAX_OFFLOAD,
+    DEFAULT_TASK_BUDGET,
+    WorkStealingScheduler,
+)
+from repro.fastpath.bitset import bit_count
+from repro.fastpath.compiled import CompiledGraph, compile_graph, source_graph
+from repro.fastpath.kernels import component_masks, reduce_mask
+from repro.fastpath.search import FrameSearch, decompose_root
+from repro.fastpath.shared import SharedCompiledGraph
 from repro.graphs.signed_graph import Node, SignedGraph
 
-#: Components below this node count are batched into the local worker.
+#: Components below this node count are searched inline in the parent
+#: while the worker processes handle the large frames.
 SMALL_COMPONENT = 32
 
-
-def _component_fingerprint(component: Iterable[Node]) -> int:
-    """Stable seed material for a component (order-independent).
-
-    Uses ``zlib.crc32`` over the repr bytes: built-in ``hash`` of a str
-    is salted per process (PYTHONHASHSEED), which would hand every
-    worker a different RNG seed and break the determinism promise above
-    for string-labelled graphs.
-    """
-    total = 0
-    for node in component:
-        total += zlib.crc32(repr(node).encode("utf-8")) % 1_000_003
-    return total % 2_147_483_647
-
-
-def _enumerate_component(
-    payload: Tuple[CompiledGraph, float, int, str, str, int]
-) -> List[Tuple[FrozenSet[Node], int, int]]:
-    """Worker: enumerate one compiled component; return plain tuples.
-
-    The component ships as a :class:`CompiledGraph` — four flat arrays
-    plus the node list — which pickles far smaller than the dict-of-sets
-    ``SignedGraph`` subgraph it replaces, and lands ready for the
-    fastpath search (no re-hashing on the worker side). Maximality
-    within the component equals global maximality because a clique's
-    common neighbourhood never leaves its (sign-blind) component.
-    """
-    compiled, alpha, k, selection, maxtest, seed = payload
-    params = AlphaK(alpha, k)
-    searcher = MSCE(
-        compiled,
-        params,
-        selection=selection,
-        reduction="none",  # the parent already reduced; avoid re-reducing
-        maxtest=maxtest,
-        seed=seed,
-    )
-    result = searcher.enumerate_seeded(set(compiled.nodes), frozenset())
-    return [
-        (clique.nodes, clique.positive_edges, clique.negative_edges)
-        for clique in result.cliques
-    ]
+#: Components of at least this node count are root-branch decomposed
+#: into multiple tasks instead of shipping as one frame.
+SPLIT_COMPONENT = 128
 
 
 def enumerate_parallel(
@@ -86,55 +78,149 @@ def enumerate_parallel(
     selection: str = "greedy",
     reduction: str = "mcnew",
     maxtest: str = "exact",
-    min_parallel_components: int = 2,
-) -> List[SignedClique]:
+    seed: int = 0,
+    small_component: int = SMALL_COMPONENT,
+    split_component: int = SPLIT_COMPONENT,
+    presplit: Optional[int] = None,
+    task_budget: int = DEFAULT_TASK_BUDGET,
+    max_offload: int = DEFAULT_MAX_OFFLOAD,
+) -> EnumerationResult:
     """Enumerate all maximal (alpha, k)-cliques using *workers* processes.
 
-    Returns exactly the sequential answer (sorted largest-first). Falls
-    back to the sequential enumerator when the reduced graph has fewer
-    than *min_parallel_components* non-trivial components or when
-    ``workers <= 1``. Accepts a :class:`repro.fastpath.CompiledGraph`
-    for *graph*; each shipped component is itself compiled, so workers
-    receive compact CSR arrays and run the fastpath search either way.
+    Returns an :class:`~repro.core.bbe.EnumerationResult` whose cliques
+    are exactly the sequential answer (sorted largest-first) and whose
+    :class:`~repro.core.bbe.SearchStats` aggregate the per-frame
+    counters across the parent and all workers — for the deterministic
+    selection strategies they equal the sequential run's counters
+    bit-for-bit; for ``"random"`` they are identical across worker
+    counts and repeated runs (frame-hashed draws). The ``parallel``
+    field carries scheduling counters, including the shared-memory
+    payload size that replaces per-task subgraph pickling.
+
+    Accepts a :class:`repro.fastpath.CompiledGraph` for *graph* to skip
+    recompilation. ``workers <= 1`` runs the identical decomposition
+    in-process (same frames, same stats) with no worker processes.
+
+    Parameters beyond the enumerator's usual knobs:
+
+    small_component / split_component:
+        Node-count thresholds selecting, per reduced component, between
+        inline search, a single task, and root-branch decomposition.
+    presplit:
+        Root branches carved per giant component before scheduling
+        (default ``4 * workers``); the residual spine frame becomes the
+        final task either way.
+    task_budget / max_offload:
+        Work-stealing re-split knobs, see
+        :mod:`repro.core.scheduler`. Scheduling granularity only —
+        results and stats are invariant.
     """
     params = AlphaK(alpha, k)
-    compiled = graph if isinstance(graph, CompiledGraph) else None
-    graph = graph.source if compiled is not None else graph
-    components = [
-        set(c) for c in reduction_components(compiled or graph, params, method=reduction)
-    ]
-    large = [c for c in components if len(c) >= SMALL_COMPONENT]
-    if workers <= 1 or len(large) < min_parallel_components:
-        searcher = MSCE(
-            compiled or graph, params, selection=selection, reduction=reduction, maxtest=maxtest
-        )
-        return searcher.enumerate_all().cliques
+    started = time.perf_counter()
+    compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
 
-    payloads = []
-    for component in components:
-        payloads.append(
-            (
-                compile_graph(graph.subgraph(component)),
-                alpha,
-                k,
+    # Reduce once, then carve the survivor subgraph straight out of the
+    # CSR arrays — no per-component dict-of-sets subgraph rebuilds.
+    survivor_mask = reduce_mask(compiled, params, method=reduction)
+    if survivor_mask == compiled.full_mask:
+        extracted = compiled
+    else:
+        extracted = compiled.extract(survivor_mask)
+        # The parent emits and maxtests against the original graph, like
+        # the sequential enumerator (workers use the reduced subgraph,
+        # which provably gives the same answers); seeding the source
+        # also avoids an O(m) reconstruction in MSCE's constructor.
+        extracted._source = source_graph(graph)
+
+    searcher = MSCE(
+        extracted,
+        params,
+        selection=selection,
+        reduction="none",  # already reduced above
+        maxtest=maxtest,
+        seed=seed,
+        frame_rng=True,
+    )
+
+    stats = SearchStats()
+    found: Dict[FrozenSet[Node], SignedClique] = {}
+    size_heap: List[int] = []
+
+    inline_frames: List[Tuple[int, int]] = []
+    tasks: List[Tuple[int, int]] = []
+    presplit_cap = presplit if presplit is not None else max(4 * workers, 4)
+    split_components = 0
+    for mask in component_masks(extracted):
+        stats.components += 1
+        size = bit_count(mask)
+        if size < small_component:
+            inline_frames.append((mask, 0))
+        elif size < split_component:
+            tasks.append((mask, 0))
+        else:
+            split_components += 1
+            tasks.extend(
+                decompose_root(searcher, mask, stats, found, size_heap, presplit_cap)
+            )
+    # Biggest subtrees first so stragglers start early; deterministic
+    # tie-break keeps the seeded order stable across runs.
+    tasks.sort(key=lambda frame: (-bit_count(frame[0]), frame[0], frame[1]))
+
+    report: Dict[str, int] = {
+        "workers": max(1, workers),
+        "tasks_seeded": len(tasks),
+        "inline_components": len(inline_frames),
+        "presplit_components": split_components,
+        "shared_graph_bytes": 0,
+        "frames_resplit": 0,
+    }
+
+    def run_inline(frames: List[Tuple[int, int]]) -> None:
+        if frames:
+            FrameSearch(searcher, stats, found, size_heap, None, None).run(
+                [(candidates, included, None) for candidates, included in frames]
+            )
+
+    if workers <= 1 or not tasks:
+        # Same frames, same order semantics, no processes: results and
+        # stats match the multi-worker path bit for bit.
+        run_inline(tasks + inline_frames)
+        report["tasks_completed"] = len(tasks)
+    else:
+        shared = SharedCompiledGraph.create(extracted)
+        try:
+            scheduler = WorkStealingScheduler(
+                shared,
+                workers,
+                params,
                 selection,
                 maxtest,
-                _component_fingerprint(component),
+                seed,
+                task_budget=task_budget,
+                max_offload=max_offload,
             )
-        )
-    # Biggest components first so stragglers start early.
-    payloads.sort(key=lambda p: -p[0].n)
+            rows, worker_stats = scheduler.run(
+                tasks, local_work=lambda: run_inline(inline_frames)
+            )
+        finally:
+            shared.close()
+            shared.unlink()
+        for nodes, positive, negative in rows:
+            found[nodes] = SignedClique(
+                nodes=nodes,
+                params=params,
+                positive_edges=positive,
+                negative_edges=negative,
+            )
+        for key, value in worker_stats.items():
+            setattr(stats, key, getattr(stats, key) + value)
+        report.update(scheduler.report)
 
-    cliques: List[SignedClique] = []
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        for rows in executor.map(_enumerate_component, payloads):
-            for nodes, positive, negative in rows:
-                cliques.append(
-                    SignedClique(
-                        nodes=nodes,
-                        params=params,
-                        positive_edges=positive,
-                        negative_edges=negative,
-                    )
-                )
-    return sort_cliques(cliques)
+    cliques = sort_cliques(found.values())
+    stats.maximal_found = len(cliques)
+    return EnumerationResult(
+        cliques=cliques,
+        stats=stats,
+        elapsed_seconds=time.perf_counter() - started,
+        parallel=report,
+    )

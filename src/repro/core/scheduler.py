@@ -1,0 +1,239 @@
+"""Work-stealing scheduler for intra-component parallel MSCE.
+
+The unit of work is a *frame*: a ``(candidates, included)`` bitmask
+pair over a shared compiled graph — one node of MSCE's branch-and-bound
+tree together with the whole subtree below it. The parent seeds the
+queue with root frames (whole small-ish components, plus the
+degeneracy-ordered root branches of giant components, see
+:func:`repro.fastpath.search.decompose_root`); workers then keep the
+queue warm themselves:
+
+* every worker runs :meth:`repro.core.bbe.MSCE.run_frames` with a
+  **node budget** — after ``task_budget`` processed frames it stops
+  recursing into the deepest unexplored branches (the bottom of its
+  DFS stack, which root the largest remaining subtrees) and sends them
+  back as ``spawn`` messages;
+* the parent re-enqueues spawned frames, so an idle worker steals
+  exactly the big chunks a loaded worker sheds — adaptive re-splitting
+  without any shared-state locking in the workers.
+
+Graph data never rides on the queue: workers attach the
+:class:`~repro.fastpath.shared.SharedCompiledGraph` block once per
+process and every task is just two integers. Because each frame is
+processed exactly once somewhere with frame-deterministic semantics
+(see :class:`~repro.fastpath.search.FrameSearch`), the merged clique
+set and the summed :class:`~repro.core.bbe.SearchStats` are
+bit-identical across worker counts, scheduling orders and repeated
+runs.
+
+Completion accounting lives entirely in the parent: ``pending`` starts
+at the number of seeded tasks, each ``spawn`` message increments it
+(the parent is the only writer of the task queue, so a spawned frame's
+``done`` can never be observed before its ``spawn``), each ``done``
+decrements it, and ``pending == 0`` means the tree is exhausted. Worker
+results stream back per task and are merged in completion order, so
+clique construction in the parent overlaps with straggler subtrees.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.params import AlphaK
+
+#: Frames processed by a worker before it sheds its deepest branches.
+DEFAULT_TASK_BUDGET = 512
+
+#: Maximum frames shed per budget overrun.
+DEFAULT_MAX_OFFLOAD = 16
+
+#: A task on the wire: (candidates mask, included mask).
+TaskFrame = Tuple[int, int]
+
+#: A finished clique on the wire: (member nodes, positive, negative).
+CliqueRow = Tuple[frozenset, int, int]
+
+
+def _make_context():
+    """Prefer ``fork`` (cheap start, one resource tracker); fall back."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _worker_main(task_queue, result_queue, shared_meta, config) -> None:
+    """Worker loop: attach the shared graph once, then drain frames.
+
+    *config* is ``(params, selection, maxtest, seed, task_budget,
+    max_offload)``. Each task is searched with
+    :meth:`~repro.core.bbe.MSCE.run_frames`; branches shed by the node
+    budget go back to the parent as ``("spawn", frame)`` messages
+    *before* the task's ``("done", rows, stats)`` message, keeping the
+    parent's pending count conservative.
+    """
+    from repro.core.bbe import MSCE
+    from repro.fastpath.shared import SharedCompiledGraph
+
+    view = None
+    try:
+        params, selection, maxtest, seed, task_budget, max_offload = config
+        view = SharedCompiledGraph.attach(shared_meta)
+        # MSCE materialises the maxtest/emit source graph eagerly, so the
+        # one-off reconstruction cost lands here, once per process.
+        searcher = MSCE(
+            view.graph,
+            params,
+            selection=selection,
+            reduction="none",  # the parent already reduced
+            maxtest=maxtest,
+            seed=seed,
+            frame_rng=True,
+        )
+    except BaseException:
+        result_queue.put(("error", traceback.format_exc()))
+        return
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            try:
+                result = searcher.run_frames(
+                    [task],
+                    budget=task_budget,
+                    offload=lambda frame: result_queue.put(("spawn", frame)),
+                    max_offload=max_offload,
+                )
+                rows: List[CliqueRow] = [
+                    (clique.nodes, clique.positive_edges, clique.negative_edges)
+                    for clique in result.cliques
+                ]
+                result_queue.put(("done", rows, result.stats.as_dict()))
+            except BaseException:
+                result_queue.put(("error", traceback.format_exc()))
+                return
+    finally:
+        if view is not None:
+            view.close()
+
+
+class WorkStealingScheduler:
+    """Drive frame tasks over worker processes with adaptive re-splitting.
+
+    Parameters
+    ----------
+    shared:
+        The parent-owned :class:`~repro.fastpath.shared.SharedCompiledGraph`
+        every worker attaches to (the parent keeps ownership; this class
+        never unlinks it).
+    workers:
+        Number of worker processes to spawn.
+    params, selection, maxtest, seed:
+        The enumerator configuration, forwarded verbatim to each
+        worker's :class:`~repro.core.bbe.MSCE`.
+    task_budget, max_offload:
+        Re-splitting knobs: frames processed before shedding, and how
+        many bottom-of-stack frames one shed may move. Both only change
+        scheduling granularity — never results or stats.
+    """
+
+    def __init__(
+        self,
+        shared,
+        workers: int,
+        params: AlphaK,
+        selection: str,
+        maxtest: str,
+        seed: int,
+        task_budget: int = DEFAULT_TASK_BUDGET,
+        max_offload: int = DEFAULT_MAX_OFFLOAD,
+    ):
+        self.shared = shared
+        self.workers = max(1, workers)
+        self.config = (params, selection, maxtest, seed, task_budget, max_offload)
+        #: Filled by :meth:`run`: tasks executed, frames re-split, bytes.
+        self.report: Dict[str, int] = {}
+
+    def run(
+        self,
+        tasks: List[TaskFrame],
+        local_work: Optional[Callable[[], None]] = None,
+    ) -> Tuple[List[CliqueRow], Dict[str, int]]:
+        """Execute *tasks* to exhaustion; return merged rows and stats.
+
+        *local_work* (the parent's inline small-component sweep) runs
+        after the queue is seeded and before result pumping, so it
+        overlaps with the workers' first tasks. Returns the clique rows
+        from all tasks (duplicate-free by construction — frames
+        partition the search tree) and the summed per-task
+        ``SearchStats`` counters.
+        """
+        ctx = _make_context()
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        processes = [
+            ctx.Process(
+                target=_worker_main,
+                args=(task_queue, result_queue, self.shared.meta, self.config),
+                daemon=True,
+            )
+            for _ in range(self.workers)
+        ]
+        for process in processes:
+            process.start()
+        for task in tasks:
+            task_queue.put(task)
+
+        rows: List[CliqueRow] = []
+        stats_total: Dict[str, int] = {}
+        pending = len(tasks)
+        spawned = 0
+        completed = 0
+        try:
+            if local_work is not None:
+                local_work()
+            while pending > 0:
+                try:
+                    message = result_queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    dead = [p for p in processes if p.exitcode not in (None, 0)]
+                    if dead:
+                        raise RuntimeError(
+                            f"parallel worker died with exit code {dead[0].exitcode}"
+                        )
+                    continue
+                kind = message[0]
+                if kind == "spawn":
+                    task_queue.put(message[1])
+                    pending += 1
+                    spawned += 1
+                elif kind == "done":
+                    pending -= 1
+                    completed += 1
+                    rows.extend(message[1])
+                    for key, value in message[2].items():
+                        stats_total[key] = stats_total.get(key, 0) + value
+                else:
+                    raise RuntimeError(f"parallel worker failed:\n{message[1]}")
+        finally:
+            for _ in processes:
+                task_queue.put(None)
+            for process in processes:
+                process.join(timeout=5.0)
+            for process in processes:
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=1.0)
+            task_queue.close()
+            result_queue.close()
+        self.report = {
+            "tasks_seeded": len(tasks),
+            "tasks_completed": completed,
+            "frames_resplit": spawned,
+            "shared_graph_bytes": self.shared.nbytes,
+        }
+        return rows, stats_total

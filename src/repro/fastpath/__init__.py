@@ -23,7 +23,12 @@ This package provides the flat alternative:
   MCNew / MCBasic, orientation-based triangle counting and connected
   components;
 * :mod:`~repro.fastpath.search` — the bitset port of MSCE's
-  branch-and-bound component search.
+  branch-and-bound component search, refactored around explicit
+  resumable frames (:class:`~repro.fastpath.search.FrameSearch`) so the
+  parallel enumerator can split, budget and offload subtrees;
+* :mod:`~repro.fastpath.shared` — one-shot shared-memory shipping of a
+  compiled graph to worker processes
+  (:class:`~repro.fastpath.shared.SharedCompiledGraph`).
 
 Dispatch is transparent: :func:`compile_graph` once, then hand the
 compiled graph anywhere a ``SignedGraph`` is accepted —
@@ -37,12 +42,14 @@ those entry points to force the pure path for ablations.
 
 from repro.fastpath.bitset import IntBitset, bit_count, iter_bits
 from repro.fastpath.compiled import CompiledGraph, as_compiled, compile_graph, source_graph
+from repro.fastpath.shared import SharedCompiledGraph
 
 __all__ = [
     "CompiledGraph",
     "compile_graph",
     "as_compiled",
     "source_graph",
+    "SharedCompiledGraph",
     "IntBitset",
     "bit_count",
     "iter_bits",

@@ -232,6 +232,45 @@ class CompiledGraph:
         return cached
 
     # ------------------------------------------------------------------
+    # Subgraph extraction
+    # ------------------------------------------------------------------
+    def extract(self, member_mask: int) -> "CompiledGraph":
+        """Return the compiled induced subgraph of the *member_mask* nodes.
+
+        Slices the CSR arrays directly — O(sum of member degrees), no
+        intermediate dict-of-sets ``SignedGraph`` is ever built — which
+        is how the parallel enumerator carves the reduced survivor set
+        (or a component) out of a full compilation without the serial
+        ``graph.subgraph`` + ``compile_graph`` prefix it used to pay per
+        component. Kept nodes are renumbered ``0..k-1`` in ascending
+        original-index order, so CSR rows stay ascending and the
+        ``repr``-rank tie-breaking of the search is unaffected. The
+        result carries no source graph; :attr:`source` reconstructs one
+        on demand.
+        """
+        keep = list(iter_bits(member_mask))
+        new_index = [-1] * self.n
+        for new, old in enumerate(keep):
+            new_index[old] = new
+        nodes = [self.nodes[old] for old in keep]
+        xadj, adj, signs = self.xadj, self.adj, self.signs
+        sub_xadj: List[int] = [0]
+        sub_adj: List[int] = []
+        sub_signs: List[int] = []
+        for old in keep:
+            for t in range(xadj[old], xadj[old + 1]):
+                j = adj[t]
+                if (member_mask >> j) & 1:
+                    sub_adj.append(new_index[j])
+                    sub_signs.append(signs[t])
+            sub_xadj.append(len(sub_adj))
+        return CompiledGraph(nodes, sub_xadj, sub_adj, sub_signs, source=None)
+
+    def extract_nodes(self, members: Iterable[Node]) -> "CompiledGraph":
+        """Node-set convenience wrapper over :meth:`extract`."""
+        return self.extract(self.mask_from_nodes(members))
+
+    # ------------------------------------------------------------------
     # Round trips
     # ------------------------------------------------------------------
     @property

@@ -1,6 +1,6 @@
 """Bitset port of MSCE's branch-and-bound component search.
 
-:func:`search_component_fast` mirrors
+:class:`FrameSearch` mirrors
 :meth:`repro.core.bbe.MSCE._search_component` frame for frame: the same
 pruning rules in the same order, the same tracked-degree threading, and
 byte-identical branch selection (ties broken through the compiled
@@ -11,6 +11,30 @@ over compiled node indices, so the clique- and negative-constraint
 pruning loops intersect with one C-level AND per candidate instead of a
 hashed set intersection.
 
+The search is *resumable*: a frame ``(candidates, included, degrees)``
+is a self-contained subproblem, :meth:`FrameSearch.expand` processes
+exactly one frame, and :meth:`FrameSearch.run` drives a DFS over an
+explicit list of frames with an optional per-call *budget*. When the
+budget is exceeded the deepest unexplored branches — the frames at the
+bottom of the DFS stack, which root the largest subtrees — are handed
+to an ``offload`` callback instead of being recursed into. This is what
+lets the work-stealing scheduler (:mod:`repro.core.scheduler`) re-split
+a running task across worker processes: every frame is still processed
+exactly once somewhere, so results and aggregated
+:class:`~repro.core.bbe.SearchStats` are invariant under any
+distribution of frames over workers.
+
+:func:`decompose_root` splits a component's search at the root into
+independent frames along the exclude spine: repeatedly process the root
+frame, ship the include branch ``(keep, {v_i})`` as a task, and continue
+on the exclude branch ``R \\ {v_i}``. With the default greedy selector
+(minimum positive degree inside ``R``) the branch vertices ``v_1, v_2,
+...`` follow a degeneracy-style peel order, so task ``i`` is exactly the
+classic degeneracy-ordered root branch: ``v_i`` plus its candidates
+among later-ordered vertices, with all earlier branch vertices excluded.
+A maximal clique is therefore found in exactly one task — the one rooted
+at its earliest branch vertex — and merging needs no cross-task dedup.
+
 Cliques are emitted through the enumerator's own ``_emit`` (after
 mapping indices back to nodes), so dedup, auditing, top-r bookkeeping
 and result caps behave identically; the cross-validation tests assert
@@ -20,7 +44,7 @@ the full result sets match the pure path exactly.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ParameterError
 from repro.fastpath.bitset import bit_count, iter_bits
@@ -29,38 +53,79 @@ from repro.fastpath.kernels import icore_tracked_fast
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.bbe import MSCE, SearchStats
 
+#: A search frame: (candidates mask, included mask, tracked degree map).
+Frame = Tuple[int, int, Optional[Dict[int, int]]]
 
-def search_component_fast(
-    msce: "MSCE",
-    component_mask: int,
-    stats: "SearchStats",
-    found,
-    size_heap: List[int],
-    top_r: Optional[int],
-    deadline: Optional[float],
-    seed_mask: int = 0,
-) -> None:
-    """Run the BBE search over one component given as an index bitmask.
+#: How many bottom-of-stack frames one budget overrun may offload.
+MAX_OFFLOAD = 16
 
-    Raises the enumerator's internal ``_StopSearch`` on timeout or
-    result caps, exactly like the pure search.
+
+class FrameSearch:
+    """A configured BBE frame processor over one compiled graph.
+
+    Binds the enumerator's knobs (pruning flags, selector, maxtest) and
+    the run's accumulators (``stats``, ``found``, ``size_heap``) once,
+    then processes frames through :meth:`expand` / :meth:`run`. All
+    state a frame needs travels *in* the frame, which is what makes the
+    search resumable and re-splittable across processes.
     """
-    from repro.core.bbe import _StopSearch
 
-    compiled = msce.compiled
-    params = msce.params
-    threshold = params.positive_threshold
-    budget = params.k
-    pos_masks = compiled.masks("positive")
-    neg_masks = compiled.masks("negative")
-    adj_masks = compiled.masks("all")
-    select = _make_selector(msce, pos_masks)
+    __slots__ = (
+        "msce",
+        "stats",
+        "found",
+        "size_heap",
+        "top_r",
+        "deadline",
+        "compiled",
+        "threshold",
+        "neg_budget",
+        "pos_masks",
+        "neg_masks",
+        "adj_masks",
+        "select",
+    )
 
-    def is_valid_clique(members: int, degrees: Optional[Dict[int, int]]) -> bool:
+    def __init__(
+        self,
+        msce: "MSCE",
+        stats: "SearchStats",
+        found,
+        size_heap: List[int],
+        top_r: Optional[int],
+        deadline: Optional[float],
+    ):
+        if msce.compiled is None:
+            raise ParameterError(
+                "FrameSearch requires a compiled fastpath graph; "
+                "construct the enumerator from a CompiledGraph"
+            )
+        self.msce = msce
+        self.stats = stats
+        self.found = found
+        self.size_heap = size_heap
+        self.top_r = top_r
+        self.deadline = deadline
+        compiled = msce.compiled
+        self.compiled = compiled
+        self.threshold = msce.params.positive_threshold
+        self.neg_budget = msce.params.k
+        self.pos_masks = compiled.masks("positive")
+        self.neg_masks = compiled.masks("negative")
+        self.adj_masks = compiled.masks("all")
+        self.select = _make_selector(msce, self.pos_masks)
+
+    # ------------------------------------------------------------------
+    # Frame processing
+    # ------------------------------------------------------------------
+    def _is_valid_clique(self, members: int, degrees: Optional[Dict[int, int]]) -> bool:
         # Mirror of the pure inline Definition-1 check (see bbe.py).
         if not members:
             return False
+        neg_masks = self.neg_masks
         need = bit_count(members) - 1
+        budget = self.neg_budget
+        threshold = self.threshold
         if degrees is not None:
             for i in iter_bits(members):
                 positive = degrees[i]
@@ -72,6 +137,8 @@ def search_component_fast(
                 if bit_count(neg_masks[i] & members) != expected_negative:
                     return False
             return True
+        pos_masks = self.pos_masks
+        adj_masks = self.adj_masks
         for i in iter_bits(members):
             if bit_count(adj_masks[i] & members) < need:
                 return False
@@ -81,52 +148,61 @@ def search_component_fast(
                 return False
         return True
 
-    # Frames are (candidates_mask, included_mask, degrees) exactly like
-    # the pure search's (candidates, included, degrees); include branch
-    # pushed last so it is explored first.
-    Frame = Tuple[int, int, Optional[Dict[int, int]]]
-    stack: List[Frame] = [(component_mask, seed_mask, None)]
+    def expand(self, frame: Frame) -> Optional[Tuple[Frame, Frame]]:
+        """Process one frame; return its ``(include, exclude)`` children.
 
-    while stack:
-        if deadline is not None and time.perf_counter() > deadline:
-            raise _StopSearch("timeout")
-        candidates, included, degrees = stack.pop()
+        ``None`` means the frame was a leaf — pruned, or terminated
+        early with its candidate set emitted as a clique. The frame's
+        full accounting (recursion, prune and maxtest counters, clique
+        emission) happens here, exactly as in the sequential search, so
+        aggregating per-frame work reproduces the sequential
+        :class:`~repro.core.bbe.SearchStats` no matter how frames are
+        distributed over tasks and processes.
+        """
+        msce = self.msce
+        stats = self.stats
+        compiled = self.compiled
+        budget = self.neg_budget
+        candidates, included, degrees = frame
         stats.recursions += 1
 
         if msce.core_pruning:
             flag, candidates, degrees = icore_tracked_fast(
-                compiled, included, threshold, candidates, degrees, sign="positive"
+                compiled, included, self.threshold, candidates, degrees, sign="positive"
             )
             if not flag:
                 stats.core_prunes += 1
-                continue
+                return None
 
         size = bit_count(candidates)
         if msce.min_size is not None and size < msce.min_size:
             stats.topr_prunes += 1
-            continue
-        if top_r is not None and len(size_heap) >= top_r and size < size_heap[0]:
+            return None
+        top_r = self.top_r
+        if top_r is not None and len(self.size_heap) >= top_r and size < self.size_heap[0]:
             stats.topr_prunes += 1
-            continue
+            return None
 
-        if is_valid_clique(candidates, degrees):
+        if self._is_valid_clique(candidates, degrees):
             stats.early_terminations += 1
             stats.maxtests += 1
             members = compiled.nodes_from_mask(candidates)
-            if msce._maxtest(msce.graph, members, params):
-                msce._emit(members, found, size_heap, top_r, stats)
-            continue
+            if msce._maxtest(msce.graph, members, msce.params):
+                msce._emit(members, self.found, self.size_heap, top_r, stats)
+            return None
 
         free = candidates & ~included
         if not free:
             # Unreachable with core pruning on; defensive for ablations.
-            continue
-        branch = select(candidates, included, degrees)
+            return None
+        branch = self.select(candidates, included, degrees)
         branch_bit = 1 << branch
         new_included = included | branch_bit
 
+        neg_masks = self.neg_masks
+        pos_masks = self.pos_masks
         keep = new_included
-        adjacency = adj_masks[branch]
+        adjacency = self.adj_masks[branch]
         negative_inside = {
             i: bit_count(neg_masks[i] & new_included) for i in iter_bits(new_included)
         }
@@ -152,7 +228,6 @@ def search_component_fast(
                 exclude_degrees[i] -= 1
         else:
             exclude_degrees = None
-        stack.append((exclude_candidates, included, exclude_degrees))
 
         # Include branch: same decremental-vs-recompute policy as the
         # pure search (recompute when more than a third was pruned).
@@ -166,7 +241,127 @@ def search_component_fast(
                 for i in iter_bits(removed):
                     for j in iter_bits(pos_masks[i] & keep):
                         include_degrees[j] -= 1
-        stack.append((keep, new_included, include_degrees))
+        return (
+            (keep, new_included, include_degrees),
+            (exclude_candidates, included, exclude_degrees),
+        )
+
+    # ------------------------------------------------------------------
+    # Driving loops
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        frames: List[Frame],
+        budget: Optional[int] = None,
+        offload: Optional[Callable[[Tuple[int, int]], None]] = None,
+        max_offload: int = MAX_OFFLOAD,
+    ) -> None:
+        """DFS over *frames* (include branch explored first).
+
+        With a *budget*, every ``budget`` processed frames up to
+        *max_offload* frames are taken **from the bottom of the stack**
+        (the largest unexplored subtrees) and passed to *offload* as
+        plain ``(candidates, included)`` pairs — tracked degrees are
+        dropped, which changes nothing observable: the receiving frame
+        recomputes them, producing identical results and counters. The
+        offload points depend only on the processed-frame count, never
+        on wall-clock, so the set of frames a task spawns is a pure
+        function of the task itself — the foundation of the parallel
+        enumerator's determinism guarantee.
+
+        Raises the enumerator's internal ``_StopSearch`` on timeout or
+        result caps, exactly like the pure search.
+        """
+        from repro.core.bbe import _StopSearch
+
+        deadline = self.deadline
+        stack = list(frames)
+        processed = 0
+        while stack:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise _StopSearch("timeout")
+            frame = stack.pop()
+            processed += 1
+            children = self.expand(frame)
+            if children is not None:
+                include, exclude = children
+                stack.append(exclude)
+                stack.append(include)
+            if (
+                budget is not None
+                and offload is not None
+                and processed >= budget
+                and len(stack) > 1
+            ):
+                take = min(max_offload, len(stack) - 1)
+                for candidates, included, _degrees in stack[:take]:
+                    offload((candidates, included))
+                del stack[:take]
+                processed = 0
+
+
+def search_component_fast(
+    msce: "MSCE",
+    component_mask: int,
+    stats: "SearchStats",
+    found,
+    size_heap: List[int],
+    top_r: Optional[int],
+    deadline: Optional[float],
+    seed_mask: int = 0,
+) -> None:
+    """Run the BBE search over one component given as an index bitmask.
+
+    Thin wrapper over :class:`FrameSearch` kept for the sequential
+    entry points in :mod:`repro.core.bbe`.
+    """
+    FrameSearch(msce, stats, found, size_heap, top_r, deadline).run(
+        [(component_mask, seed_mask, None)]
+    )
+
+
+def decompose_root(
+    msce: "MSCE",
+    component_mask: int,
+    stats: "SearchStats",
+    found,
+    size_heap: List[int],
+    max_tasks: int,
+    seed_mask: int = 0,
+) -> List[Tuple[int, int]]:
+    """Split one component's search into up to *max_tasks* root frames.
+
+    Walks the exclude spine of the component's search tree: each step
+    processes the current root frame exactly as :meth:`FrameSearch.expand`
+    would (pruning counters, early terminations and any emitted cliques
+    land in the caller's *stats*/*found*), appends the include branch
+    ``(keep, included | {v_i})`` to the task list, and continues on the
+    exclude branch. The spine's branch vertices follow the selector's
+    order — a degeneracy-style min-positive-degree peel for the default
+    greedy strategy — so each task is the root branch of one vertex:
+    the vertex itself plus its surviving later-ordered neighbours, with
+    every earlier branch vertex excluded. The subtree sets are disjoint
+    and their union is exactly the sequential search tree, which makes
+    the task results a duplicate-free partition of the component's
+    maximal cliques.
+
+    When the cap is reached the unprocessed residual spine frame becomes
+    the final task. Returns ``(candidates, included)`` mask pairs.
+    """
+    searcher = FrameSearch(msce, stats, found, size_heap, None, None)
+    tasks: List[Tuple[int, int]] = []
+    frame: Frame = (component_mask, seed_mask, None)
+    while True:
+        if len(tasks) >= max_tasks - 1:
+            tasks.append((frame[0], frame[1]))
+            break
+        children = searcher.expand(frame)
+        if children is None:
+            break
+        include, exclude = children
+        tasks.append((include[0], include[1]))
+        frame = exclude
+    return tasks
 
 
 def _make_selector(msce: "MSCE", pos_masks: List[int]):
@@ -174,6 +369,10 @@ def _make_selector(msce: "MSCE", pos_masks: List[int]):
 
     Tie-breaking goes through the compiled ``repr``-rank permutation so
     the chosen node is exactly the one the pure selector would pick.
+    With ``frame_rng`` the random strategy hashes the frame's free
+    candidates (by node ``repr``, so the draw is independent of the
+    compiled index space) instead of consuming a sequential RNG stream;
+    see :func:`repro.core.bbe.frame_draw`.
     """
     repr_rank = msce.compiled.repr_rank
 
@@ -193,6 +392,11 @@ def _make_selector(msce: "MSCE", pos_masks: List[int]):
 
     def randomized(candidates: int, included: int, degrees) -> int:
         free = sorted(iter_bits(candidates & ~included), key=repr_rank.__getitem__)
+        if msce.frame_rng:
+            from repro.core.bbe import frame_draw
+
+            nodes = msce.compiled.nodes
+            return free[frame_draw(msce.seed, [repr(nodes[i]) for i in free])]
         return msce._rng.choice(free)
 
     selectors = {"greedy": greedy, "random": randomized, "first": first}

@@ -1,0 +1,224 @@
+"""Zero-copy shipping of a :class:`CompiledGraph` via shared memory.
+
+The parallel enumerator used to pickle one compiled subgraph per task.
+That is wasteful twice over when many tasks search the *same* graph:
+the arrays are serialised per task, and every worker re-materialises a
+private copy per task. :class:`SharedCompiledGraph` instead packs all
+six CSR arrays (combined / positive / negative ``xadj``+``adj``), the
+aligned edge signs, and the pickled node list into **one**
+``multiprocessing.shared_memory`` block. Tasks then ship only two
+integers (candidate and included bitmasks) plus the block's name; each
+worker attaches once and reconstructs a read-only
+:class:`CompiledGraph` whose array slots are ``memoryview`` casts
+straight into the shared block — no copies of the CSR data are made on
+either side of the process boundary.
+
+Lifecycle (see also ``docs/ALGORITHMS.md``):
+
+* **create** — the parent calls :meth:`SharedCompiledGraph.create`,
+  which sizes the block, copies the arrays in, and returns a handle
+  owning the segment;
+* **attach** — workers call :meth:`SharedCompiledGraph.attach` with the
+  handle's :attr:`meta` tuple (picklable, a few dozen bytes) and cache
+  the resulting view for the life of the process;
+* **unlink** — only the creating parent calls :meth:`unlink` (in a
+  ``finally``), after the workers have drained; workers merely drop
+  their views and :meth:`close`. POSIX keeps the segment alive until
+  the last mapping is gone, so a parent unlink never yanks pages from
+  a still-attached worker.
+
+Node labels are arbitrary hashables, so the node list itself crosses
+the boundary as one pickle inside the block — the only per-worker copy,
+made once per process, not per task.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+from repro.fastpath.compiled import CompiledGraph
+
+#: Picklable description of a shared block: (segment name, node count,
+#: combined/positive/negative adjacency lengths, node-pickle length).
+SharedGraphMeta = Tuple[str, int, int, int, int, int]
+
+_ALIGN = 8
+
+
+def _aligned(offset: int) -> int:
+    """Round *offset* up to the next 8-byte boundary (int64 segments)."""
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _layout(n: int, m_all: int, m_pos: int, m_neg: int, nodes_len: int) -> Tuple[List[Tuple[int, int]], int]:
+    """Return ``(segments, total)``: byte (offset, length) per segment.
+
+    Segment order: xadj, pxadj, nxadj (each ``n + 1`` int64), adj, padj,
+    nadj (int64), signs (int8, aligned with adj), nodes pickle. Every
+    segment starts 8-aligned so ``memoryview.cast("q")`` is safe.
+    """
+    lengths = [
+        (n + 1) * 8,  # xadj
+        (n + 1) * 8,  # pxadj
+        (n + 1) * 8,  # nxadj
+        m_all * 8,  # adj
+        m_pos * 8,  # padj
+        m_neg * 8,  # nadj
+        m_all,  # signs
+        nodes_len,  # pickled node list
+    ]
+    segments: List[Tuple[int, int]] = []
+    offset = 0
+    for length in lengths:
+        offset = _aligned(offset)
+        segments.append((offset, length))
+        offset += length
+    return segments, offset
+
+
+class SharedCompiledGraph:
+    """A :class:`CompiledGraph` backed by one shared-memory block.
+
+    Build with :meth:`create` (parent, owns the segment) or
+    :meth:`attach` (worker, borrows it). :attr:`graph` returns the
+    reconstructed zero-copy view; :attr:`nbytes` is the block size —
+    what the benchmark reports as the once-per-run payload that
+    replaces per-task subgraph pickles.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, meta: SharedGraphMeta, owner: bool):
+        self._shm = shm
+        self.meta = meta
+        self._owner = owner
+        self._graph: Optional[CompiledGraph] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, compiled: CompiledGraph) -> "SharedCompiledGraph":
+        """Copy *compiled*'s arrays into a fresh shared-memory block."""
+        nodes_blob = pickle.dumps(compiled.nodes, protocol=pickle.HIGHEST_PROTOCOL)
+        n = compiled.n
+        m_all = len(compiled.adj)
+        m_pos = len(compiled.padj)
+        m_neg = len(compiled.nadj)
+        segments, total = _layout(n, m_all, m_pos, m_neg, len(nodes_blob))
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        payloads = (
+            compiled.xadj,
+            compiled.pxadj,
+            compiled.nxadj,
+            compiled.adj,
+            compiled.padj,
+            compiled.nadj,
+            compiled.signs,
+            nodes_blob,
+        )
+        buf = shm.buf
+        for (offset, length), payload in zip(segments, payloads):
+            if length:
+                buf[offset : offset + length] = (
+                    payload if isinstance(payload, bytes) else payload.tobytes()
+                )
+        meta: SharedGraphMeta = (shm.name, n, m_all, m_pos, m_neg, len(nodes_blob))
+        return cls(shm, meta, owner=True)
+
+    @classmethod
+    def attach(cls, meta: SharedGraphMeta) -> "SharedCompiledGraph":
+        """Open an existing block by its :attr:`meta` (worker side)."""
+        shm = shared_memory.SharedMemory(name=meta[0])
+        return cls(shm, meta, owner=False)
+
+    # ------------------------------------------------------------------
+    # The zero-copy view
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CompiledGraph:
+        """The :class:`CompiledGraph` view into the block (built once).
+
+        The six CSR arrays and the sign array are ``memoryview`` casts
+        into the shared pages — indexing them reads shared memory
+        directly. Only the node list (a pickle of arbitrary objects)
+        and the lazily-built masks / orders live in process-local
+        memory.
+        """
+        if self._graph is None:
+            _name, n, m_all, m_pos, m_neg, nodes_len = self.meta
+            segments, _total = _layout(n, m_all, m_pos, m_neg, nodes_len)
+            buf = self._shm.buf
+
+            def int64(index: int):
+                offset, length = segments[index]
+                return buf[offset : offset + length].cast("q")
+
+            graph = CompiledGraph.__new__(CompiledGraph)
+            graph.nodes = pickle.loads(
+                bytes(buf[segments[7][0] : segments[7][0] + nodes_len])
+            )
+            graph.n = n
+            graph.xadj = int64(0)
+            graph.pxadj = int64(1)
+            graph.nxadj = int64(2)
+            graph.adj = int64(3)
+            graph.padj = int64(4)
+            graph.nadj = int64(5)
+            signs_offset, signs_len = segments[6]
+            graph.signs = buf[signs_offset : signs_offset + signs_len].cast("b")
+            graph._index = None
+            graph._source = None
+            graph._masks = {}
+            graph._oriented = {}
+            graph._repr_rank = None
+            self._graph = graph
+        return self._graph
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name."""
+        return self.meta[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared block in bytes."""
+        return self._shm.size
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's view and mapping (safe to call twice).
+
+        The exported ``memoryview`` casts must be released before the
+        mapping can go away, so the graph view is discarded first.
+        """
+        if self._graph is not None:
+            graph = self._graph
+            self._graph = None
+            # Release the memoryview exports so mmap.close() succeeds.
+            for slot in ("xadj", "pxadj", "nxadj", "adj", "padj", "nadj", "signs"):
+                try:
+                    getattr(graph, slot).release()
+                except (AttributeError, ValueError):  # pragma: no cover - defensive
+                    pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exports still alive elsewhere
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after workers drained)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedCompiledGraph(name={self.name!r}, n={self.meta[1]}, "
+            f"bytes={self.nbytes}, owner={self._owner})"
+        )

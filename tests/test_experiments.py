@@ -71,8 +71,9 @@ class TestDrivers:
         # One driver per paper exhibit plus three ablations.
         expected = {
             "table1", "fig3", "fig4", "fig5", "fig6", "fig6_mechanism",
-            "fig7", "fig8", "fig9", "table2", "fig10", "fig11",
-            "ablation_pruning", "ablation_maxtest", "ablation_reduction",
+            "fig7", "fig8", "fig8_parallel", "fig9", "table2", "fig10",
+            "fig11", "ablation_pruning", "ablation_maxtest",
+            "ablation_reduction",
         }
         assert set(ALL_DRIVERS) == expected
 

@@ -1,12 +1,27 @@
-"""Tests for parallel component-level enumeration."""
+"""Tests for parallel enumeration: fan-out, root branching, stealing.
+
+The determinism tests are the contract of the parallel enumerator: the
+clique *list* (order included) and the aggregated ``SearchStats`` must
+be bit-identical across worker counts and repeated runs — and, for the
+deterministic selection strategies, bit-identical to the sequential
+enumerator. The hypothesis test checks the underlying invariant that
+makes merging dedup-free: root-branch decomposition *partitions* the
+set of maximal cliques across tasks.
+"""
 
 import itertools
 import random
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.core import MSCE, AlphaK, enumerate_parallel
-from repro.core.parallel import SMALL_COMPONENT, _component_fingerprint
+from repro.core.bbe import SearchStats, frame_draw
+from repro.core.parallel import SMALL_COMPONENT
 from repro.core.reduction import reduction_components
 from repro.fastpath import compile_graph
+from repro.fastpath.search import decompose_root
+from repro.fastpath.shared import SharedCompiledGraph
 from repro.graphs import SignedGraph
 from tests.conftest import make_random_signed_graph
 
@@ -26,6 +41,14 @@ def _multi_component_graph(seed: int, components: int = 3) -> SignedGraph:
     return graph
 
 
+def _fingerprint(result):
+    """Everything that must be bit-identical across schedules."""
+    return (
+        [(c.nodes, c.positive_edges, c.negative_edges) for c in result.cliques],
+        result.stats.as_dict(),
+    )
+
+
 class TestParallelEnumeration:
     def test_matches_sequential_on_multi_component_graph(self):
         graph = _multi_component_graph(seed=7)
@@ -34,9 +57,12 @@ class TestParallelEnumeration:
         parallel = {c.nodes for c in enumerate_parallel(graph, 2, 1, workers=2)}
         assert parallel == sequential
 
-    def test_falls_back_for_single_component(self, paper_graph):
-        cliques = enumerate_parallel(paper_graph, 3, 1, workers=4)
-        assert [sorted(c.nodes) for c in cliques] == [[1, 2, 3, 4, 5]]
+    def test_small_graph_runs_inline(self, paper_graph):
+        result = enumerate_parallel(paper_graph, 3, 1, workers=4)
+        assert [sorted(c.nodes) for c in result] == [[1, 2, 3, 4, 5]]
+        # Below SMALL_COMPONENT nothing ships to a worker process.
+        assert result.parallel["tasks_seeded"] == 0
+        assert result.parallel["inline_components"] == result.stats.components
 
     def test_workers_one_is_sequential(self, paper_graph):
         cliques = enumerate_parallel(paper_graph, 3, 1, workers=1)
@@ -56,7 +82,7 @@ class TestParallelEnumeration:
     def test_worker_path_matches_sequential_on_reduced_components(self):
         # Two disjoint positive 35-cliques: MCCore keeps both, so the
         # reduced graph has two components above SMALL_COMPONENT and the
-        # real multi-process path (not the fallback) is exercised.
+        # real multi-process path (not the inline path) is exercised.
         graph = SignedGraph()
         for offset in (0, 100):
             for u, v in itertools.combinations(range(offset, offset + 35), 2):
@@ -65,8 +91,9 @@ class TestParallelEnumeration:
         components = [set(c) for c in reduction_components(graph, params)]
         assert sum(len(c) >= SMALL_COMPONENT for c in components) >= 2
         sequential = {c.nodes for c in MSCE(graph, params).enumerate_all().cliques}
-        parallel = {c.nodes for c in enumerate_parallel(graph, 2, 2, workers=2)}
-        assert parallel == sequential
+        result = enumerate_parallel(graph, 2, 2, workers=2)
+        assert {c.nodes for c in result} == sequential
+        assert result.parallel["shared_graph_bytes"] > 0
 
     def test_accepts_compiled_graph(self):
         graph = _multi_component_graph(seed=7)
@@ -75,25 +102,207 @@ class TestParallelEnumeration:
         parallel = {c.nodes for c in enumerate_parallel(compiled, 2, 1, workers=2)}
         assert parallel == sequential
 
-    def test_random_strategy_same_set(self):
-        graph = _multi_component_graph(seed=11)
+    def test_fully_reduced_graph(self):
+        graph = _multi_component_graph(seed=5)
+        result = enumerate_parallel(graph, 0.99, 50, workers=2)
+        assert len(result) == 0
+        assert result.stats.components == 0
+
+
+class TestParallelDeterminism:
+    """Satellite 4: bit-identical cliques AND stats across schedules."""
+
+    def test_greedy_identical_across_worker_counts_and_sequential(self):
+        graph = _multi_component_graph(seed=13)
+        sequential = MSCE(graph, AlphaK(1.5, 1)).enumerate_all()
+        expected = _fingerprint(sequential)
+        for workers in (1, 2, 4):
+            result = enumerate_parallel(
+                graph, 1.5, 1, workers=workers, small_component=8, split_component=24
+            )
+            assert _fingerprint(result) == expected
+
+    def test_random_identical_across_worker_counts_and_repeats(self):
+        graph = _multi_component_graph(seed=17)
+        fingerprints = [
+            _fingerprint(
+                enumerate_parallel(
+                    graph,
+                    1.5,
+                    1,
+                    workers=workers,
+                    selection="random",
+                    seed=3,
+                    small_component=8,
+                    split_component=24,
+                    task_budget=50,
+                )
+            )
+            # workers=2 twice: repeated runs must match despite
+            # timing-dependent work stealing.
+            for workers in (1, 2, 2, 4)
+        ]
+        assert all(fp == fingerprints[0] for fp in fingerprints)
+
+    def test_heavy_resplitting_changes_nothing(self):
+        graph = _multi_component_graph(seed=19, components=1)
+        sequential = MSCE(graph, AlphaK(1.5, 1)).enumerate_all()
+        result = enumerate_parallel(
+            graph, 1.5, 1, workers=2, split_component=16, task_budget=10
+        )
+        assert _fingerprint(result) == _fingerprint(sequential)
+        assert result.parallel["frames_resplit"] > 0
+        assert result.parallel["tasks_completed"] == (
+            result.parallel["tasks_seeded"] + result.parallel["frames_resplit"]
+        )
+
+    def test_frame_draw_is_pure_and_in_range(self):
+        reprs = [repr(n) for n in range(10)]
+        draw = frame_draw(42, reprs)
+        assert draw == frame_draw(42, reprs)
+        assert 0 <= draw < len(reprs)
+        assert frame_draw(43, reprs) != draw or True  # different seed may differ
+
+
+class TestSharedCompiledGraph:
+    def test_roundtrip_and_search(self):
+        graph = make_random_signed_graph(random.Random(23), n_range=(20, 25))
+        compiled = compile_graph(graph)
+        shared = SharedCompiledGraph.create(compiled)
+        try:
+            view = SharedCompiledGraph.attach(shared.meta)
+            try:
+                mirror = view.graph
+                assert mirror.nodes == compiled.nodes
+                for slot in ("xadj", "pxadj", "nxadj", "adj", "padj", "nadj", "signs"):
+                    assert list(getattr(mirror, slot)) == list(getattr(compiled, slot))
+                params = AlphaK(1.5, 1)
+                expected = MSCE(compiled, params).enumerate_all()
+                got = MSCE(mirror, params).enumerate_all()
+                assert [c.nodes for c in got.cliques] == [
+                    c.nodes for c in expected.cliques
+                ]
+            finally:
+                view.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_close_is_idempotent_and_nonowner_unlink_is_noop(self):
+        compiled = compile_graph(
+            make_random_signed_graph(random.Random(3), n_range=(5, 8))
+        )
+        shared = SharedCompiledGraph.create(compiled)
+        view = SharedCompiledGraph.attach(shared.meta)
+        view.graph  # materialise the memoryview exports
+        view.unlink()  # non-owner: must not destroy the segment
+        view.close()
+        view.close()
+        reattached = SharedCompiledGraph.attach(shared.meta)  # still alive
+        reattached.close()
+        shared.close()
+        shared.unlink()
+        shared.unlink()  # idempotent
+
+
+class TestExtract:
+    def test_extract_matches_recompilation(self):
+        rng = random.Random(31)
+        for _ in range(10):
+            graph = make_random_signed_graph(rng, n_range=(6, 14))
+            compiled = compile_graph(graph)
+            members = [n for n in graph.nodes() if rng.random() < 0.6]
+            mask = compiled.mask_from_nodes(members)
+            extracted = compiled.extract(mask)
+            induced = SignedGraph(
+                [
+                    (u, v, sign)
+                    for u, v, sign in graph.edges()
+                    if u in set(members) and v in set(members)
+                ],
+                nodes=sorted(members),
+            )
+            expected = compile_graph(induced)
+            assert extracted.nodes == expected.nodes
+            for slot in ("xadj", "pxadj", "nxadj", "adj", "padj", "nadj", "signs"):
+                assert list(getattr(extracted, slot)) == list(
+                    getattr(expected, slot)
+                ), slot
+
+
+class TestRunFrames:
+    def test_budget_offload_reaches_fixpoint_with_same_answer(self):
+        graph = make_random_signed_graph(
+            random.Random(37), n_range=(25, 30), edge_probability_range=(0.4, 0.6)
+        )
+        compiled = compile_graph(graph)
         params = AlphaK(1.5, 1)
-        sequential = {c.nodes for c in MSCE(graph, params).enumerate_all().cliques}
-        parallel = {
-            c.nodes
-            for c in enumerate_parallel(graph, 1.5, 1, workers=2, selection="random")
-        }
-        assert parallel == sequential
+        sequential = MSCE(compiled, params, reduction="none").enumerate_all()
+        searcher = MSCE(compiled, params, reduction="none", frame_rng=True)
+        frames = [(compiled.full_mask, 0)]
+        nodes_seen = []
+        counters = {}
+        while frames:
+            frame = frames.pop()
+            result = searcher.run_frames([frame], budget=3, offload=frames.append)
+            nodes_seen.extend(c.nodes for c in result.cliques)
+            for key, value in result.stats.as_dict().items():
+                counters[key] = counters.get(key, 0) + value
+        assert sorted(map(sorted, nodes_seen)) == sorted(
+            sorted(c.nodes) for c in sequential.cliques
+        )
+        assert len(nodes_seen) == len(sequential.cliques)  # no duplicates
+        for key in ("recursions", "maxtests", "early_terminations"):
+            assert counters[key] == getattr(sequential.stats, key)
 
 
-class TestComponentFingerprint:
-    def test_order_independent(self):
-        assert _component_fingerprint([1, 2, "a"]) == _component_fingerprint(["a", 2, 1])
+# -- hypothesis: root-branch decomposition partitions the cliques ------------
 
-    def test_stable_across_processes(self):
-        # crc32-based, so the value is a fixed function of the labels —
-        # unlike builtin str hashing, which PYTHONHASHSEED salts per
-        # process and would hand every worker a different RNG seed.
-        assert _component_fingerprint(["v1", "v2"]) == 733442
-        assert _component_fingerprint(range(5)) == 1835748
-        assert _component_fingerprint([]) == 0
+graph_specs = st.integers(min_value=2, max_value=9).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.sampled_from([0, 0, 1, 1, 1, -1]),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        ),
+    )
+)
+
+param_specs = st.tuples(
+    st.sampled_from([0, 1, 1.5, 2]),
+    st.integers(min_value=0, max_value=2),
+)
+
+
+def _build(spec) -> SignedGraph:
+    n, signs = spec
+    graph = SignedGraph(nodes=range(n))
+    for (u, v), sign in zip(itertools.combinations(range(n), 2), signs):
+        if sign:
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_specs, param_specs, st.integers(min_value=2, max_value=6))
+def test_hypothesis_root_decomposition_partitions_cliques(spec, param_spec, max_tasks):
+    """Every maximal clique lands in exactly one bucket: the spine walk
+    or one of the root-branch tasks — no duplicates, no misses."""
+    graph = _build(spec)
+    alpha, k = param_spec
+    params = AlphaK(alpha, k)
+    compiled = compile_graph(graph)
+    sequential = {
+        c.nodes for c in MSCE(compiled, params, reduction="none").enumerate_all().cliques
+    }
+    searcher = MSCE(compiled, params, reduction="none", frame_rng=True)
+    stats, found, heap = SearchStats(), {}, []
+    tasks = decompose_root(searcher, compiled.full_mask, stats, found, heap, max_tasks)
+    assert len(tasks) <= max_tasks
+    buckets = [set(found)]
+    for task in tasks:
+        buckets.append({c.nodes for c in searcher.run_frames([task]).cliques})
+    union = set().union(*buckets)
+    assert union == sequential  # no misses
+    assert sum(len(b) for b in buckets) == len(union)  # no duplicates
