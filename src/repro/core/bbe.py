@@ -54,6 +54,7 @@ from repro.core.reduction import reduction_components
 from repro.exceptions import ParameterError
 from repro.fastpath.compiled import as_compiled, source_graph
 from repro.graphs.signed_graph import Node, SignedGraph
+from repro.limits import ResourceGuard, make_guard
 
 
 @dataclass
@@ -83,10 +84,17 @@ class EnumerationResult:
     ``timed_out`` / ``truncated`` report whether a ``time_limit`` or
     ``max_results`` cap stopped the search before exhausting the space —
     in that case the clique list is a valid subset of the full answer,
-    not necessarily the complete one. ``parallel`` is filled only by
-    :func:`repro.core.parallel.enumerate_parallel`: scheduling counters
-    (tasks seeded/completed, frames re-split, shared-memory payload
-    bytes) that describe how the run was distributed.
+    not necessarily the complete one. ``interrupted`` generalises that
+    to every resource guard: it is set (with ``interrupted_reason`` of
+    ``"deadline"`` or ``"memory"``) whenever a wall-clock deadline or a
+    ``max_memory_bytes`` ceiling stopped the search cooperatively, and
+    ``incomplete_frames`` counts the unexpanded search frames that were
+    abandoned — ``0`` means the answer is exhaustive. ``parallel`` is
+    filled only by :func:`repro.core.parallel.enumerate_parallel`:
+    scheduling counters (tasks seeded/completed, frames re-split,
+    shared-memory payload bytes) plus the fault-tolerance report
+    (retries, respawns, quarantined frames, degradation reason) that
+    describe how the run was distributed.
     """
 
     cliques: List[SignedClique]
@@ -95,6 +103,9 @@ class EnumerationResult:
     timed_out: bool = False
     truncated: bool = False
     parallel: Optional[Dict[str, int]] = None
+    interrupted: bool = False
+    interrupted_reason: Optional[str] = None
+    incomplete_frames: int = 0
 
     def __iter__(self):
         return iter(self.cliques)
@@ -167,6 +178,11 @@ class MSCE:
     audit:
         When ``True``, every emitted clique is re-verified against all
         three constraints and duplicate emission raises.
+    max_memory_bytes:
+        Peak-RSS ceiling for this process. Like ``time_limit``, the
+        guard stops the search *cooperatively*: the result is a valid
+        partial answer with ``interrupted`` set and
+        ``incomplete_frames`` counting the abandoned subtrees.
 
     Examples
     --------
@@ -195,6 +211,7 @@ class MSCE:
         min_size: Optional[int] = None,
         compile: bool = True,
         frame_rng: bool = False,
+        max_memory_bytes: Optional[int] = None,
     ):
         #: Compiled fastpath representation, when one was handed in (and
         #: not disabled); the search then runs on bitset kernels.
@@ -209,6 +226,14 @@ class MSCE:
         self.clique_pruning = clique_pruning
         self.audit = audit
         self.time_limit = time_limit
+        if max_memory_bytes is not None and max_memory_bytes <= 0:
+            raise ParameterError(
+                f"max_memory_bytes must be positive, got {max_memory_bytes}"
+            )
+        #: Peak-RSS ceiling: when the process's high-water memory use
+        #: exceeds this, the search stops cooperatively and returns the
+        #: partial result with ``interrupted_reason == "memory"``.
+        self.max_memory_bytes = max_memory_bytes
         self.max_results = max_results
         if min_size is not None and min_size < 1:
             raise ParameterError(f"min_size must be positive, got {min_size}")
@@ -258,31 +283,35 @@ class MSCE:
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
         started = time.perf_counter()
-        deadline = started + self.time_limit if self.time_limit is not None else None
-        timed_out = False
+        guard = self._guard(started)
         truncated = False
+        interrupted_reason: Optional[str] = None
+        incomplete = 0
         try:
             stats.components = 1
             if self.compiled is not None:
                 from repro.fastpath.search import search_component_fast
 
-                search_component_fast(
+                tripped = search_component_fast(
                     self,
                     self.compiled.mask_from_nodes(space),
                     stats,
                     found,
                     size_heap,
                     None,
-                    deadline,
+                    guard,
                     seed_mask=self.compiled.mask_from_nodes(included),
                 )
+                if tripped is not None:
+                    interrupted_reason, incomplete = tripped
             else:
                 self._search_component(
-                    set(space), stats, found, size_heap, None, deadline, seed=frozenset(included)
+                    set(space), stats, found, size_heap, None, guard, seed=frozenset(included)
                 )
         except _StopSearch as stop:
-            if stop.args and stop.args[0] == "timeout":
-                timed_out = True
+            reason = stop.args[0] if stop.args else ""
+            if reason in ("timeout", "deadline", "memory"):
+                interrupted_reason = "deadline" if reason == "timeout" else reason
             else:
                 truncated = True
         cliques = sort_cliques(found.values())
@@ -291,8 +320,11 @@ class MSCE:
             cliques=cliques,
             stats=stats,
             elapsed_seconds=time.perf_counter() - started,
-            timed_out=timed_out,
+            timed_out=interrupted_reason == "deadline",
             truncated=truncated,
+            interrupted=interrupted_reason is not None,
+            interrupted_reason=interrupted_reason,
+            incomplete_frames=incomplete,
         )
 
     def run_frames(
@@ -301,6 +333,9 @@ class MSCE:
         budget: Optional[int] = None,
         offload: Optional[Callable[[Tuple[int, int]], None]] = None,
         max_offload: int = 16,
+        deadline: Optional[float] = None,
+        max_memory_bytes: Optional[int] = None,
+        tick: Optional[Callable[[], None]] = None,
     ) -> EnumerationResult:
         """Search an explicit list of ``(candidates, included)`` mask frames.
 
@@ -319,6 +354,13 @@ class MSCE:
         returned result covers exactly the frames this call processed;
         counters aggregate across calls because every frame is
         processed exactly once somewhere.
+
+        *deadline* (an absolute ``time.monotonic`` timestamp, so worker
+        processes on the same host agree on it) and *max_memory_bytes*
+        build a :class:`~repro.limits.ResourceGuard`; when it trips the
+        call returns a partial result with ``interrupted`` set and
+        ``incomplete_frames`` counting the abandoned subtrees. *tick*
+        is a per-frame hook reserved for fault injection.
         """
         from repro.fastpath.search import FrameSearch
 
@@ -331,8 +373,9 @@ class MSCE:
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
         started = time.perf_counter()
-        searcher = FrameSearch(self, stats, found, size_heap, None, None)
-        searcher.run(
+        guard = make_guard(deadline, max_memory_bytes)
+        searcher = FrameSearch(self, stats, found, size_heap, None, guard, tick=tick)
+        reason = searcher.run(
             [(candidates, included, None) for candidates, included in frames],
             budget=budget,
             offload=offload,
@@ -344,6 +387,10 @@ class MSCE:
             cliques=cliques,
             stats=stats,
             elapsed_seconds=time.perf_counter() - started,
+            timed_out=reason == "deadline",
+            interrupted=reason is not None,
+            interrupted_reason=reason,
+            incomplete_frames=len(searcher.incomplete),
         )
 
     # ------------------------------------------------------------------
@@ -390,14 +437,21 @@ class MSCE:
                 f"unknown selection strategy {selection!r}; expected one of {sorted(selectors)}"
             ) from None
 
+    def _guard(self, started: float) -> Optional[ResourceGuard]:
+        """Build the run's resource guard (``None`` when unlimited)."""
+        deadline = started + self.time_limit if self.time_limit is not None else None
+        return make_guard(deadline, self.max_memory_bytes, clock=time.perf_counter)
+
     def _run(self, top_r: Optional[int]) -> EnumerationResult:
         stats = SearchStats()
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []  # min-heap of the top-r sizes
         started = time.perf_counter()
-        deadline = started + self.time_limit if self.time_limit is not None else None
+        guard = self._guard(started)
         timed_out = False
         truncated = False
+        interrupted_reason: Optional[str] = None
+        incomplete = 0
 
         try:
             if self.compiled is not None:
@@ -407,22 +461,30 @@ class MSCE:
                 survivor_mask = reduce_mask(self.compiled, self.params, method=self.reduction)
                 for mask in component_masks(self.compiled, survivor_mask):
                     stats.components += 1
-                    search_component_fast(
-                        self, mask, stats, found, size_heap, top_r, deadline
+                    tripped = search_component_fast(
+                        self, mask, stats, found, size_heap, top_r, guard
                     )
+                    if tripped is not None:
+                        # Cooperative stop: keep everything emitted so
+                        # far, skip the remaining components.
+                        interrupted_reason, dropped = tripped
+                        incomplete += dropped
+                        break
             else:
                 for component in reduction_components(
                     self.graph, self.params, method=self.reduction
                 ):
                     stats.components += 1
                     self._search_component(
-                        component, stats, found, size_heap, top_r, deadline
+                        component, stats, found, size_heap, top_r, guard
                     )
         except _StopSearch as stop:
-            if stop.args and stop.args[0] == "timeout":
-                timed_out = True
+            reason = stop.args[0] if stop.args else ""
+            if reason in ("timeout", "deadline", "memory"):
+                interrupted_reason = "deadline" if reason == "timeout" else reason
             else:
                 truncated = True
+        timed_out = interrupted_reason == "deadline"
 
         cliques = sort_cliques(found.values())
         if top_r is not None:
@@ -435,6 +497,9 @@ class MSCE:
             elapsed_seconds=elapsed,
             timed_out=timed_out,
             truncated=truncated,
+            interrupted=interrupted_reason is not None,
+            interrupted_reason=interrupted_reason,
+            incomplete_frames=incomplete,
         )
 
     def _search_component(
@@ -444,7 +509,7 @@ class MSCE:
         found: Dict[FrozenSet[Node], SignedClique],
         size_heap: List[int],
         top_r: Optional[int],
-        deadline: Optional[float],
+        guard: Optional[ResourceGuard],
         seed: FrozenSet[Node] = frozenset(),
     ) -> None:
         graph = self.graph
@@ -494,8 +559,13 @@ class MSCE:
         stack: List[Frame] = [(set(component), seed, None)]
 
         while stack:
-            if deadline is not None and time.perf_counter() > deadline:
-                raise _StopSearch("timeout")
+            if guard is not None:
+                reason = guard.check()
+                if reason is not None:
+                    # The pure path keeps the historical control flow:
+                    # the exception is mapped back to a partial result
+                    # (timed_out / interrupted) by the caller.
+                    raise _StopSearch(reason)
             candidates, included, degrees = stack.pop()
             stats.recursions += 1
 

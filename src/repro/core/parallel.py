@@ -18,48 +18,64 @@ branch-and-bound search:
   what makes single-giant-component workloads (the common shape of real
   signed networks after reduction) scale past one core.
 
-Frames are driven by a work-stealing scheduler
+Frames are driven by a fault-tolerant work-stealing scheduler
 (:class:`repro.core.scheduler.WorkStealingScheduler`): a worker whose
 subtree exceeds a node budget sheds its deepest unexplored branches
 back to the queue, so load balances adaptively even when the presplit
-guessed wrong. Graph data crosses the process boundary exactly once —
-the reduced survivor subgraph is CSR-sliced out of the parent's
-compilation (:meth:`~repro.fastpath.CompiledGraph.extract`, no
-dict-of-sets subgraphs) and published as a
+guessed wrong; a worker that *dies* has its frames retried elsewhere
+(bounded per frame, then quarantined) without perturbing results. Graph
+data crosses the process boundary exactly once — the reduced survivor
+subgraph is CSR-sliced out of the parent's compilation
+(:meth:`~repro.fastpath.CompiledGraph.extract`, no dict-of-sets
+subgraphs) and published as a
 :class:`~repro.fastpath.shared.SharedCompiledGraph` shared-memory
 block; tasks themselves are two integers. Components below
 :data:`SMALL_COMPONENT` nodes never ship at all: the parent searches
 them inline while the workers chew on the big frames.
+
+Robustness: the entry point degrades rather than dies. If shared
+memory cannot be allocated, the worker pool cannot spawn, or the pool
+collapses mid-run, the remaining frames are finished inline in the
+parent — same frames, same answers — and the fallback reason is
+recorded in ``result.parallel["degraded"]``. A ``time_limit`` /
+``max_memory_bytes`` guard stops the run cooperatively across the
+parent and all workers, returning a partial
+:class:`~repro.core.bbe.EnumerationResult` with ``interrupted`` set
+instead of raising.
 
 Determinism: every frame is processed exactly once somewhere, with
 branch selection a pure function of the frame (the random strategy
 hashes the frame instead of consuming a sequential stream — see
 ``frame_rng`` on :class:`~repro.core.bbe.MSCE`). The merged cliques
 *and* the summed :class:`~repro.core.bbe.SearchStats` are therefore
-bit-identical across ``workers`` counts and repeated runs, and — for
-the deterministic selection strategies — bit-identical to the
-sequential enumerator.
+bit-identical across ``workers`` counts, repeated runs, and injected
+worker crashes, and — for the deterministic selection strategies —
+bit-identical to the sequential enumerator.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.bbe import MSCE, EnumerationResult, SearchStats
 from repro.core.cliques import SignedClique, sort_cliques
 from repro.core.params import AlphaK
 from repro.core.scheduler import (
+    DEFAULT_FRAME_RETRIES,
     DEFAULT_MAX_OFFLOAD,
     DEFAULT_TASK_BUDGET,
     WorkStealingScheduler,
 )
+from repro.exceptions import SharedMemoryError
 from repro.fastpath.bitset import bit_count
 from repro.fastpath.compiled import CompiledGraph, compile_graph, source_graph
 from repro.fastpath.kernels import component_masks, reduce_mask
 from repro.fastpath.search import FrameSearch, decompose_root
 from repro.fastpath.shared import SharedCompiledGraph
 from repro.graphs.signed_graph import Node, SignedGraph
+from repro.limits import make_guard
 
 #: Components below this node count are searched inline in the parent
 #: while the worker processes handle the large frames.
@@ -68,6 +84,17 @@ SMALL_COMPONENT = 32
 #: Components of at least this node count are root-branch decomposed
 #: into multiple tasks instead of shipping as one frame.
 SPLIT_COMPONENT = 128
+
+
+def _require_positive_int(name: str, value) -> int:
+    """Reject bools, non-ints and values below 1 with a clear message."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"{name} must be a positive integer, got {value!r} ({type(value).__name__})"
+        )
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
 
 
 def enumerate_parallel(
@@ -84,6 +111,11 @@ def enumerate_parallel(
     presplit: Optional[int] = None,
     task_budget: int = DEFAULT_TASK_BUDGET,
     max_offload: int = DEFAULT_MAX_OFFLOAD,
+    time_limit: Optional[float] = None,
+    max_memory_bytes: Optional[int] = None,
+    frame_retries: int = DEFAULT_FRAME_RETRIES,
+    max_respawns: Optional[int] = None,
+    strict: bool = False,
 ) -> EnumerationResult:
     """Enumerate all maximal (alpha, k)-cliques using *workers* processes.
 
@@ -95,7 +127,10 @@ def enumerate_parallel(
     bit-for-bit; for ``"random"`` they are identical across worker
     counts and repeated runs (frame-hashed draws). The ``parallel``
     field carries scheduling counters, including the shared-memory
-    payload size that replaces per-task subgraph pickling.
+    payload size that replaces per-task subgraph pickling, plus the
+    fault-tolerance report: ``retries``, ``respawns``, ``workers_lost``,
+    ``quarantined_frames``, ``degraded`` (the fallback reason, or
+    ``None``), and the interruption fields mirrored from the result.
 
     Accepts a :class:`repro.fastpath.CompiledGraph` for *graph* to skip
     recompilation. ``workers <= 1`` runs the identical decomposition
@@ -114,9 +149,46 @@ def enumerate_parallel(
         Work-stealing re-split knobs, see
         :mod:`repro.core.scheduler`. Scheduling granularity only —
         results and stats are invariant.
+    time_limit / max_memory_bytes:
+        Wall-clock budget in seconds / peak-RSS ceiling in bytes,
+        enforced cooperatively in the parent and every worker. When
+        either trips, the call **returns** a partial result with
+        ``interrupted`` set, ``interrupted_reason`` of ``"deadline"``
+        or ``"memory"``, and ``incomplete_frames`` counting abandoned
+        subtrees — it never raises.
+    frame_retries / max_respawns:
+        Fault-tolerance budgets: failed attempts one frame survives
+        before quarantine, and total worker respawns across the run
+        (default ``2 * workers``).
+    strict:
+        Disable graceful degradation: shared-memory failure raises
+        :class:`~repro.exceptions.SharedMemoryError` and a collapsed
+        worker pool raises
+        :class:`~repro.exceptions.WorkerCrashError` instead of
+        finishing the remaining frames inline.
+
+    Raises
+    ------
+    ValueError
+        If ``workers``, ``task_budget`` or ``max_offload`` is not a
+        positive integer (bools are rejected too).
     """
+    _require_positive_int("workers", workers)
+    _require_positive_int("task_budget", task_budget)
+    _require_positive_int("max_offload", max_offload)
+    if isinstance(frame_retries, bool) or not isinstance(frame_retries, int) or frame_retries < 0:
+        raise ValueError(f"frame_retries must be a non-negative integer, got {frame_retries!r}")
+    if max_respawns is not None and (
+        isinstance(max_respawns, bool) or not isinstance(max_respawns, int) or max_respawns < 0
+    ):
+        raise ValueError(f"max_respawns must be a non-negative integer or None, got {max_respawns!r}")
+
     params = AlphaK(alpha, k)
     started = time.perf_counter()
+    # The deadline is an absolute time.monotonic timestamp so the parent
+    # and forked workers (same clock) agree on when time is up.
+    deadline_ts = time.monotonic() + time_limit if time_limit is not None else None
+    guard = make_guard(deadline_ts, max_memory_bytes)
     compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
 
     # Reduce once, then carve the survivor subgraph straight out of the
@@ -160,61 +232,154 @@ def enumerate_parallel(
         else:
             split_components += 1
             tasks.extend(
-                decompose_root(searcher, mask, stats, found, size_heap, presplit_cap)
+                decompose_root(
+                    searcher, mask, stats, found, size_heap, presplit_cap, guard=guard
+                )
             )
     # Biggest subtrees first so stragglers start early; deterministic
     # tie-break keeps the seeded order stable across runs.
     tasks.sort(key=lambda frame: (-bit_count(frame[0]), frame[0], frame[1]))
 
-    report: Dict[str, int] = {
-        "workers": max(1, workers),
+    report: Dict[str, object] = {
+        "workers": workers,
         "tasks_seeded": len(tasks),
         "inline_components": len(inline_frames),
         "presplit_components": split_components,
         "shared_graph_bytes": 0,
         "frames_resplit": 0,
     }
+    degraded: Optional[str] = None
+    # Interruption state accumulated by the parent-side inline searches
+    # (small components, degraded fallbacks, leftover completion).
+    inline_state: Dict[str, object] = {"reason": None, "incomplete": 0}
 
     def run_inline(frames: List[Tuple[int, int]]) -> None:
-        if frames:
-            FrameSearch(searcher, stats, found, size_heap, None, None).run(
-                [(candidates, included, None) for candidates, included in frames]
+        if not frames:
+            return
+        frame_search = FrameSearch(searcher, stats, found, size_heap, None, guard)
+        reason = frame_search.run(
+            [(candidates, included, None) for candidates, included in frames]
+        )
+        if reason is not None:
+            if inline_state["reason"] is None:
+                inline_state["reason"] = reason
+            inline_state["incomplete"] += len(frame_search.incomplete)
+
+    def finish_inline(leftover: List[Tuple[Tuple[int, int], int]]) -> None:
+        """Finish frames the pool abandoned, skipping credited spawns.
+
+        Replays each leftover frame with the same ``task_budget`` /
+        ``max_offload`` offload semantics a worker would have used, so
+        its spawn sequence is reproduced deterministically; the first
+        ``credited`` spawned subtrees were already enqueued as separate
+        tasks (completed or themselves leftover) and are dropped, while
+        later ones are appended and finished here. Results therefore
+        stay duplicate-free and bit-identical to a healthy run.
+        """
+        pending = deque(leftover)
+        while pending:
+            (candidates, included), credited = pending.popleft()
+            index = 0
+            fresh: List[Tuple[int, int]] = []
+
+            def offload(child, _fresh=fresh, _credited=credited):
+                nonlocal index
+                if index >= _credited:
+                    _fresh.append(child)
+                index += 1
+
+            frame_search = FrameSearch(searcher, stats, found, size_heap, None, guard)
+            reason = frame_search.run(
+                [(candidates, included, None)],
+                budget=task_budget,
+                offload=offload,
+                max_offload=max_offload,
             )
+            for child in fresh:
+                pending.append((child, 0))
+            if reason is not None:
+                if inline_state["reason"] is None:
+                    inline_state["reason"] = reason
+                inline_state["incomplete"] += len(frame_search.incomplete) + len(pending)
+                return
 
     if workers <= 1 or not tasks:
         # Same frames, same order semantics, no processes: results and
         # stats match the multi-worker path bit for bit.
+        degraded = "workers<=1" if workers <= 1 else "no parallel tasks"
         run_inline(tasks + inline_frames)
         report["tasks_completed"] = len(tasks)
     else:
-        shared = SharedCompiledGraph.create(extracted)
         try:
-            scheduler = WorkStealingScheduler(
-                shared,
-                workers,
-                params,
-                selection,
-                maxtest,
-                seed,
-                task_budget=task_budget,
-                max_offload=max_offload,
-            )
-            rows, worker_stats = scheduler.run(
-                tasks, local_work=lambda: run_inline(inline_frames)
-            )
-        finally:
-            shared.close()
-            shared.unlink()
-        for nodes, positive, negative in rows:
-            found[nodes] = SignedClique(
-                nodes=nodes,
-                params=params,
-                positive_edges=positive,
-                negative_edges=negative,
-            )
-        for key, value in worker_stats.items():
-            setattr(stats, key, getattr(stats, key) + value)
-        report.update(scheduler.report)
+            shared = SharedCompiledGraph.create(extracted)
+        except SharedMemoryError as exc:
+            if strict:
+                raise
+            # Tiny or missing /dev/shm: the parallel payload cannot be
+            # published, so run the identical frames in-process.
+            degraded = f"shared memory unavailable ({exc})"
+            shared = None
+        if shared is None:
+            run_inline(tasks + inline_frames)
+            report["tasks_completed"] = len(tasks)
+        else:
+            try:
+                scheduler = WorkStealingScheduler(
+                    shared,
+                    workers,
+                    params,
+                    selection,
+                    maxtest,
+                    seed,
+                    task_budget=task_budget,
+                    max_offload=max_offload,
+                    deadline=deadline_ts,
+                    max_memory_bytes=max_memory_bytes,
+                    frame_retries=frame_retries,
+                    max_respawns=max_respawns,
+                    strict=strict,
+                )
+                rows, worker_stats, leftover = scheduler.run(
+                    tasks, local_work=lambda: run_inline(inline_frames)
+                )
+            finally:
+                shared.close()
+                shared.unlink()
+            for nodes, positive, negative in rows:
+                found[nodes] = SignedClique(
+                    nodes=nodes,
+                    params=params,
+                    positive_edges=positive,
+                    negative_edges=negative,
+                )
+            for key, value in worker_stats.items():
+                setattr(stats, key, getattr(stats, key) + value)
+            report.update(scheduler.report)
+            if leftover and not scheduler.report["interrupted"]:
+                # The pool died under us (spawn failures or crashes past
+                # the respawn budget) without a resource guard tripping:
+                # finish the abandoned frames inline so the answer is
+                # still exhaustive.
+                if (
+                    scheduler.report["spawn_failures"] > 0
+                    and scheduler.report["workers_lost"] == 0
+                ):
+                    degraded = "worker spawn failed"
+                else:
+                    degraded = "worker pool collapsed"
+                report["incomplete_frames"] = (
+                    scheduler.report["incomplete_frames"] - len(leftover)
+                )
+                finish_inline(leftover)
+
+    interrupted_reason = report.get("interrupted_reason") or inline_state["reason"]
+    incomplete_frames = int(report.get("incomplete_frames", 0)) + int(
+        inline_state["incomplete"]
+    )
+    report["interrupted"] = interrupted_reason is not None
+    report["interrupted_reason"] = interrupted_reason
+    report["incomplete_frames"] = incomplete_frames
+    report["degraded"] = degraded
 
     cliques = sort_cliques(found.values())
     stats.maximal_found = len(cliques)
@@ -222,5 +387,9 @@ def enumerate_parallel(
         cliques=cliques,
         stats=stats,
         elapsed_seconds=time.perf_counter() - started,
+        timed_out=interrupted_reason == "deadline",
         parallel=report,
+        interrupted=interrupted_reason is not None,
+        interrupted_reason=interrupted_reason,
+        incomplete_frames=incomplete_frames,
     )

@@ -43,12 +43,12 @@ the full result sets match the pure path exactly.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ParameterError
 from repro.fastpath.bitset import bit_count, iter_bits
 from repro.fastpath.kernels import icore_tracked_fast
+from repro.limits import ResourceGuard
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.bbe import MSCE, SearchStats
@@ -76,7 +76,10 @@ class FrameSearch:
         "found",
         "size_heap",
         "top_r",
-        "deadline",
+        "guard",
+        "tick",
+        "interrupted",
+        "incomplete",
         "compiled",
         "threshold",
         "neg_budget",
@@ -93,7 +96,8 @@ class FrameSearch:
         found,
         size_heap: List[int],
         top_r: Optional[int],
-        deadline: Optional[float],
+        guard: Optional[ResourceGuard],
+        tick: Optional[Callable[[], None]] = None,
     ):
         if msce.compiled is None:
             raise ParameterError(
@@ -105,7 +109,14 @@ class FrameSearch:
         self.found = found
         self.size_heap = size_heap
         self.top_r = top_r
-        self.deadline = deadline
+        #: Cooperative deadline / memory ceiling (``None`` = unlimited).
+        self.guard = guard
+        #: Per-frame fault-injection hook (``None`` outside tests).
+        self.tick = tick
+        #: Trip reason once the guard fired mid-run, else ``None``.
+        self.interrupted: Optional[str] = None
+        #: Unexpanded ``(candidates, included)`` frames dropped on a trip.
+        self.incomplete: List[Tuple[int, int]] = []
         compiled = msce.compiled
         self.compiled = compiled
         self.threshold = msce.params.positive_threshold
@@ -255,7 +266,7 @@ class FrameSearch:
         budget: Optional[int] = None,
         offload: Optional[Callable[[Tuple[int, int]], None]] = None,
         max_offload: int = MAX_OFFLOAD,
-    ) -> None:
+    ) -> Optional[str]:
         """DFS over *frames* (include branch explored first).
 
         With a *budget*, every ``budget`` processed frames up to
@@ -269,17 +280,33 @@ class FrameSearch:
         function of the task itself — the foundation of the parallel
         enumerator's determinism guarantee.
 
-        Raises the enumerator's internal ``_StopSearch`` on timeout or
-        result caps, exactly like the pure search.
+        When the :class:`~repro.limits.ResourceGuard` trips (deadline or
+        memory ceiling) the search stops *cooperatively*: the remaining
+        stack is recorded in :attr:`incomplete` as plain
+        ``(candidates, included)`` pairs, :attr:`interrupted` latches
+        the reason, and the reason is returned — work already done
+        stays emitted and counted, so callers return a partial result
+        instead of discarding completed subtrees. Returns ``None`` when
+        the frames ran to exhaustion. Result caps still raise the
+        enumerator's internal ``_StopSearch``, exactly like the pure
+        search.
         """
-        from repro.core.bbe import _StopSearch
-
-        deadline = self.deadline
+        guard = self.guard
+        tick = self.tick
         stack = list(frames)
         processed = 0
         while stack:
-            if deadline is not None and time.perf_counter() > deadline:
-                raise _StopSearch("timeout")
+            if tick is not None:
+                tick()
+            if guard is not None:
+                reason = guard.check()
+                if reason is not None:
+                    self.interrupted = reason
+                    self.incomplete.extend(
+                        (candidates, included) for candidates, included, _d in stack
+                    )
+                    del stack[:]
+                    return reason
             frame = stack.pop()
             processed += 1
             children = self.expand(frame)
@@ -298,6 +325,7 @@ class FrameSearch:
                     offload((candidates, included))
                 del stack[:take]
                 processed = 0
+        return None
 
 
 def search_component_fast(
@@ -307,17 +335,21 @@ def search_component_fast(
     found,
     size_heap: List[int],
     top_r: Optional[int],
-    deadline: Optional[float],
+    guard: Optional[ResourceGuard],
     seed_mask: int = 0,
-) -> None:
+) -> Optional[Tuple[str, int]]:
     """Run the BBE search over one component given as an index bitmask.
 
     Thin wrapper over :class:`FrameSearch` kept for the sequential
-    entry points in :mod:`repro.core.bbe`.
+    entry points in :mod:`repro.core.bbe`. Returns ``None`` on
+    exhaustion, or ``(reason, dropped_frames)`` when the *guard*
+    tripped and the component's remaining subtrees were abandoned.
     """
-    FrameSearch(msce, stats, found, size_heap, top_r, deadline).run(
-        [(component_mask, seed_mask, None)]
-    )
+    searcher = FrameSearch(msce, stats, found, size_heap, top_r, guard)
+    reason = searcher.run([(component_mask, seed_mask, None)])
+    if reason is None:
+        return None
+    return reason, len(searcher.incomplete)
 
 
 def decompose_root(
@@ -328,6 +360,7 @@ def decompose_root(
     size_heap: List[int],
     max_tasks: int,
     seed_mask: int = 0,
+    guard: Optional[ResourceGuard] = None,
 ) -> List[Tuple[int, int]]:
     """Split one component's search into up to *max_tasks* root frames.
 
@@ -346,13 +379,18 @@ def decompose_root(
     maximal cliques.
 
     When the cap is reached the unprocessed residual spine frame becomes
-    the final task. Returns ``(candidates, included)`` mask pairs.
+    the final task. A tripped *guard* short-circuits the spine walk the
+    same way — the residual frame is shipped whole so no subtree is
+    lost, and the caller's deadline handling decides whether it still
+    runs. Returns ``(candidates, included)`` mask pairs.
     """
     searcher = FrameSearch(msce, stats, found, size_heap, None, None)
     tasks: List[Tuple[int, int]] = []
     frame: Frame = (component_mask, seed_mask, None)
     while True:
-        if len(tasks) >= max_tasks - 1:
+        if len(tasks) >= max_tasks - 1 or (
+            guard is not None and guard.check() is not None
+        ):
             tasks.append((frame[0], frame[1]))
             break
         children = searcher.expand(frame)

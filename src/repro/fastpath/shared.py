@@ -34,11 +34,15 @@ made once per process, not per task.
 
 from __future__ import annotations
 
+import os
 import pickle
+import weakref
 from multiprocessing import shared_memory
 from typing import List, Optional, Tuple
 
+from repro.exceptions import SharedMemoryError
 from repro.fastpath.compiled import CompiledGraph
+from repro.testing import faults
 
 #: Picklable description of a shared block: (segment name, node count,
 #: combined/positive/negative adjacency lengths, node-pickle length).
@@ -93,6 +97,15 @@ class SharedCompiledGraph:
         self.meta = meta
         self._owner = owner
         self._graph: Optional[CompiledGraph] = None
+        #: Crash guard (owner only): unlink the segment at garbage
+        #: collection or interpreter exit if the owner never reached its
+        #: explicit ``unlink()`` — e.g. an unhandled exception between
+        #: ``create()`` and the ``finally`` in ``enumerate_parallel``.
+        self._finalizer: Optional[weakref.finalize] = None
+        if owner:
+            self._finalizer = weakref.finalize(
+                self, _emergency_unlink, shm, os.getpid()
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -106,7 +119,13 @@ class SharedCompiledGraph:
         m_pos = len(compiled.padj)
         m_neg = len(compiled.nadj)
         segments, total = _layout(n, m_all, m_pos, m_neg, len(nodes_blob))
-        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        try:
+            faults.check_shm_create()
+            shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        except (OSError, faults.InjectedFault) as exc:
+            raise SharedMemoryError(
+                f"could not allocate a {total}-byte shared-memory segment: {exc}"
+            ) from exc
         payloads = (
             compiled.xadj,
             compiled.pxadj,
@@ -212,6 +231,10 @@ class SharedCompiledGraph:
         """Destroy the segment (owner only; call after workers drained)."""
         if not self._owner:
             return
+        if self._finalizer is not None:
+            # Explicit unlink supersedes the crash guard.
+            self._finalizer.detach()
+            self._finalizer = None
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
@@ -222,3 +245,23 @@ class SharedCompiledGraph:
             f"SharedCompiledGraph(name={self.name!r}, n={self.meta[1]}, "
             f"bytes={self.nbytes}, owner={self._owner})"
         )
+
+
+def _emergency_unlink(shm: shared_memory.SharedMemory, owner_pid: int) -> None:
+    """Crash-path cleanup: unlink a segment its owner never released.
+
+    Runs via ``weakref.finalize`` when the owning handle is collected or
+    the interpreter exits. The pid check keeps forked worker processes
+    (which inherit the parent's finalizer registry) from yanking the
+    segment out from under the still-running parent.
+    """
+    if os.getpid() != owner_pid:
+        return
+    try:
+        shm.close()
+    except Exception:  # pragma: no cover - best-effort crash path
+        pass
+    try:
+        shm.unlink()
+    except Exception:  # pragma: no cover - best-effort crash path
+        pass

@@ -1,0 +1,189 @@
+"""Fault-injection harness for the parallel enumeration stack.
+
+The resilient scheduler (:mod:`repro.core.scheduler`) is only worth
+trusting if its failure paths are exercised deterministically. This
+module provides the injection points the execution layer consults at
+its seams:
+
+* **worker death** — :func:`worker_tick` returns a per-frame callback
+  that hard-kills the worker process (``os._exit``) once it has
+  processed a chosen number of frames. Only first-incarnation workers
+  (``epoch == 0``) are killed, so a respawned worker never re-dies and
+  tests terminate. The queue feeder is flushed before exiting so the
+  death is abrupt for the scheduler (no ``done`` message) but does not
+  leave a torn message in the pipe.
+* **poisoned tasks** — :func:`check_task` raises :class:`InjectedFault`
+  for chosen task ids on *every* attempt, driving the retry budget to
+  exhaustion and the frame into quarantine.
+* **message delay** — :func:`message_delay` sleeps before each worker
+  result message, widening race windows and making deadline tests
+  deterministic.
+* **shared-memory starvation** — :func:`check_shm_create` makes
+  :meth:`~repro.fastpath.shared.SharedCompiledGraph.create` fail as if
+  ``/dev/shm`` were full.
+* **spawn failure** — :func:`check_worker_spawn` makes every worker
+  process launch fail, collapsing the pool before it starts.
+* **parent interrupt** — :func:`parent_message_tick` raises
+  ``KeyboardInterrupt`` in the scheduler's parent loop after a chosen
+  number of handled messages, simulating Ctrl-C mid-enumeration.
+
+Plans are installed process-globally (:func:`install` / :func:`clear`,
+or the :func:`injected` context manager). The scheduler's worker
+processes are forked *after* the parent seeds its state, so an
+installed plan is inherited by every worker automatically — no
+environment variables or pickled configuration needed. With no plan
+installed every hook short-circuits on one ``None`` comparison, so the
+harness costs nothing in production.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by the fault-injection harness.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: injected
+    faults simulate arbitrary runtime breakage (a segfaulting kernel, a
+    full ``/dev/shm``), so the production code must handle them through
+    the same generic paths it uses for real failures.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject into one run.
+
+    Attributes
+    ----------
+    kill_at_frame:
+        ``{worker slot: frame count}`` — hard-kill the slot's first
+        incarnation once it has processed that many search frames.
+    poison_tasks:
+        Task ids whose processing always raises :class:`InjectedFault`
+        (every attempt, every worker) — exercises retry + quarantine.
+    message_delay:
+        Seconds each worker sleeps before sending a result message.
+    fail_shm_create:
+        Make shared-memory segment creation fail.
+    fail_worker_spawn:
+        Make every worker process launch fail.
+    interrupt_parent_after:
+        Raise ``KeyboardInterrupt`` in the scheduler's parent loop after
+        this many messages have been handled (``None`` = never).
+    """
+
+    kill_at_frame: Dict[int, int] = field(default_factory=dict)
+    poison_tasks: FrozenSet[int] = frozenset()
+    message_delay: float = 0.0
+    fail_shm_create: bool = False
+    fail_worker_spawn: bool = False
+    interrupt_parent_after: Optional[int] = None
+
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Install *plan* process-wide (inherited by forked workers)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear() -> None:
+    """Remove any installed plan (every hook becomes a no-op again)."""
+    global _PLAN
+    _PLAN = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None``."""
+    return _PLAN
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """Context manager: install *plan*, then always clear it."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+# ---------------------------------------------------------------------------
+# Hooks consulted by the production code
+# ---------------------------------------------------------------------------
+def check_shm_create() -> None:
+    """Raise :class:`InjectedFault` when shm starvation is planned."""
+    if _PLAN is not None and _PLAN.fail_shm_create:
+        raise InjectedFault("injected fault: shared-memory allocation refused")
+
+
+def check_worker_spawn(slot: int, epoch: int) -> None:
+    """Raise :class:`InjectedFault` when worker spawn failure is planned."""
+    if _PLAN is not None and _PLAN.fail_worker_spawn:
+        raise InjectedFault(
+            f"injected fault: spawn of worker slot {slot} (epoch {epoch}) refused"
+        )
+
+
+def check_task(task_id: int) -> None:
+    """Raise :class:`InjectedFault` for poisoned task ids."""
+    if _PLAN is not None and task_id in _PLAN.poison_tasks:
+        raise InjectedFault(f"injected fault: task {task_id} is poisoned")
+
+
+def worker_tick(slot: int, epoch: int, result_queue) -> Optional[Callable[[], None]]:
+    """Per-frame kill callback for a worker, or ``None`` when unplanned.
+
+    The returned callable ``os._exit(1)``s the process once the slot's
+    frame budget is reached — but only for the first incarnation
+    (``epoch == 0``), so the respawned worker finishes the work. The
+    result queue's feeder thread is flushed first: messages already sent
+    (task spawns) reach the parent, while the in-progress task's
+    ``done`` never will — exactly the abrupt-death scenario the
+    scheduler's retry accounting must absorb. Flushing also releases the
+    queue's shared write lock, which a raw ``os._exit`` could leave
+    held, deadlocking sibling workers.
+    """
+    if _PLAN is None or epoch != 0:
+        return None
+    limit = _PLAN.kill_at_frame.get(slot)
+    if limit is None:
+        return None
+    remaining = [limit]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] <= 0:
+            try:
+                result_queue.close()
+                result_queue.join_thread()
+            finally:
+                os._exit(1)
+
+    return tick
+
+
+def message_delay() -> None:
+    """Sleep before a worker result message when a delay is planned."""
+    if _PLAN is not None and _PLAN.message_delay > 0.0:
+        time.sleep(_PLAN.message_delay)
+
+
+def parent_message_tick(messages_handled: int) -> None:
+    """Raise ``KeyboardInterrupt`` at the planned parent message count."""
+    if (
+        _PLAN is not None
+        and _PLAN.interrupt_parent_after is not None
+        and messages_handled >= _PLAN.interrupt_parent_after
+    ):
+        raise KeyboardInterrupt(
+            f"injected fault: parent interrupted after {messages_handled} messages"
+        )

@@ -1,0 +1,256 @@
+"""Fault-injection tests for the resilient parallel enumeration stack.
+
+The contract under test: worker crashes, poisoned frames, wall-clock
+deadlines, memory ceilings, shared-memory starvation and spawn failures
+must never corrupt results — a disturbed run either produces the exact
+sequential answer (crash retry, degradation) or an honestly-labelled
+partial one (``interrupted``), and no run may leak ``/dev/shm``
+segments or worker processes. Worker counts honour the
+``REPRO_FAULT_WORKERS`` environment variable (default 2) so CI can
+stress wider pools.
+"""
+
+import gc
+import multiprocessing
+import os
+import random
+import time
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import pytest
+
+from repro.core import MSCE, AlphaK, enumerate_parallel
+from repro.exceptions import SharedMemoryError, WorkerCrashError
+from repro.fastpath import compile_graph
+from repro.fastpath.shared import SharedCompiledGraph
+from repro.graphs import SignedGraph
+from repro.testing import FaultPlan, injected
+from tests.conftest import make_random_signed_graph
+
+WORKERS = int(os.environ.get("REPRO_FAULT_WORKERS", "2"))
+
+SHM_DIR = Path("/dev/shm")
+
+#: Split thresholds small enough that the test graphs actually ship
+#: frames to worker processes (mirrors tests/test_parallel.py).
+SPLIT_KNOBS = dict(small_component=8, split_component=24, task_budget=20)
+
+
+def _fault_graph(seed: int, components: int = 3) -> SignedGraph:
+    """Disjoint random blobs big enough to seed several worker tasks."""
+    rng = random.Random(seed)
+    graph = SignedGraph()
+    offset = 0
+    for _ in range(components):
+        blob = make_random_signed_graph(
+            rng, n_range=(30, 40), edge_probability_range=(0.3, 0.5)
+        )
+        for u, v, sign in blob.edges():
+            graph.add_edge(u + offset, v + offset, sign)
+        offset += 100
+    return graph
+
+
+def _fingerprint(result):
+    """Everything that must survive injected faults bit-identically."""
+    return (
+        [(c.nodes, c.positive_edges, c.negative_edges) for c in result.cliques],
+        result.stats.as_dict(),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    """Every test must leave /dev/shm and the process table clean."""
+    before = set(os.listdir(SHM_DIR)) if SHM_DIR.exists() else set()
+    yield
+    gc.collect()
+    if SHM_DIR.exists():
+        leaked = {
+            name
+            for name in set(os.listdir(SHM_DIR)) - before
+            if name.startswith("psm_")
+        }
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
+    # Scheduler children are joined/terminated by every exit path; give
+    # freshly-terminated ones a moment to be reaped.
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not multiprocessing.active_children()
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_changes_nothing(self):
+        """Acceptance: a worker killed mid-run yields the same clique set
+        and SearchStats as an undisturbed sequential run."""
+        graph = _fault_graph(seed=13)
+        expected = _fingerprint(MSCE(graph, AlphaK(1.5, 1)).enumerate_all())
+        with injected(FaultPlan(kill_at_frame={0: 5})):
+            result = enumerate_parallel(graph, 1.5, 1, workers=WORKERS, **SPLIT_KNOBS)
+        assert _fingerprint(result) == expected
+        report = result.parallel
+        assert report["workers_lost"] >= 1
+        assert report["respawns"] >= 1
+        assert report["retries"] >= 1
+        assert report["quarantined_frames"] == 0
+        assert not result.interrupted
+        assert report["degraded"] is None
+        # Retry accounting: every task still completes exactly once.
+        assert report["tasks_completed"] == (
+            report["tasks_seeded"] + report["frames_resplit"]
+        )
+
+    def test_multiple_killed_workers_change_nothing(self):
+        graph = _fault_graph(seed=17)
+        expected = _fingerprint(MSCE(graph, AlphaK(1.5, 1)).enumerate_all())
+        kills = {slot: 3 + slot for slot in range(min(WORKERS, 2))}
+        with injected(FaultPlan(kill_at_frame=kills)):
+            result = enumerate_parallel(graph, 1.5, 1, workers=WORKERS, **SPLIT_KNOBS)
+        assert _fingerprint(result) == expected
+        assert result.parallel["workers_lost"] >= len(kills)
+
+    def test_poisoned_frame_is_quarantined_not_retried_forever(self):
+        graph = _fault_graph(seed=13)
+        sequential = {c.nodes for c in MSCE(graph, AlphaK(1.5, 1)).enumerate_all()}
+        with injected(FaultPlan(poison_tasks=frozenset({0}))):
+            result = enumerate_parallel(graph, 1.5, 1, workers=WORKERS, **SPLIT_KNOBS)
+        report = result.parallel
+        assert report["tasks_seeded"] >= 1
+        assert report["quarantined_frames"] == 1
+        # Default budget: 2 retries -> 3 attempts total, then quarantine.
+        assert report["retries"] == 2
+        assert not result.interrupted
+        # Everything outside the quarantined subtree is still found, and
+        # nothing bogus is invented.
+        assert {c.nodes for c in result} <= sequential
+
+
+class TestResourceGuards:
+    def test_zero_time_limit_returns_partial_result_not_raise(self):
+        graph = _fault_graph(seed=13)
+        result = enumerate_parallel(
+            graph, 1.5, 1, workers=WORKERS, time_limit=0, **SPLIT_KNOBS
+        )
+        assert result.interrupted
+        assert result.interrupted_reason == "deadline"
+        assert result.timed_out
+        assert result.parallel["interrupted"] is True
+        assert result.incomplete_frames > 0
+        assert result.parallel["incomplete_frames"] == result.incomplete_frames
+
+    def test_mid_run_deadline_yields_subset(self):
+        graph = _fault_graph(seed=19)
+        sequential = {c.nodes for c in MSCE(graph, AlphaK(1.5, 1)).enumerate_all()}
+        with injected(FaultPlan(message_delay=0.02)):
+            result = enumerate_parallel(
+                graph, 1.5, 1, workers=WORKERS, time_limit=0.4, **SPLIT_KNOBS
+            )
+        assert {c.nodes for c in result} <= sequential
+        if not result.interrupted:
+            assert {c.nodes for c in result} == sequential
+
+    def test_memory_ceiling_interrupts_sequential_enumerator(self):
+        graph = _fault_graph(seed=13, components=1)
+        result = MSCE(graph, AlphaK(1.5, 1), max_memory_bytes=1).enumerate_all()
+        assert result.interrupted
+        assert result.interrupted_reason == "memory"
+        assert not result.timed_out
+
+    def test_memory_ceiling_interrupts_parallel_enumerator(self):
+        graph = _fault_graph(seed=13)
+        result = enumerate_parallel(
+            graph, 1.5, 1, workers=WORKERS, max_memory_bytes=1, **SPLIT_KNOBS
+        )
+        assert result.interrupted
+        assert result.interrupted_reason == "memory"
+        assert not result.timed_out
+
+
+class TestGracefulDegradation:
+    def test_shared_memory_starvation_falls_back_inline(self):
+        graph = _fault_graph(seed=13)
+        expected = _fingerprint(MSCE(graph, AlphaK(1.5, 1)).enumerate_all())
+        with injected(FaultPlan(fail_shm_create=True)):
+            result = enumerate_parallel(graph, 1.5, 1, workers=WORKERS, **SPLIT_KNOBS)
+        assert _fingerprint(result) == expected
+        assert result.parallel["degraded"].startswith("shared memory unavailable")
+
+    def test_worker_spawn_failure_falls_back_inline(self):
+        graph = _fault_graph(seed=13)
+        expected = _fingerprint(MSCE(graph, AlphaK(1.5, 1)).enumerate_all())
+        with injected(FaultPlan(fail_worker_spawn=True)):
+            result = enumerate_parallel(graph, 1.5, 1, workers=WORKERS, **SPLIT_KNOBS)
+        assert _fingerprint(result) == expected
+        assert result.parallel["degraded"] == "worker spawn failed"
+        assert result.parallel["spawn_failures"] == WORKERS
+        assert not result.interrupted
+
+    def test_single_worker_records_fallback_reason(self):
+        graph = _fault_graph(seed=13)
+        result = enumerate_parallel(graph, 1.5, 1, workers=1, **SPLIT_KNOBS)
+        assert result.parallel["degraded"] == "workers<=1"
+
+    def test_strict_mode_raises_on_spawn_failure(self):
+        graph = _fault_graph(seed=13)
+        with injected(FaultPlan(fail_worker_spawn=True)):
+            with pytest.raises(WorkerCrashError, match="unfinished frames"):
+                enumerate_parallel(
+                    graph, 1.5, 1, workers=WORKERS, strict=True, **SPLIT_KNOBS
+                )
+
+    def test_strict_mode_raises_on_shm_failure(self):
+        graph = _fault_graph(seed=13)
+        with injected(FaultPlan(fail_shm_create=True)):
+            with pytest.raises(SharedMemoryError, match="shared-memory segment"):
+                enumerate_parallel(
+                    graph, 1.5, 1, workers=WORKERS, strict=True, **SPLIT_KNOBS
+                )
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_reaps_children_and_unlinks_shm(self):
+        """Ctrl-C mid-enumeration: children terminated, segment unlinked,
+        exception re-raised (leak checks in the autouse fixture)."""
+        graph = _fault_graph(seed=13)
+        with injected(FaultPlan(interrupt_parent_after=1)):
+            with pytest.raises(KeyboardInterrupt):
+                enumerate_parallel(graph, 1.5, 1, workers=WORKERS, **SPLIT_KNOBS)
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize(
+        "kwargs, name",
+        [
+            ({"workers": 0}, "workers"),
+            ({"workers": -2}, "workers"),
+            ({"workers": 1.5}, "workers"),
+            ({"workers": True}, "workers"),
+            ({"task_budget": 0}, "task_budget"),
+            ({"task_budget": -1}, "task_budget"),
+            ({"max_offload": 0}, "max_offload"),
+            ({"max_offload": "16"}, "max_offload"),
+            ({"frame_retries": -1}, "frame_retries"),
+            ({"max_respawns": -1}, "max_respawns"),
+        ],
+    )
+    def test_rejects_bad_arguments_naming_them(self, paper_graph, kwargs, name):
+        with pytest.raises(ValueError, match=name):
+            enumerate_parallel(paper_graph, 3, 1, **kwargs)
+
+
+class TestSharedMemoryCrashGuard:
+    def test_leaked_owner_handle_unlinks_segment_on_collection(self):
+        """A parent that crashes between create() and unlink() must not
+        leave the segment behind: the finalizer reclaims it."""
+        compiled = compile_graph(
+            make_random_signed_graph(random.Random(5), n_range=(8, 12))
+        )
+        shared = SharedCompiledGraph.create(compiled)
+        name = shared.name
+        # Simulate the crash: the handle is dropped without close/unlink.
+        del shared
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
