@@ -15,20 +15,55 @@ Knobs (environment):
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
 from typing import Iterable, Union
 
+import repro
 from repro.experiments.harness import Exhibit
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Schema revision of the ``BENCH_<name>.json`` artifacts; bump on shape
+#: changes so downstream dashboards can dispatch on it.
+BENCH_JSON_SCHEMA = 1
+
+
+def _exhibit_payload(exhibit: Exhibit) -> dict:
+    """One exhibit as plain JSON-serialisable data (mirrors the text table)."""
+    return {
+        "title": exhibit.title,
+        "notes": list(exhibit.notes),
+        "series": [
+            {"label": series.label, "x": list(series.x), "y": list(series.y)}
+            for series in exhibit.series
+        ],
+    }
+
 
 def record_exhibits(name: str, exhibits: Union[Exhibit, Iterable[Exhibit]]) -> str:
-    """Render exhibits to text, save under results/, and return the text."""
+    """Render exhibits to text + JSON, save under results/, return the text.
+
+    Two artifacts per benchmark: ``<name>.txt`` (the human-readable table
+    EXPERIMENTS.md cites) and ``BENCH_<name>.json`` (the same rows as
+    machine-readable data, uploaded by CI for trend tracking).
+    """
     if isinstance(exhibits, Exhibit):
         exhibits = [exhibits]
+    exhibits = list(exhibits)
     text = "\n\n".join(exhibit.render() for exhibit in exhibits)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "schema": BENCH_JSON_SCHEMA,
+        "name": name,
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "exhibits": [_exhibit_payload(exhibit) for exhibit in exhibits],
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     print(f"\n{text}\n")
     return text

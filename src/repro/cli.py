@@ -64,6 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
         prog="signed-clique",
         description="Maximal (alpha, k)-clique search in signed networks (ICDE 2018 reproduction)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's span trace (phase wall times + counter deltas) as JSON",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics in Prometheus text exposition format",
+    )
+    parser.add_argument(
+        "--journal-out",
+        default=None,
+        metavar="PATH",
+        help="stream scheduler/guard lifecycle events to a JSONL file",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     stats = sub.add_parser("stats", help="print dataset statistics (Table I columns)")
@@ -160,11 +178,38 @@ def _print_cliques(cliques, as_json: bool) -> None:
         )
 
 
+def _load_graph(path: str):
+    """Read an edge-list graph inside a ``load`` span (the phase tree's root-most phase)."""
+    from repro.obs import runtime as obs
+
+    with obs.span("load", path=str(path)):
+        return read_signed_edgelist(path)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    With any of ``--trace-out`` / ``--metrics-out`` / ``--journal-out``,
+    the command runs under a fresh enabled observer
+    (:func:`repro.obs.runtime.observing`) and the requested exports are
+    written after the command finishes: the span trace as nested JSON,
+    the metrics registry as Prometheus text, and the event journal
+    streamed live as JSONL.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.trace_out or args.metrics_out or args.journal_out:
+            from repro.obs import runtime as obs
+            from repro.obs.export import write_prometheus, write_trace_json
+
+            with obs.observing(journal_path=args.journal_out) as observer:
+                code = _dispatch(args)
+            if args.trace_out:
+                write_trace_json(observer.tracer, args.trace_out)
+            if args.metrics_out:
+                write_prometheus(observer.registry, args.metrics_out)
+            return code
         return _dispatch(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -173,7 +218,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "stats":
-        stats = graph_stats(read_signed_edgelist(args.graph))
+        stats = graph_stats(_load_graph(args.graph))
         print(stats.as_table_row(args.graph))
         print(
             f"negative fraction: {stats.negative_fraction:.3f}, "
@@ -183,14 +228,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "mccore":
-        graph = read_signed_edgelist(args.graph)
+        graph = _load_graph(args.graph)
         nodes = find_mccore(graph, args.alpha, args.k, method=args.method)
         print(f"{len(nodes)} nodes in the maximal constrained core:")
         print(" ".join(str(node) for node in sorted(nodes, key=repr)))
         return 0
 
     if args.command == "enumerate":
-        graph = read_signed_edgelist(args.graph)
+        graph = _load_graph(args.graph)
         params = AlphaK(args.alpha, args.k)
         result = MSCE(
             graph, params, selection=args.selection, time_limit=args.time_limit
@@ -201,7 +246,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "top":
-        graph = read_signed_edgelist(args.graph)
+        graph = _load_graph(args.graph)
         params = AlphaK(args.alpha, args.k)
         result = MSCE(graph, params, time_limit=args.time_limit).top_r(args.r)
         _print_cliques(result.cliques, args.json)
@@ -210,7 +255,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "conductance":
-        graph = read_signed_edgelist(args.graph)
+        graph = _load_graph(args.graph)
         params = AlphaK(args.alpha, args.k)
         result = MSCE(graph, params).top_r(args.r)
         for index, clique in enumerate(result.cliques, start=1):
@@ -219,7 +264,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "query":
-        graph = read_signed_edgelist(args.graph)
+        graph = _load_graph(args.graph)
         query_nodes = []
         for token in args.nodes:
             try:
@@ -236,7 +281,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "balance":
-        graph = read_signed_edgelist(args.graph)
+        graph = _load_graph(args.graph)
         partition = balanced_partition(graph)
         census = triangle_sign_census(graph)
         if partition is not None:
@@ -264,7 +309,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.core import signed_clique_percolation
         from repro.io.dot import save_dot
 
-        graph = read_signed_edgelist(args.graph)
+        graph = _load_graph(args.graph)
         communities = signed_clique_percolation(
             graph, args.alpha, args.k, overlap=args.overlap, time_limit=args.time_limit
         )
@@ -283,7 +328,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             suggest_parameters,
         )
 
-        graph = read_signed_edgelist(args.graph)
+        graph = _load_graph(args.graph)
         points = parameter_map(
             graph, alphas=args.alphas, ks=args.ks, time_limit=args.time_limit
         )

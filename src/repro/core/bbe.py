@@ -42,7 +42,7 @@ from __future__ import annotations
 import random
 import time
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -55,25 +55,83 @@ from repro.exceptions import ParameterError
 from repro.fastpath.compiled import as_compiled, source_graph
 from repro.graphs.signed_graph import Node, SignedGraph
 from repro.limits import ResourceGuard, make_guard
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
+
+#: Registry metric name prefix for the :class:`SearchStats` counters
+#: (``recursions`` lives in the registry as ``msce_recursions`` etc.).
+STAT_METRIC_PREFIX = "msce_"
+
+_STAT_FIELDS = (
+    "recursions",
+    "core_prunes",
+    "topr_prunes",
+    "early_terminations",
+    "maxtests",
+    "maximal_found",
+    "clique_pruned_candidates",
+    "negative_pruned_candidates",
+    "components",
+)
 
 
-@dataclass
+def _stat_property(field: str) -> property:
+    attr = "_c_" + field
+
+    def _get(self) -> int:
+        return getattr(self, attr).value
+
+    def _set(self, value: int) -> None:
+        getattr(self, attr).value = value
+
+    _get.__name__ = field
+    return property(_get, _set, doc=f"The ``{STAT_METRIC_PREFIX}{field}`` counter value.")
+
+
 class SearchStats:
-    """Counters describing one MSCE run (useful for pruning ablations)."""
+    """Counters describing one MSCE run (useful for pruning ablations).
 
-    recursions: int = 0
-    core_prunes: int = 0
-    topr_prunes: int = 0
-    early_terminations: int = 0
-    maxtests: int = 0
-    maximal_found: int = 0
-    clique_pruned_candidates: int = 0
-    negative_pruned_candidates: int = 0
-    components: int = 0
+    Since the observability subsystem landed this is a *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry`: each field is a
+    property reading/writing a registry :class:`~repro.obs.metrics.Counter`
+    named ``msce_<field>``, so the same numbers the search increments
+    are what snapshot merging aggregates across workers and what span
+    counter deltas report — one source of truth, no copying. The public
+    contract is unchanged: fields behave like plain ints (``stats.recursions
+    += 1``) and :meth:`as_dict` returns the familiar plain dictionary.
+    """
+
+    FIELDS = _STAT_FIELDS
+
+    __slots__ = ("registry",) + tuple("_c_" + name for name in _STAT_FIELDS)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        #: Backing registry; private to this run unless one was injected.
+        self.registry = MetricsRegistry() if registry is None else registry
+        for name in _STAT_FIELDS:
+            setattr(self, "_c_" + name, self.registry.counter(STAT_METRIC_PREFIX + name))
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dictionary."""
-        return dict(self.__dict__)
+        return {name: getattr(self, "_c_" + name).value for name in _STAT_FIELDS}
+
+    def merge_snapshot(self, snapshot: Optional[Dict[str, Dict]]) -> None:
+        """Fold a registry snapshot (a worker's per-task metrics) in."""
+        self.registry.merge_snapshot(snapshot)
+
+    def __eq__(self, other: object):
+        if isinstance(other, SearchStats):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value}" for name, value in self.as_dict().items())
+        return f"SearchStats({inner})"
+
+
+for _field in _STAT_FIELDS:
+    setattr(SearchStats, _field, _stat_property(_field))
+del _field
 
 
 @dataclass
@@ -453,44 +511,62 @@ class MSCE:
         interrupted_reason: Optional[str] = None
         incomplete = 0
 
-        try:
-            if self.compiled is not None:
-                from repro.fastpath.kernels import component_masks, reduce_mask
-                from repro.fastpath.search import search_component_fast
+        with obs.span(
+            "msce",
+            alpha=self.params.alpha,
+            k=self.params.k,
+            selection=self.selection,
+            reduction=self.reduction,
+            compiled=self.compiled is not None,
+            top_r=top_r,
+        ):
+            try:
+                if self.compiled is not None:
+                    from repro.fastpath.kernels import component_masks, reduce_mask
+                    from repro.fastpath.search import search_component_fast
 
-                survivor_mask = reduce_mask(self.compiled, self.params, method=self.reduction)
-                for mask in component_masks(self.compiled, survivor_mask):
-                    stats.components += 1
-                    tripped = search_component_fast(
-                        self, mask, stats, found, size_heap, top_r, guard
-                    )
-                    if tripped is not None:
-                        # Cooperative stop: keep everything emitted so
-                        # far, skip the remaining components.
-                        interrupted_reason, dropped = tripped
-                        incomplete += dropped
-                        break
-            else:
-                for component in reduction_components(
-                    self.graph, self.params, method=self.reduction
-                ):
-                    stats.components += 1
-                    self._search_component(
-                        component, stats, found, size_heap, top_r, guard
-                    )
-        except _StopSearch as stop:
-            reason = stop.args[0] if stop.args else ""
-            if reason in ("timeout", "deadline", "memory"):
-                interrupted_reason = "deadline" if reason == "timeout" else reason
-            else:
-                truncated = True
-        timed_out = interrupted_reason == "deadline"
+                    survivor_mask = reduce_mask(self.compiled, self.params, method=self.reduction)
+                    with obs.span("enumerate"):
+                        for mask in component_masks(self.compiled, survivor_mask):
+                            stats.components += 1
+                            tripped = search_component_fast(
+                                self, mask, stats, found, size_heap, top_r, guard
+                            )
+                            if tripped is not None:
+                                # Cooperative stop: keep everything emitted so
+                                # far, skip the remaining components.
+                                interrupted_reason, dropped = tripped
+                                incomplete += dropped
+                                break
+                else:
+                    # The reduction generator runs lazily, so its
+                    # "reduce" span nests under "enumerate" here.
+                    with obs.span("enumerate"):
+                        for component in reduction_components(
+                            self.graph, self.params, method=self.reduction
+                        ):
+                            stats.components += 1
+                            self._search_component(
+                                component, stats, found, size_heap, top_r, guard
+                            )
+            except _StopSearch as stop:
+                reason = stop.args[0] if stop.args else ""
+                if reason in ("timeout", "deadline", "memory"):
+                    interrupted_reason = "deadline" if reason == "timeout" else reason
+                else:
+                    truncated = True
+            timed_out = interrupted_reason == "deadline"
 
-        cliques = sort_cliques(found.values())
-        if top_r is not None:
-            cliques = cliques[:top_r]
+            with obs.span("merge"):
+                cliques = sort_cliques(found.values())
+                if top_r is not None:
+                    cliques = cliques[:top_r]
+                stats.maximal_found = len(cliques)
+                # Surface the run's private registry in the ambient one
+                # before the root span closes, so the "msce" span's
+                # counter deltas carry the aggregated search counters.
+                obs.merge_metrics(stats.registry.snapshot())
         elapsed = time.perf_counter() - started
-        stats.maximal_found = len(cliques)
         return EnumerationResult(
             cliques=cliques,
             stats=stats,

@@ -58,18 +58,28 @@ def mccore_basic(graph: SignedGraph, params: AlphaK, compile: bool = True) -> Se
     (``compile=False`` forces the pure path).
     """
     from repro.fastpath.compiled import CompiledGraph
+    from repro.obs import runtime as obs
 
     if isinstance(graph, CompiledGraph):
         if compile:
             from repro.fastpath.kernels import mccore_basic_fast
 
-            return mccore_basic_fast(graph, params)
+            with obs.span("mccore", method="mcbasic"):
+                return mccore_basic_fast(graph, params)
         graph = graph.source
     threshold = params.positive_threshold
     if threshold == 0:
         return graph.node_set()
     core_order = threshold - 1
 
+    with obs.span("mccore", method="mcbasic"):
+        return _mccore_basic_pure(graph, params, threshold, core_order)
+
+
+def _mccore_basic_pure(
+    graph: SignedGraph, params: AlphaK, threshold: int, core_order: int
+) -> Set[Node]:
+    """The pure-Python deletion loop of :func:`mccore_basic`."""
     alive = positive_core_reduction(graph, params)
     if not alive:
         return set()

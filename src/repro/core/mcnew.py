@@ -45,18 +45,26 @@ def mccore_new(graph: SignedGraph, params: AlphaK, compile: bool = True) -> Set[
     bitmask kernel (``compile=False`` forces the pure path).
     """
     from repro.fastpath.compiled import CompiledGraph
+    from repro.obs import runtime as obs
 
     if isinstance(graph, CompiledGraph):
         if compile:
             from repro.fastpath.kernels import mccore_new_fast
 
-            return mccore_new_fast(graph, params)
+            with obs.span("mccore", method="mcnew"):
+                return mccore_new_fast(graph, params)
         graph = graph.source
     threshold = params.positive_threshold
     if threshold == 0:
         return graph.node_set()
     tau = threshold - 1
 
+    with obs.span("mccore", method="mcnew"):
+        return _mccore_new_pure(graph, threshold, tau)
+
+
+def _mccore_new_pure(graph: SignedGraph, threshold: int, tau: int) -> Set[Node]:
+    """The pure-Python peeling body of :func:`mccore_new`."""
     flag, survivors = icore(graph, fixed=(), tau=threshold, sign="positive")
     if not flag:
         return set()

@@ -51,13 +51,22 @@ hashes the frame instead of consuming a sequential stream — see
 bit-identical across ``workers`` counts, repeated runs, and injected
 worker crashes, and — for the deterministic selection strategies —
 bit-identical to the sequential enumerator.
+
+Observability: the run is wrapped in an ``msce_parallel`` span with
+``enumerate`` / ``merge`` children; worker metrics ride back as
+registry snapshots on terminal messages (exactly-once under retry, see
+:mod:`repro.core.scheduler`) and the aggregated snapshot lands both in
+``result.parallel["metrics"]`` and in the ambient observer's registry.
+Pass ``progress=`` a callback to receive throttled
+:class:`~repro.obs.progress.ProgressEvent` samples with an ETA derived
+from frames outstanding.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.bbe import MSCE, EnumerationResult, SearchStats
 from repro.core.cliques import SignedClique, sort_cliques
@@ -66,6 +75,7 @@ from repro.core.scheduler import (
     DEFAULT_FRAME_RETRIES,
     DEFAULT_MAX_OFFLOAD,
     DEFAULT_TASK_BUDGET,
+    RESULT_DRAIN_TIMEOUT,
     WorkStealingScheduler,
 )
 from repro.exceptions import SharedMemoryError
@@ -76,6 +86,8 @@ from repro.fastpath.search import FrameSearch, decompose_root
 from repro.fastpath.shared import SharedCompiledGraph
 from repro.graphs.signed_graph import Node, SignedGraph
 from repro.limits import make_guard
+from repro.obs import runtime as obs
+from repro.obs.progress import ProgressEvent, ProgressReporter
 
 #: Components below this node count are searched inline in the parent
 #: while the worker processes handle the large frames.
@@ -116,6 +128,8 @@ def enumerate_parallel(
     frame_retries: int = DEFAULT_FRAME_RETRIES,
     max_respawns: Optional[int] = None,
     strict: bool = False,
+    drain_timeout: float = RESULT_DRAIN_TIMEOUT,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> EnumerationResult:
     """Enumerate all maximal (alpha, k)-cliques using *workers* processes.
 
@@ -130,7 +144,10 @@ def enumerate_parallel(
     payload size that replaces per-task subgraph pickling, plus the
     fault-tolerance report: ``retries``, ``respawns``, ``workers_lost``,
     ``quarantined_frames``, ``degraded`` (the fallback reason, or
-    ``None``), and the interruption fields mirrored from the result.
+    ``None``), the interruption fields mirrored from the result, and
+    ``metrics`` — the aggregated
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` combining the
+    search counters with per-task scheduling metrics.
 
     Accepts a :class:`repro.fastpath.CompiledGraph` for *graph* to skip
     recompilation. ``workers <= 1`` runs the identical decomposition
@@ -166,6 +183,14 @@ def enumerate_parallel(
         worker pool raises
         :class:`~repro.exceptions.WorkerCrashError` instead of
         finishing the remaining frames inline.
+    drain_timeout:
+        Shutdown salvage window forwarded to the scheduler (see
+        :data:`repro.core.scheduler.RESULT_DRAIN_TIMEOUT`).
+    progress:
+        Callback receiving throttled
+        :class:`~repro.obs.progress.ProgressEvent` samples (completed
+        and outstanding frame counts, completion rate, ETA) while the
+        pool runs, plus one forced final sample.
 
     Raises
     ------
@@ -185,204 +210,227 @@ def enumerate_parallel(
 
     params = AlphaK(alpha, k)
     started = time.perf_counter()
-    # The deadline is an absolute time.monotonic timestamp so the parent
-    # and forked workers (same clock) agree on when time is up.
-    deadline_ts = time.monotonic() + time_limit if time_limit is not None else None
-    guard = make_guard(deadline_ts, max_memory_bytes)
-    compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
-
-    # Reduce once, then carve the survivor subgraph straight out of the
-    # CSR arrays — no per-component dict-of-sets subgraph rebuilds.
-    survivor_mask = reduce_mask(compiled, params, method=reduction)
-    if survivor_mask == compiled.full_mask:
-        extracted = compiled
-    else:
-        extracted = compiled.extract(survivor_mask)
-        # The parent emits and maxtests against the original graph, like
-        # the sequential enumerator (workers use the reduced subgraph,
-        # which provably gives the same answers); seeding the source
-        # also avoids an O(m) reconstruction in MSCE's constructor.
-        extracted._source = source_graph(graph)
-
-    searcher = MSCE(
-        extracted,
-        params,
-        selection=selection,
-        reduction="none",  # already reduced above
-        maxtest=maxtest,
-        seed=seed,
-        frame_rng=True,
+    reporter = (
+        ProgressReporter(progress) if progress is not None else None
     )
+    with obs.span(
+        "msce_parallel",
+        alpha=params.alpha,
+        k=params.k,
+        workers=workers,
+        selection=selection,
+        reduction=reduction,
+    ):
+        # The deadline is an absolute time.monotonic timestamp so the parent
+        # and forked workers (same clock) agree on when time is up.
+        deadline_ts = time.monotonic() + time_limit if time_limit is not None else None
+        guard = make_guard(deadline_ts, max_memory_bytes)
+        compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
 
-    stats = SearchStats()
-    found: Dict[FrozenSet[Node], SignedClique] = {}
-    size_heap: List[int] = []
-
-    inline_frames: List[Tuple[int, int]] = []
-    tasks: List[Tuple[int, int]] = []
-    presplit_cap = presplit if presplit is not None else max(4 * workers, 4)
-    split_components = 0
-    for mask in component_masks(extracted):
-        stats.components += 1
-        size = bit_count(mask)
-        if size < small_component:
-            inline_frames.append((mask, 0))
-        elif size < split_component:
-            tasks.append((mask, 0))
+        # Reduce once, then carve the survivor subgraph straight out of the
+        # CSR arrays — no per-component dict-of-sets subgraph rebuilds.
+        survivor_mask = reduce_mask(compiled, params, method=reduction)
+        if survivor_mask == compiled.full_mask:
+            extracted = compiled
         else:
-            split_components += 1
-            tasks.extend(
-                decompose_root(
-                    searcher, mask, stats, found, size_heap, presplit_cap, guard=guard
-                )
-            )
-    # Biggest subtrees first so stragglers start early; deterministic
-    # tie-break keeps the seeded order stable across runs.
-    tasks.sort(key=lambda frame: (-bit_count(frame[0]), frame[0], frame[1]))
+            extracted = compiled.extract(survivor_mask)
+            # The parent emits and maxtests against the original graph, like
+            # the sequential enumerator (workers use the reduced subgraph,
+            # which provably gives the same answers); seeding the source
+            # also avoids an O(m) reconstruction in MSCE's constructor.
+            extracted._source = source_graph(graph)
 
-    report: Dict[str, object] = {
-        "workers": workers,
-        "tasks_seeded": len(tasks),
-        "inline_components": len(inline_frames),
-        "presplit_components": split_components,
-        "shared_graph_bytes": 0,
-        "frames_resplit": 0,
-    }
-    degraded: Optional[str] = None
-    # Interruption state accumulated by the parent-side inline searches
-    # (small components, degraded fallbacks, leftover completion).
-    inline_state: Dict[str, object] = {"reason": None, "incomplete": 0}
-
-    def run_inline(frames: List[Tuple[int, int]]) -> None:
-        if not frames:
-            return
-        frame_search = FrameSearch(searcher, stats, found, size_heap, None, guard)
-        reason = frame_search.run(
-            [(candidates, included, None) for candidates, included in frames]
+        searcher = MSCE(
+            extracted,
+            params,
+            selection=selection,
+            reduction="none",  # already reduced above
+            maxtest=maxtest,
+            seed=seed,
+            frame_rng=True,
         )
-        if reason is not None:
-            if inline_state["reason"] is None:
-                inline_state["reason"] = reason
-            inline_state["incomplete"] += len(frame_search.incomplete)
 
-    def finish_inline(leftover: List[Tuple[Tuple[int, int], int]]) -> None:
-        """Finish frames the pool abandoned, skipping credited spawns.
+        stats = SearchStats()
+        found: Dict[FrozenSet[Node], SignedClique] = {}
+        size_heap: List[int] = []
 
-        Replays each leftover frame with the same ``task_budget`` /
-        ``max_offload`` offload semantics a worker would have used, so
-        its spawn sequence is reproduced deterministically; the first
-        ``credited`` spawned subtrees were already enqueued as separate
-        tasks (completed or themselves leftover) and are dropped, while
-        later ones are appended and finished here. Results therefore
-        stay duplicate-free and bit-identical to a healthy run.
-        """
-        pending = deque(leftover)
-        while pending:
-            (candidates, included), credited = pending.popleft()
-            index = 0
-            fresh: List[Tuple[int, int]] = []
+        inline_frames: List[Tuple[int, int]] = []
+        tasks: List[Tuple[int, int]] = []
+        presplit_cap = presplit if presplit is not None else max(4 * workers, 4)
+        split_components = 0
+        for mask in component_masks(extracted):
+            stats.components += 1
+            size = bit_count(mask)
+            if size < small_component:
+                inline_frames.append((mask, 0))
+            elif size < split_component:
+                tasks.append((mask, 0))
+            else:
+                split_components += 1
+                tasks.extend(
+                    decompose_root(
+                        searcher, mask, stats, found, size_heap, presplit_cap, guard=guard
+                    )
+                )
+        # Biggest subtrees first so stragglers start early; deterministic
+        # tie-break keeps the seeded order stable across runs.
+        tasks.sort(key=lambda frame: (-bit_count(frame[0]), frame[0], frame[1]))
 
-            def offload(child, _fresh=fresh, _credited=credited):
-                nonlocal index
-                if index >= _credited:
-                    _fresh.append(child)
-                index += 1
+        report: Dict[str, object] = {
+            "workers": workers,
+            "tasks_seeded": len(tasks),
+            "inline_components": len(inline_frames),
+            "presplit_components": split_components,
+            "shared_graph_bytes": 0,
+            "frames_resplit": 0,
+        }
+        degraded: Optional[str] = None
+        # Interruption state accumulated by the parent-side inline searches
+        # (small components, degraded fallbacks, leftover completion).
+        inline_state: Dict[str, object] = {"reason": None, "incomplete": 0}
 
+        def run_inline(frames: List[Tuple[int, int]]) -> None:
+            if not frames:
+                return
             frame_search = FrameSearch(searcher, stats, found, size_heap, None, guard)
             reason = frame_search.run(
-                [(candidates, included, None)],
-                budget=task_budget,
-                offload=offload,
-                max_offload=max_offload,
+                [(candidates, included, None) for candidates, included in frames]
             )
-            for child in fresh:
-                pending.append((child, 0))
             if reason is not None:
                 if inline_state["reason"] is None:
                     inline_state["reason"] = reason
-                inline_state["incomplete"] += len(frame_search.incomplete) + len(pending)
-                return
+                inline_state["incomplete"] += len(frame_search.incomplete)
 
-    if workers <= 1 or not tasks:
-        # Same frames, same order semantics, no processes: results and
-        # stats match the multi-worker path bit for bit.
-        degraded = "workers<=1" if workers <= 1 else "no parallel tasks"
-        run_inline(tasks + inline_frames)
-        report["tasks_completed"] = len(tasks)
-    else:
-        try:
-            shared = SharedCompiledGraph.create(extracted)
-        except SharedMemoryError as exc:
-            if strict:
-                raise
-            # Tiny or missing /dev/shm: the parallel payload cannot be
-            # published, so run the identical frames in-process.
-            degraded = f"shared memory unavailable ({exc})"
-            shared = None
-        if shared is None:
-            run_inline(tasks + inline_frames)
-            report["tasks_completed"] = len(tasks)
-        else:
-            try:
-                scheduler = WorkStealingScheduler(
-                    shared,
-                    workers,
-                    params,
-                    selection,
-                    maxtest,
-                    seed,
-                    task_budget=task_budget,
+        def finish_inline(leftover: List[Tuple[Tuple[int, int], int]]) -> None:
+            """Finish frames the pool abandoned, skipping credited spawns.
+
+            Replays each leftover frame with the same ``task_budget`` /
+            ``max_offload`` offload semantics a worker would have used, so
+            its spawn sequence is reproduced deterministically; the first
+            ``credited`` spawned subtrees were already enqueued as separate
+            tasks (completed or themselves leftover) and are dropped, while
+            later ones are appended and finished here. Results therefore
+            stay duplicate-free and bit-identical to a healthy run.
+            """
+            pending = deque(leftover)
+            while pending:
+                (candidates, included), credited = pending.popleft()
+                index = 0
+                fresh: List[Tuple[int, int]] = []
+
+                def offload(child, _fresh=fresh, _credited=credited):
+                    nonlocal index
+                    if index >= _credited:
+                        _fresh.append(child)
+                    index += 1
+
+                frame_search = FrameSearch(searcher, stats, found, size_heap, None, guard)
+                reason = frame_search.run(
+                    [(candidates, included, None)],
+                    budget=task_budget,
+                    offload=offload,
                     max_offload=max_offload,
-                    deadline=deadline_ts,
-                    max_memory_bytes=max_memory_bytes,
-                    frame_retries=frame_retries,
-                    max_respawns=max_respawns,
-                    strict=strict,
                 )
-                rows, worker_stats, leftover = scheduler.run(
-                    tasks, local_work=lambda: run_inline(inline_frames)
-                )
-            finally:
-                shared.close()
-                shared.unlink()
-            for nodes, positive, negative in rows:
-                found[nodes] = SignedClique(
-                    nodes=nodes,
-                    params=params,
-                    positive_edges=positive,
-                    negative_edges=negative,
-                )
-            for key, value in worker_stats.items():
-                setattr(stats, key, getattr(stats, key) + value)
-            report.update(scheduler.report)
-            if leftover and not scheduler.report["interrupted"]:
-                # The pool died under us (spawn failures or crashes past
-                # the respawn budget) without a resource guard tripping:
-                # finish the abandoned frames inline so the answer is
-                # still exhaustive.
-                if (
-                    scheduler.report["spawn_failures"] > 0
-                    and scheduler.report["workers_lost"] == 0
-                ):
-                    degraded = "worker spawn failed"
+                for child in fresh:
+                    pending.append((child, 0))
+                if reason is not None:
+                    if inline_state["reason"] is None:
+                        inline_state["reason"] = reason
+                    inline_state["incomplete"] += len(frame_search.incomplete) + len(pending)
+                    return
+
+        with obs.span("enumerate"):
+            if workers <= 1 or not tasks:
+                # Same frames, same order semantics, no processes: results and
+                # stats match the multi-worker path bit for bit.
+                degraded = "workers<=1" if workers <= 1 else "no parallel tasks"
+                run_inline(tasks + inline_frames)
+                report["tasks_completed"] = len(tasks)
+            else:
+                try:
+                    shared = SharedCompiledGraph.create(extracted)
+                except SharedMemoryError as exc:
+                    if strict:
+                        raise
+                    # Tiny or missing /dev/shm: the parallel payload cannot be
+                    # published, so run the identical frames in-process.
+                    degraded = f"shared memory unavailable ({exc})"
+                    shared = None
+                if shared is None:
+                    run_inline(tasks + inline_frames)
+                    report["tasks_completed"] = len(tasks)
                 else:
-                    degraded = "worker pool collapsed"
-                report["incomplete_frames"] = (
-                    scheduler.report["incomplete_frames"] - len(leftover)
-                )
-                finish_inline(leftover)
+                    try:
+                        scheduler = WorkStealingScheduler(
+                            shared,
+                            workers,
+                            params,
+                            selection,
+                            maxtest,
+                            seed,
+                            task_budget=task_budget,
+                            max_offload=max_offload,
+                            deadline=deadline_ts,
+                            max_memory_bytes=max_memory_bytes,
+                            frame_retries=frame_retries,
+                            max_respawns=max_respawns,
+                            strict=strict,
+                            drain_timeout=drain_timeout,
+                            progress=reporter.update if reporter is not None else None,
+                        )
+                        rows, worker_metrics, leftover = scheduler.run(
+                            tasks, local_work=lambda: run_inline(inline_frames)
+                        )
+                    finally:
+                        shared.close()
+                        shared.unlink()
+                    for nodes, positive, negative in rows:
+                        found[nodes] = SignedClique(
+                            nodes=nodes,
+                            params=params,
+                            positive_edges=positive,
+                            negative_edges=negative,
+                        )
+                    stats.merge_snapshot(worker_metrics)
+                    report.update(scheduler.report)
+                    if leftover and not scheduler.report["interrupted"]:
+                        # The pool died under us (spawn failures or crashes past
+                        # the respawn budget) without a resource guard tripping:
+                        # finish the abandoned frames inline so the answer is
+                        # still exhaustive.
+                        if (
+                            scheduler.report["spawn_failures"] > 0
+                            and scheduler.report["workers_lost"] == 0
+                        ):
+                            degraded = "worker spawn failed"
+                        else:
+                            degraded = "worker pool collapsed"
+                        report["incomplete_frames"] = (
+                            scheduler.report["incomplete_frames"] - len(leftover)
+                        )
+                        finish_inline(leftover)
 
-    interrupted_reason = report.get("interrupted_reason") or inline_state["reason"]
-    incomplete_frames = int(report.get("incomplete_frames", 0)) + int(
-        inline_state["incomplete"]
-    )
-    report["interrupted"] = interrupted_reason is not None
-    report["interrupted_reason"] = interrupted_reason
-    report["incomplete_frames"] = incomplete_frames
-    report["degraded"] = degraded
+        interrupted_reason = report.get("interrupted_reason") or inline_state["reason"]
+        incomplete_frames = int(report.get("incomplete_frames", 0)) + int(
+            inline_state["incomplete"]
+        )
+        report["interrupted"] = interrupted_reason is not None
+        report["interrupted_reason"] = interrupted_reason
+        report["incomplete_frames"] = incomplete_frames
+        report["degraded"] = degraded
+        if degraded is not None:
+            obs.journal_event("degraded", reason=degraded)
 
-    cliques = sort_cliques(found.values())
-    stats.maximal_found = len(cliques)
+        with obs.span("merge"):
+            cliques = sort_cliques(found.values())
+            stats.maximal_found = len(cliques)
+            report["metrics"] = stats.registry.snapshot()
+            # Surface the aggregated run metrics in the ambient registry
+            # before the root span closes, so the "msce_parallel" span's
+            # counter deltas carry the summed search counters.
+            obs.merge_metrics(report["metrics"])
+        if reporter is not None:
+            reporter.finish(int(report.get("tasks_completed", 0)))
     return EnumerationResult(
         cliques=cliques,
         stats=stats,

@@ -78,7 +78,10 @@ def reduce_graph(
         raise ParameterError(
             f"unknown reduction method {method!r}; expected one of {sorted(methods)}"
         ) from None
-    return chosen()
+    from repro.obs import runtime as obs
+
+    with obs.span("reduce", method=method):
+        return chosen()
 
 
 def reduction_components(

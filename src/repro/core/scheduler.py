@@ -87,6 +87,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.params import AlphaK
 from repro.exceptions import WorkerCrashError
 from repro.limits import make_guard
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
 from repro.testing import faults
 
 #: Frames processed by a worker before it sheds its deepest branches.
@@ -102,6 +104,14 @@ DEFAULT_FRAME_RETRIES = 2
 #: Tasks queued to one worker at a time (1 running + 1 prefetched keeps
 #: the pipe full without hoarding stealable work).
 DEFAULT_PREFETCH = 2
+
+#: Seconds the graceful shutdown path spends draining the result queue
+#: for rows healthy workers completed while a sibling failed. The window
+#: only bounds the *salvage* sweep after sentinels were acknowledged —
+#: normal completion never waits on it — so it trades a small worst-case
+#: shutdown delay against losing finished work; ``drain_timeout`` on
+#: :class:`WorkStealingScheduler` overrides it per run.
+RESULT_DRAIN_TIMEOUT = 0.5
 
 #: A task on the wire: (candidates mask, included mask).
 TaskFrame = Tuple[int, int]
@@ -131,9 +141,17 @@ def _make_context():
 class _Task:
     """Parent-side record of one frame's journey through the pool."""
 
-    __slots__ = ("task_id", "frame", "attempts", "spawns_credited", "state", "assigned")
+    __slots__ = (
+        "task_id",
+        "frame",
+        "attempts",
+        "spawns_credited",
+        "state",
+        "assigned",
+        "origin",
+    )
 
-    def __init__(self, task_id: int, frame: TaskFrame):
+    def __init__(self, task_id: int, frame: TaskFrame, origin: Optional[int] = None):
         self.task_id = task_id
         self.frame = frame
         #: Failed attempts so far (crash or in-task exception).
@@ -143,6 +161,9 @@ class _Task:
         self.state = _QUEUED
         #: ``(slot, epoch)`` currently holding the task, or ``None``.
         self.assigned: Optional[Tuple[int, int]] = None
+        #: Slot that shed this frame (``None`` for parent-seeded tasks);
+        #: assignment to any *other* slot is a steal, journalled as such.
+        self.origin = origin
 
 
 class _Worker:
@@ -240,6 +261,16 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
                     (clique.nodes, clique.positive_edges, clique.negative_edges)
                     for clique in result.cliques
                 ]
+                # The task's metrics ride only on its terminal message,
+                # keyed by (slot, epoch): a crashed attempt contributes
+                # nothing, so the parent's credit dedup gives exactly-once
+                # aggregation. The per-task extras are deterministic too
+                # (one tasks tick, one recursions observation per frame
+                # task, regardless of which worker ran it).
+                registry = result.stats.registry
+                registry.counter("worker_tasks").inc()
+                registry.histogram("task_recursions").observe(result.stats.recursions)
+                metrics = registry.snapshot()
                 faults.message_delay()
                 if result.interrupted:
                     result_queue.put(
@@ -249,15 +280,13 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
                             epoch,
                             task_id,
                             rows,
-                            result.stats.as_dict(),
+                            metrics,
                             result.incomplete_frames,
                             result.interrupted_reason,
                         )
                     )
                 else:
-                    result_queue.put(
-                        ("done", slot, epoch, task_id, rows, result.stats.as_dict())
-                    )
+                    result_queue.put(("done", slot, epoch, task_id, rows, metrics))
             except Exception:
                 # The frame failed but the worker is healthy: report and
                 # keep draining — the parent decides retry vs quarantine.
@@ -303,6 +332,13 @@ class WorkStealingScheduler:
         When ``True``, a collapsed pool raises
         :class:`~repro.exceptions.WorkerCrashError` instead of
         returning the unfinished frames for inline completion.
+    drain_timeout:
+        Seconds the graceful shutdown drains the result queue for rows
+        completed by healthy workers (see :data:`RESULT_DRAIN_TIMEOUT`).
+    progress:
+        Optional ``callback(completed, outstanding)`` invoked by the
+        parent loop after every handled message — throttle it with a
+        :class:`~repro.obs.progress.ProgressReporter`.
     """
 
     def __init__(
@@ -321,6 +357,8 @@ class WorkStealingScheduler:
         max_respawns: Optional[int] = None,
         prefetch: int = DEFAULT_PREFETCH,
         strict: bool = False,
+        drain_timeout: float = RESULT_DRAIN_TIMEOUT,
+        progress: Optional[Callable[[int, int], None]] = None,
     ):
         self.shared = shared
         self.workers = max(1, workers)
@@ -340,11 +378,16 @@ class WorkStealingScheduler:
         self.max_respawns = 2 * self.workers if max_respawns is None else max_respawns
         self.prefetch = max(1, prefetch)
         self.strict = strict
+        self.drain_timeout = drain_timeout
+        self.progress = progress
         #: Filled by :meth:`run`: scheduling + fault-tolerance counters.
         self.report: Dict[str, int] = {}
         #: Filled by :meth:`run`: ``(task_id, frame, last_error)`` per
         #: quarantined frame.
         self.quarantined: List[Tuple[int, TaskFrame, str]] = []
+        #: Aggregated worker metrics, merged snapshot by snapshot as
+        #: terminal messages are accepted (exactly-once under retry).
+        self.metrics = MetricsRegistry()
 
         # Run-state (created in run()).
         self._ctx = None
@@ -354,7 +397,6 @@ class WorkStealingScheduler:
         self._pool: Dict[int, _Worker] = {}
         self._retired_queues: List = []
         self._rows: List[CliqueRow] = []
-        self._stats: Dict[str, int] = {}
         self._next_id = 0
         self._pending = 0
         self._completed = 0
@@ -374,8 +416,13 @@ class WorkStealingScheduler:
         self,
         tasks: List[TaskFrame],
         local_work: Optional[Callable[[], None]] = None,
-    ) -> Tuple[List[CliqueRow], Dict[str, int], List[LeftoverFrame]]:
-        """Execute *tasks*; return merged rows, summed stats, leftovers.
+    ) -> Tuple[List[CliqueRow], Dict[str, Dict], List[LeftoverFrame]]:
+        """Execute *tasks*; return merged rows, a metrics snapshot, leftovers.
+
+        The middle element is the aggregated worker registry snapshot
+        (see :meth:`repro.obs.metrics.MetricsRegistry.snapshot`): the
+        summed ``msce_*`` search counters plus per-task scheduling
+        metrics (``worker_tasks``, the ``task_recursions`` histogram).
 
         *local_work* (the parent's inline small-component sweep) runs
         after the pool is seeded and before result pumping, so it
@@ -445,7 +492,7 @@ class WorkStealingScheduler:
                 f"({self._workers_lost} workers lost, "
                 f"{len(self._spawn_failures)} spawn failures)"
             )
-        return self._rows, self._stats, leftover
+        return self._rows, self.metrics.snapshot(), leftover
 
     # ------------------------------------------------------------------
     # Parent loop
@@ -475,6 +522,8 @@ class WorkStealingScheduler:
                 continue
             self._handle(message)
             messages += 1
+            if self.progress is not None:
+                self.progress(self._completed, self._pending)
             faults.parent_message_tick(messages)
 
     def _assign(self) -> None:
@@ -493,6 +542,13 @@ class WorkStealingScheduler:
             record.state = _ASSIGNED
             record.assigned = (worker.slot, worker.epoch)
             worker.in_flight[record.task_id] = record
+            if record.origin is not None and record.origin != worker.slot:
+                obs.journal_event(
+                    "frame_steal",
+                    task=record.task_id,
+                    origin=record.origin,
+                    slot=worker.slot,
+                )
             worker.queue.put((record.task_id, record.frame[0], record.frame[1]))
 
     def _handle(self, message) -> None:
@@ -505,14 +561,17 @@ class WorkStealingScheduler:
             if index < parent.spawns_credited:
                 return  # deterministic replay by a retried attempt
             parent.spawns_credited = index + 1
-            child = _Task(self._next_id, (frame[0], frame[1]))
+            child = _Task(self._next_id, (frame[0], frame[1]), origin=slot)
             self._next_id += 1
             self._records[child.task_id] = child
             self._backlog.append(child)
             self._pending += 1
             self._spawned += 1
+            obs.journal_event(
+                "frame_spawn", task=child.task_id, parent=task_id, slot=slot
+            )
         elif kind in ("done", "interrupted"):
-            task_id, rows, stats = message[3], message[4], message[5]
+            task_id, rows, metrics = message[3], message[4], message[5]
             record = self._records.get(task_id)
             if record is None or record.state in (_COMPLETED, _QUARANTINED):
                 return  # duplicate terminal message from a stale attempt
@@ -521,8 +580,7 @@ class WorkStealingScheduler:
             self._pending -= 1
             self._completed += 1
             self._rows.extend(rows)
-            for key, value in stats.items():
-                self._stats[key] = self._stats.get(key, 0) + value
+            self.metrics.merge_snapshot(metrics)
             if kind == "interrupted":
                 self._worker_incomplete += message[6]
                 if self._interrupted_reason is None:
@@ -562,10 +620,19 @@ class WorkStealingScheduler:
             self._pending -= 1
             last_line = why.strip().splitlines()[-1] if why.strip() else "unknown"
             self.quarantined.append((record.task_id, record.frame, last_line))
+            obs.journal_event(
+                "frame_quarantine",
+                task=record.task_id,
+                attempts=record.attempts,
+                why=last_line,
+            )
         else:
             record.state = _QUEUED
             self._backlog.appendleft(record)
             self._retries += 1
+            obs.journal_event(
+                "frame_retry", task=record.task_id, attempts=record.attempts
+            )
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -583,10 +650,14 @@ class WorkStealingScheduler:
             process.start()
         except (OSError, faults.InjectedFault) as exc:
             self._spawn_failures.append(f"slot {slot} epoch {epoch}: {exc}")
+            obs.journal_event(
+                "worker_spawn_failed", slot=slot, epoch=epoch, why=str(exc)
+            )
             if queue is not None:
                 self._retired_queues.append(queue)
             return False
         self._pool[slot] = _Worker(slot, epoch, process, queue)
+        obs.journal_event("worker_spawn", slot=slot, epoch=epoch, pid=process.pid)
         return True
 
     def _reap_dead(self) -> None:
@@ -601,6 +672,13 @@ class WorkStealingScheduler:
     def _fail_worker(self, worker: _Worker, why: str) -> None:
         self._pool.pop(worker.slot, None)
         self._workers_lost += 1
+        obs.journal_event(
+            "worker_lost",
+            slot=worker.slot,
+            epoch=worker.epoch,
+            in_flight=len(worker.in_flight),
+            why=why.strip().splitlines()[0] if why.strip() else "unknown",
+        )
         # Credit whatever the dead worker managed to flush before dying
         # (completed rows, shed frames) before deciding what to retry.
         self._drain_available()
@@ -614,7 +692,10 @@ class WorkStealingScheduler:
             worker.process.join(timeout=0.5)
         if self._respawns < self.max_respawns:
             self._respawns += 1
-            self._try_spawn(worker.slot, worker.epoch + 1)
+            if self._try_spawn(worker.slot, worker.epoch + 1):
+                obs.journal_event(
+                    "worker_respawn", slot=worker.slot, epoch=worker.epoch + 1
+                )
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -663,7 +744,7 @@ class WorkStealingScheduler:
             # Salvage completed rows that were still in flight
             # (satellite guarantee: a crashed sibling must not cost a
             # healthy worker its finished tasks).
-            deadline = time.monotonic() + 0.5
+            deadline = time.monotonic() + self.drain_timeout
             while time.monotonic() < deadline:
                 try:
                     message = self._result_queue.get(timeout=0.05)

@@ -324,22 +324,25 @@ def compile_graph(graph: SignedGraph) -> CompiledGraph:
     """
     if isinstance(graph, CompiledGraph):
         return graph
-    nodes = list(graph.nodes())
-    index = {node: i for i, node in enumerate(nodes)}
-    xadj: List[int] = [0]
-    adj: List[int] = []
-    signs: List[int] = []
-    for node in nodes:
-        positive = graph.positive_neighbors(node)
-        row = [(index[v], POSITIVE) for v in positive]
-        row.extend((index[v], NEGATIVE) for v in graph.negative_neighbors(node))
-        row.sort()
-        adj.extend(j for j, _s in row)
-        signs.extend(s for _j, s in row)
-        xadj.append(len(adj))
-    compiled = CompiledGraph(nodes, xadj, adj, signs, source=graph)
-    compiled._index = index
-    return compiled
+    from repro.obs import runtime as obs
+
+    with obs.span("compile", nodes=graph.number_of_nodes()):
+        nodes = list(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        xadj: List[int] = [0]
+        adj: List[int] = []
+        signs: List[int] = []
+        for node in nodes:
+            positive = graph.positive_neighbors(node)
+            row = [(index[v], POSITIVE) for v in positive]
+            row.extend((index[v], NEGATIVE) for v in graph.negative_neighbors(node))
+            row.sort()
+            adj.extend(j for j, _s in row)
+            signs.extend(s for _j, s in row)
+            xadj.append(len(adj))
+        compiled = CompiledGraph(nodes, xadj, adj, signs, source=graph)
+        compiled._index = index
+        return compiled
 
 
 def as_compiled(graph) -> Optional[CompiledGraph]:

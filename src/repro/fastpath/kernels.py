@@ -376,21 +376,26 @@ def reduce_fast(compiled: CompiledGraph, params: AlphaK, method: str = "mcnew") 
 
 def reduce_mask(compiled: CompiledGraph, params: AlphaK, method: str = "mcnew") -> int:
     """Mask-returning core of :func:`reduce_fast`."""
-    if method == "none":
-        return compiled.full_mask
-    if method == "positive-core":
-        if params.positive_threshold == 0:
+    from repro.obs import runtime as obs
+
+    with obs.span("reduce", method=method):
+        if method == "none":
             return compiled.full_mask
-        _flag, mask = icore_fast(compiled, 0, params.positive_threshold, None, sign="positive")
-        return mask
-    if method == "mcbasic":
-        return mccore_basic_mask(compiled, params)
-    if method == "mcnew":
-        return mccore_new_mask(compiled, params)
-    raise ParameterError(
-        "unknown reduction method "
-        f"{method!r}; expected one of ['mcbasic', 'mcnew', 'none', 'positive-core']"
-    )
+        if method == "positive-core":
+            if params.positive_threshold == 0:
+                return compiled.full_mask
+            _flag, mask = icore_fast(compiled, 0, params.positive_threshold, None, sign="positive")
+            return mask
+        if method == "mcbasic":
+            with obs.span("mccore", method=method):
+                return mccore_basic_mask(compiled, params)
+        if method == "mcnew":
+            with obs.span("mccore", method=method):
+                return mccore_new_mask(compiled, params)
+        raise ParameterError(
+            "unknown reduction method "
+            f"{method!r}; expected one of ['mcbasic', 'mcnew', 'none', 'positive-core']"
+        )
 
 
 # ----------------------------------------------------------------------

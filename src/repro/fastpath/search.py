@@ -306,6 +306,13 @@ class FrameSearch:
                         (candidates, included) for candidates, included, _d in stack
                     )
                     del stack[:]
+                    from repro.obs import runtime as obs
+
+                    obs.journal_event(
+                        "frames_abandoned",
+                        reason=reason,
+                        frames=len(self.incomplete),
+                    )
                     return reason
             frame = stack.pop()
             processed += 1

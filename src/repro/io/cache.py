@@ -23,12 +23,18 @@ import json
 from pathlib import Path
 from typing import List, Optional, Union
 
+import repro
 from repro.core.bbe import MSCE
 from repro.core.cliques import SignedClique
 from repro.core.params import AlphaK
 from repro.graphs.signed_graph import Node, SignedGraph
 
 PathLike = Union[str, Path]
+
+#: On-disk payload schema revision. Bump whenever the JSON layout written
+#: by :meth:`ResultCache.put` changes shape; old entries then miss (their
+#: filenames carry the old revision) instead of being misparsed.
+CACHE_SCHEMA_VERSION = 1
 
 
 def graph_fingerprint(graph: SignedGraph) -> str:
@@ -70,8 +76,15 @@ class ResultCache:
         self._dir.mkdir(parents=True, exist_ok=True)
 
     def _path(self, fingerprint: str, params: AlphaK, kind: str) -> Path:
+        # The key carries the schema revision and the package version next
+        # to the graph fingerprint, so entries written by an older layout
+        # (or an older release with different enumeration semantics) are
+        # simply never found rather than deserialised into wrong results.
         safe_kind = "".join(ch for ch in kind if ch.isalnum() or ch in "-_")
-        return self._dir / f"{fingerprint[:32]}-a{params.alpha:g}-k{params.k}-{safe_kind}.json"
+        version_tag = f"s{CACHE_SCHEMA_VERSION}-v{repro.__version__}"
+        return self._dir / (
+            f"{fingerprint[:32]}-{version_tag}-a{params.alpha:g}-k{params.k}-{safe_kind}.json"
+        )
 
     def get(
         self, graph: SignedGraph, params: AlphaK, kind: str = "all"

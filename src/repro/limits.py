@@ -108,17 +108,31 @@ class ResourceGuard:
         if self._tripped is not None:
             return self._tripped
         if self.deadline is not None and self.clock() > self.deadline:
-            self._tripped = REASON_DEADLINE
+            self._trip(REASON_DEADLINE)
             return self._tripped
         if self.max_memory_bytes is not None:
             if (self._calls & (MEMORY_STRIDE - 1)) == 0:
                 peak = rss_bytes()
                 if peak is not None and peak > self.max_memory_bytes:
-                    self._tripped = REASON_MEMORY
+                    self._trip(REASON_MEMORY)
                     self._calls += 1
                     return self._tripped
             self._calls += 1
         return None
+
+    def _trip(self, reason: str) -> None:
+        """Latch *reason* and journal the (one-time) trip event."""
+        self._tripped = reason
+        # Imported lazily: limits must stay importable before repro.obs
+        # (and the event is emitted at most once per guard).
+        from repro.obs import runtime as obs
+
+        obs.journal_event(
+            "guard_trip",
+            reason=reason,
+            deadline=self.deadline,
+            max_memory_bytes=self.max_memory_bytes,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,75 @@
+"""Observability for the signed-clique pipeline: metrics, tracing, journal.
+
+The subsystem is deliberately self-contained — it imports nothing from
+``repro.core`` or ``repro.fastpath``, so the pipeline can hook into it
+from anywhere without import cycles. Five pieces compose:
+
+* :mod:`repro.obs.clock` — injectable monotonic time (``FakeClock`` for
+  deterministic tests);
+* :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  :class:`MetricsRegistry` with deterministic snapshot merging;
+* :mod:`repro.obs.tracing` — span tree with per-phase wall time and
+  counter deltas;
+* :mod:`repro.obs.journal` — JSONL event journal for scheduler and
+  guard lifecycle events;
+* :mod:`repro.obs.export` — JSON trace dumps, Prometheus text
+  exposition, and the schema-shape reducer for golden-file checks;
+* :mod:`repro.obs.progress` — throttled progress callbacks with ETA
+  from frames outstanding;
+* :mod:`repro.obs.runtime` — the ambient per-process observer the
+  pipeline call sites emit through (no-op singletons when disabled).
+"""
+
+from repro.obs.clock import MONOTONIC, FakeClock, MonotonicClock
+from repro.obs.export import (
+    prometheus_text,
+    trace_shape,
+    trace_to_dict,
+    write_prometheus,
+    write_trace_json,
+)
+from repro.obs.journal import NULL_JOURNAL, EventJournal, NullJournal
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.progress import DEFAULT_MIN_INTERVAL, ProgressEvent, ProgressReporter
+from repro.obs.runtime import Observer, get_observer, install, observing
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "MONOTONIC",
+    "FakeClock",
+    "MonotonicClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "EventJournal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "trace_to_dict",
+    "write_trace_json",
+    "prometheus_text",
+    "write_prometheus",
+    "trace_shape",
+    "ProgressEvent",
+    "ProgressReporter",
+    "DEFAULT_MIN_INTERVAL",
+    "Observer",
+    "get_observer",
+    "install",
+    "observing",
+]

@@ -1,0 +1,70 @@
+"""Injectable monotonic clocks for the observability subsystem.
+
+Every time-dependent component of :mod:`repro.obs` — span timing,
+journal timestamps, progress throttling and ETA estimation — reads time
+through a :class:`Clock` object instead of calling :func:`time.monotonic`
+directly. Production code uses the process-wide :data:`MONOTONIC`
+singleton; tests inject a :class:`FakeClock` and advance it manually,
+which makes span durations, histogram contents and ETA numbers exactly
+reproducible (no sleeps, no flaky tolerances).
+
+>>> clock = FakeClock()
+>>> clock.advance(2.5)
+>>> clock.now()
+2.5
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class MonotonicClock:
+    """The real clock: a thin wrapper around :func:`time.monotonic`.
+
+    ``CLOCK_MONOTONIC`` is system-wide on the POSIX platforms the
+    parallel enumerator runs on, so timestamps taken in forked worker
+    processes are directly comparable with the parent's — the same
+    property :mod:`repro.limits` relies on for cross-process deadlines.
+    """
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        return time.monotonic()
+
+    def __repr__(self) -> str:
+        return "MonotonicClock()"
+
+
+class FakeClock:
+    """A manually-advanced clock for deterministic tests.
+
+    Parameters
+    ----------
+    start:
+        The initial reading (defaults to ``0.0``).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current fake time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += seconds
+
+    def __repr__(self) -> str:
+        return f"FakeClock(now={self._now!r})"
+
+
+#: Process-wide real clock, shared by every default-constructed component.
+MONOTONIC = MonotonicClock()

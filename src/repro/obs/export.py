@@ -1,0 +1,110 @@
+"""Exporters: nested-JSON trace dumps and Prometheus text exposition.
+
+Two wire formats cover the two consumption modes of a run's telemetry:
+
+* :func:`trace_to_dict` / :func:`write_trace_json` — the span tree with
+  per-phase wall time and counter deltas as nested JSON, for humans and
+  for the perf-trajectory tooling (`BENCH_*.json` artifacts);
+* :func:`prometheus_text` — the metrics registry in the Prometheus text
+  exposition format (version 0.0.4), for scraping a long-lived service.
+
+:func:`trace_shape` reduces a trace dump to its *shape* — span names,
+nesting, and the sorted key sets of every object — which is what the CI
+golden-file check pins: timings drift every run, the schema must not.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def trace_to_dict(tracer: Tracer) -> Dict[str, object]:
+    """The tracer's span tree as a JSON-ready nested dict."""
+    return tracer.to_dict()
+
+
+def write_trace_json(tracer: Tracer, path) -> None:
+    """Dump the trace to *path* as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_to_dict(tracer), handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitise *name* into a legal Prometheus metric name."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def prometheus_text(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Render *registry* in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix, histograms the standard
+    ``_bucket``/``_sum``/``_count`` triplet with cumulative ``le``
+    labels ending in ``+Inf``. Instruments are emitted in sorted name
+    order so the export is deterministic.
+    """
+    prefix = _metric_name(namespace) + "_" if namespace else ""
+    lines: List[str] = []
+    for name in sorted(registry.counters):
+        metric = f"{prefix}{_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {registry.counters[name].value}")
+    for name in sorted(registry.gauges):
+        metric = f"{prefix}{_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {registry.gauges[name].value}")
+    for name in sorted(registry.histograms):
+        histogram = registry.histograms[name]
+        metric = f"{prefix}{_metric_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.bounds, histogram.counts):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        cumulative += histogram.counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {histogram.total:g}")
+        lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path, namespace: str = "repro") -> None:
+    """Write :func:`prometheus_text` output to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry, namespace=namespace))
+
+
+_Shape = Union[str, List, Dict[str, object]]
+
+
+def trace_shape(payload) -> _Shape:
+    """Reduce a trace dump to its schema shape for golden-file checks.
+
+    Scalars collapse to their type name; dicts keep their (sorted) keys
+    with shaped values — except ``counters`` and ``attrs`` payloads,
+    which collapse to their sorted key list (values are run-dependent);
+    span lists keep per-element shapes so names and nesting are pinned.
+    Every ``name`` value is preserved verbatim: a renamed or reparented
+    phase is schema drift, not noise.
+    """
+    if isinstance(payload, dict):
+        shaped: Dict[str, object] = {}
+        for key in sorted(payload):
+            value = payload[key]
+            if key in ("counters", "attrs") and isinstance(value, dict):
+                shaped[key] = sorted(value)
+            elif key == "name":
+                shaped[key] = value
+            else:
+                shaped[key] = trace_shape(value)
+        return shaped
+    if isinstance(payload, list):
+        return [trace_shape(item) for item in payload]
+    return type(payload).__name__

@@ -1,0 +1,105 @@
+"""Throttled progress reporting with ETA from frames outstanding.
+
+The parallel enumerator's parent loop knows, at every message, how many
+frame tasks have completed and how many are outstanding (pending seeds
+plus frames re-split by work stealing). :class:`ProgressReporter` turns
+that stream into a human-rate callback: invocations are throttled to
+``min_interval`` seconds of the injected clock, the completion rate is
+the run-long average, and the ETA is simply ``outstanding / rate`` —
+honest about the caveat that outstanding frames can still *grow* as
+subtrees are re-split, which is why the raw numbers ride along.
+
+With a :class:`~repro.obs.clock.FakeClock` every emitted
+:class:`ProgressEvent` — including the ETA — is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.clock import MONOTONIC
+
+#: Default minimum seconds between two progress callbacks.
+DEFAULT_MIN_INTERVAL = 0.5
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress sample handed to the callback."""
+
+    #: Frame tasks completed so far.
+    completed: int
+    #: Frame tasks still queued or in flight (may grow via re-splits).
+    outstanding: int
+    #: Seconds since the reporter's first update.
+    elapsed_seconds: float
+    #: Completed tasks per second (run-long average; 0.0 until work finishes).
+    rate: float
+    #: Estimated seconds until the outstanding work drains, or ``None``
+    #: while no completion rate is established yet.
+    eta_seconds: Optional[float]
+
+
+class ProgressReporter:
+    """Throttle ``(completed, outstanding)`` samples into callback events.
+
+    Parameters
+    ----------
+    callback:
+        Called with a :class:`ProgressEvent` at most once per
+        *min_interval* (plus once on :meth:`finish`).
+    clock:
+        Injectable time source (see :mod:`repro.obs.clock`).
+    min_interval:
+        Minimum seconds between two callbacks; ``0`` disables throttling.
+    """
+
+    def __init__(
+        self,
+        callback: Callable[[ProgressEvent], None],
+        clock=MONOTONIC,
+        min_interval: float = DEFAULT_MIN_INTERVAL,
+    ):
+        self.callback = callback
+        self.clock = clock
+        self.min_interval = min_interval
+        self._started: Optional[float] = None
+        self._last_emit: Optional[float] = None
+        #: Events actually delivered to the callback.
+        self.emitted = 0
+
+    def _event(self, completed: int, outstanding: int, now: float) -> ProgressEvent:
+        elapsed = now - self._started if self._started is not None else 0.0
+        rate = completed / elapsed if elapsed > 0 and completed > 0 else 0.0
+        eta = outstanding / rate if rate > 0 else None
+        return ProgressEvent(
+            completed=completed,
+            outstanding=outstanding,
+            elapsed_seconds=elapsed,
+            rate=rate,
+            eta_seconds=eta,
+        )
+
+    def update(self, completed: int, outstanding: int, force: bool = False) -> bool:
+        """Offer a sample; returns ``True`` when the callback fired.
+
+        The first update starts the elapsed-time clock and always
+        fires; later updates fire when *min_interval* has passed since
+        the last emission (or *force* is set).
+        """
+        now = self.clock.now()
+        if self._started is None:
+            self._started = now
+        elif not force and self._last_emit is not None and (
+            now - self._last_emit < self.min_interval
+        ):
+            return False
+        self._last_emit = now
+        self.emitted += 1
+        self.callback(self._event(completed, outstanding, now))
+        return True
+
+    def finish(self, completed: int, outstanding: int = 0) -> None:
+        """Force a final sample (the 100% line a throttle would swallow)."""
+        self.update(completed, outstanding, force=True)

@@ -1,0 +1,140 @@
+"""The ambient :class:`Observer`: process-wide registry + tracer + journal.
+
+Pipeline code does not thread an observer through every signature;
+instead it asks this module for the process's current one and emits
+through it:
+
+>>> from repro.obs import runtime
+>>> with runtime.span("reduce", method="mcnew"):
+...     pass
+>>> runtime.journal_event("guard_trip", reason="deadline")  # doctest: +SKIP
+
+By default the observer is **disabled** — its registry, tracer and
+journal are the shared null singletons, so every hook above costs an
+attribute lookup and a no-op call. Observability is enabled either
+
+* programmatically, with the :func:`observing` context manager (what
+  the CLI's ``--trace-out`` / ``--metrics-out`` flags and the tests
+  use), or
+* by environment, setting ``REPRO_OBS=1`` before the first hook runs
+  (what the CI observability job uses to run the whole tier-1 suite
+  instrumented); ``REPRO_OBS_JOURNAL=<path>`` additionally streams the
+  journal to a JSONL file.
+
+Worker processes are *forked* after the parent installs its observer,
+so they inherit it: spans and counters they record stay in worker
+memory (per-task registry snapshots ride back on ``done`` messages —
+see :mod:`repro.core.scheduler`), while journal file output, if
+enabled, appends from every process into one JSONL stream.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.clock import MONOTONIC
+from repro.obs.journal import NULL_JOURNAL, EventJournal
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+
+class Observer:
+    """One process's observability bundle."""
+
+    __slots__ = ("registry", "tracer", "journal", "enabled")
+
+    def __init__(self, registry, tracer, journal, enabled: bool):
+        self.registry = registry
+        self.tracer = tracer
+        self.journal = journal
+        self.enabled = enabled
+
+    @classmethod
+    def disabled(cls) -> "Observer":
+        """The no-op bundle (shared null components)."""
+        return cls(NULL_REGISTRY, NULL_TRACER, NULL_JOURNAL, enabled=False)
+
+    @classmethod
+    def fresh(cls, journal_path: Optional[str] = None, clock=MONOTONIC) -> "Observer":
+        """A live bundle with its own registry, tracer and journal."""
+        registry = MetricsRegistry()
+        return cls(
+            registry,
+            Tracer(registry, clock=clock),
+            EventJournal(path=journal_path, clock=clock),
+            enabled=True,
+        )
+
+    def __repr__(self) -> str:
+        return f"Observer(enabled={self.enabled})"
+
+
+_OBSERVER: Optional[Observer] = None
+
+
+def _from_env() -> Observer:
+    flag = os.environ.get("REPRO_OBS", "").strip()
+    if flag not in ("", "0", "false"):
+        return Observer.fresh(journal_path=os.environ.get("REPRO_OBS_JOURNAL") or None)
+    return Observer.disabled()
+
+
+def get_observer() -> Observer:
+    """The process's current observer (built from the env on first use)."""
+    global _OBSERVER
+    if _OBSERVER is None:
+        _OBSERVER = _from_env()
+    return _OBSERVER
+
+
+def install(observer: Observer) -> Observer:
+    """Replace the current observer; returns the previous one."""
+    global _OBSERVER
+    previous = get_observer()
+    _OBSERVER = observer
+    return previous
+
+
+@contextmanager
+def observing(
+    journal_path: Optional[str] = None, clock=MONOTONIC
+) -> Iterator[Observer]:
+    """Install a fresh enabled observer for the block, then restore.
+
+    The observer stays usable after the block (its registry, tracer and
+    journal keep their recorded data) — only the ambient installation
+    is undone, which is what lets the CLI export a run's trace after
+    the run returned.
+    """
+    observer = Observer.fresh(journal_path=journal_path, clock=clock)
+    previous = install(observer)
+    try:
+        yield observer
+    finally:
+        install(previous)
+        observer.journal.close()
+
+
+# ---------------------------------------------------------------------------
+# Convenience hooks used by the pipeline call sites
+# ---------------------------------------------------------------------------
+def span(name: str, **attrs):
+    """Open a span on the ambient tracer (no-op context when disabled)."""
+    return get_observer().tracer.span(name, **attrs)
+
+
+def counter(name: str):
+    """The ambient registry's counter *name* (a shared sink when disabled)."""
+    return get_observer().registry.counter(name)
+
+
+def journal_event(event: str, **fields) -> None:
+    """Emit a journal event on the ambient journal (no-op when disabled)."""
+    get_observer().journal.emit(event, **fields)
+
+
+def merge_metrics(snapshot) -> None:
+    """Fold a registry snapshot into the ambient registry (no-op when disabled)."""
+    get_observer().registry.merge_snapshot(snapshot)

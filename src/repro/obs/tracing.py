@@ -1,0 +1,201 @@
+"""Span-based tracing: a wall-clock phase tree with counter deltas.
+
+A :class:`Span` is one timed phase of a pipeline run — ``load``,
+``reduce``, ``mccore``, ``compile``, ``enumerate``, ``merge`` — opened
+and closed through :meth:`Tracer.span`'s context-manager API. Spans
+nest: entering a span while another is open makes it a child, so a full
+MSCE run produces a tree mirroring the call structure (reduction inside
+the run, MCCore inside the reduction, and so on).
+
+Besides wall time (read from an injectable :class:`~repro.obs.clock`
+clock, so tests pin durations exactly), every span records the **delta
+of every counter** in the tracer's bound registry between entry and
+exit. A phase's cost is therefore visible in both dimensions at once:
+seconds spent, and how many recursions / prunes / retries happened
+inside it — which is exactly the data the paper's pruning ablations
+(and those of the balanced-clique work of Chen et al.) tabulate.
+
+The disabled path is :class:`NullTracer`: ``span()`` hands back one
+shared re-entrant no-op context manager, so tracing call sites cost a
+method call and nothing else when observability is off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.clock import MONOTONIC
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+#: Root spans kept per tracer; later roots are counted but not stored
+#: (bounds memory when a long-lived process traces thousands of runs).
+MAX_ROOT_SPANS = 512
+
+
+class Span:
+    """One timed phase: name, duration, attributes, counter deltas, children."""
+
+    __slots__ = ("name", "attrs", "started", "ended", "children", "counters", "_before")
+
+    def __init__(self, name: str, attrs: Dict[str, object], started: float):
+        self.name = name
+        #: Caller-supplied labels (reduction method, dataset, ...).
+        self.attrs = attrs
+        self.started = started
+        self.ended: Optional[float] = None
+        self.children: List["Span"] = []
+        #: Registry counter deltas over the span's lifetime (non-zero only).
+        self.counters: Dict[str, int] = {}
+        self._before: Dict[str, int] = {}
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration (0.0 while the span is still open)."""
+        return 0.0 if self.ended is None else self.ended - self.started
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested plain-dict form (the JSON trace exporter's unit)."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.seconds:.6f}s" if self.ended is not None else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class _SpanContext:
+    """Context manager closing one span on exit (exception or not)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self._span)
+
+
+class Tracer:
+    """Builds the span tree for one process, one phase at a time.
+
+    Parameters
+    ----------
+    registry:
+        The metrics registry whose counters are snapshotted at span
+        entry and diffed at exit. Defaults to the shared null registry
+        (deltas then stay empty).
+    clock:
+        Injectable time source (see :mod:`repro.obs.clock`).
+    max_roots:
+        Completed root spans retained; further roots are dropped and
+        counted in :attr:`dropped_roots` so a long-lived service cannot
+        grow without bound.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry = NULL_REGISTRY,
+        clock=MONOTONIC,
+        max_roots: int = MAX_ROOT_SPANS,
+    ):
+        self.registry = registry
+        self.clock = clock
+        self.max_roots = max_roots
+        #: Completed + currently-open top-level spans, oldest first.
+        self.roots: List[Span] = []
+        #: Root spans discarded after :attr:`max_roots` was reached.
+        self.dropped_roots = 0
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a span named *name*; use as ``with tracer.span("reduce"):``.
+
+        The span becomes a child of the currently-open span, or a new
+        root. Counter deltas cover the tracer's bound registry.
+        """
+        span = Span(name, attrs, self.clock.now())
+        span._before = {
+            key: counter.value for key, counter in self.registry.counters.items()
+        }
+        if self._stack:
+            self._stack[-1].children.append(span)
+        elif len(self.roots) < self.max_roots:
+            self.roots.append(span)
+        else:
+            self.dropped_roots += 1
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.ended = self.clock.now()
+        before = span._before
+        span._before = {}
+        for key, counter in self.registry.counters.items():
+            delta = counter.value - before.get(key, 0)
+            if delta:
+                span.counters[key] = delta
+        # Close any children left open by an exception, innermost first.
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.ended is None:
+                dangling.ended = span.ended
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def to_dict(self) -> Dict[str, object]:
+        """The whole trace as a plain dict (see :mod:`repro.obs.export`)."""
+        return {
+            "spans": [span.to_dict() for span in self.roots],
+            "dropped_roots": self.dropped_roots,
+        }
+
+    def clear(self) -> None:
+        """Drop every recorded span (used between test runs)."""
+        self.roots.clear()
+        self._stack.clear()
+        self.dropped_roots = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(roots={len(self.roots)}, open={len(self._stack)})"
+
+
+class _NullSpanContext:
+    """Shared re-entrant no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """The disabled path: ``span()`` returns one shared no-op context."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(NULL_REGISTRY)
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:  # type: ignore[override]
+        return _NULL_SPAN
+
+
+#: Process-wide disabled tracer (the default observer's tracer).
+NULL_TRACER = NullTracer()

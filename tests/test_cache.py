@@ -2,8 +2,14 @@
 
 import pytest
 
+import repro
 from repro.core import MSCE, AlphaK
-from repro.io.cache import ResultCache, cached_enumerate, graph_fingerprint
+from repro.io.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cached_enumerate,
+    graph_fingerprint,
+)
 from repro.graphs import SignedGraph
 
 
@@ -61,6 +67,23 @@ class TestResultCache:
         cliques = MSCE(graph, params).enumerate_all().cliques
         with pytest.raises(TypeError):
             ResultCache(tmp_path).put(graph, params, cliques)
+
+    def test_key_carries_schema_and_package_version(self, paper_graph, tmp_path):
+        params = AlphaK(3, 1)
+        cache = ResultCache(tmp_path)
+        cache.put(paper_graph, params, [])
+        (entry,) = tmp_path.glob("*.json")
+        assert f"-s{CACHE_SCHEMA_VERSION}-v{repro.__version__}-" in entry.name
+
+    def test_schema_bump_invalidates_old_entries(self, paper_graph, tmp_path, monkeypatch):
+        params = AlphaK(3, 1)
+        cache = ResultCache(tmp_path)
+        cache.put(paper_graph, params, [])
+        assert cache.get(paper_graph, params) == []
+        monkeypatch.setattr(
+            "repro.io.cache.CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1
+        )
+        assert cache.get(paper_graph, params) is None  # old entry never found
 
     def test_clear(self, paper_graph, tmp_path):
         cache = ResultCache(tmp_path)
