@@ -53,6 +53,10 @@ from repro.io import read_signed_edgelist, write_signed_edgelist
 
 __version__ = "1.0.0"
 
+# The serving layer imports repro.io (which reads __version__ for cache
+# keys), so it loads last.
+from repro.serve import GridResult, SignedCliqueEngine  # noqa: E402
+
 __all__ = [
     "__version__",
     "SignedGraph",
@@ -79,6 +83,8 @@ __all__ = [
     "signed_cliques_containing",
     "best_signed_clique_for",
     "DynamicSignedCliqueIndex",
+    "SignedCliqueEngine",
+    "GridResult",
     "CompiledGraph",
     "compile_graph",
     "read_signed_edgelist",

@@ -22,6 +22,9 @@ percolate
     Community detection via signed clique percolation (optionally DOT).
 sweep
     Profile the (alpha, k) landscape of a graph.
+serve-grid
+    Batch-enumerate an (alpha, k) grid through the serving engine
+    (one compilation, shared coring, two-tier cache, optional workers).
 report
     Regenerate the full evaluation report as markdown.
 
@@ -153,6 +156,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--alphas", type=float, nargs="+", default=[2, 3, 4, 5, 6, 7])
     sweep.add_argument("--ks", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6])
     sweep.add_argument("--time-limit", type=float, default=10.0, help="seconds per point")
+
+    serve_grid = sub.add_parser(
+        "serve-grid",
+        help="batch-enumerate an (alpha, k) grid through the serving engine",
+    )
+    _add_graph_argument(serve_grid)
+    serve_grid.add_argument("--alphas", type=float, nargs="+", default=[2, 3, 4, 5, 6, 7])
+    serve_grid.add_argument("--ks", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6])
+    serve_grid.add_argument("--workers", type=int, default=1, help="worker processes")
+    serve_grid.add_argument("--time-limit", type=float, default=None, help="seconds cap")
+    serve_grid.add_argument(
+        "--cache-dir", default=None, help="persistent disk cache directory"
+    )
+    serve_grid.add_argument(
+        "--cache-mem-entries",
+        type=int,
+        default=256,
+        help="in-memory cache entry bound (default 256)",
+    )
+    serve_grid.add_argument(
+        "--cache-mem-bytes",
+        type=int,
+        default=None,
+        help="in-memory cache approximate byte bound (default unbounded)",
+    )
+    serve_grid.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     return parser
 
@@ -340,6 +369,54 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"k={suggestion.k} ({suggestion.clique_count} cliques, "
                 f"largest {suggestion.largest_clique})"
             )
+        return 0
+
+    if args.command == "serve-grid":
+        from repro.serve import SignedCliqueEngine
+
+        graph = _load_graph(args.graph)
+        engine = SignedCliqueEngine(
+            graph,
+            cache_dir=args.cache_dir,
+            cache_mem_entries=args.cache_mem_entries,
+            cache_mem_bytes=args.cache_mem_bytes,
+            workers=args.workers,
+        )
+        grid = engine.run_grid(
+            args.alphas, args.ks, workers=args.workers, time_limit=args.time_limit
+        )
+        if args.json:
+            payload = {
+                "report": grid.report,
+                "counters": dict(engine.counters),
+                "points": [
+                    {
+                        "alpha": params.alpha,
+                        "k": params.k,
+                        "cliques": len(result.cliques),
+                        "largest": result.cliques[0].size if result.cliques else 0,
+                        "recursions": int(result.stats.recursions),
+                        "partial": bool(result.timed_out or result.interrupted),
+                    }
+                    for params, result in grid.items()
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
+        for params, result in grid.items():
+            largest = result.cliques[0].size if result.cliques else 0
+            flag = " (partial)" if result.timed_out or result.interrupted else ""
+            print(
+                f"alpha={params.alpha:g} k={params.k}: "
+                f"{len(result.cliques)} cliques, largest {largest}{flag}"
+            )
+        report = grid.report
+        print(
+            f"served {report['served_from_cache']}/{report['points']} from cache, "
+            f"computed {report['computed']} with {report['workers']} worker(s); "
+            f"reduction sharing {report['sharing_ratio']:.0%}; "
+            f"{report['elapsed_seconds']:.2f}s"
+        )
         return 0
 
     if args.command == "generate":

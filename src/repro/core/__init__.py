@@ -23,9 +23,13 @@ from repro.core.api import (
     top_r_signed_cliques,
 )
 from repro.core.bbe import MSCE, EnumerationResult, SearchStats
-from repro.core.dynamic import DynamicSignedCliqueIndex
+from repro.core.dynamic import (
+    DynamicSignedCliqueIndex,
+    closed_neighborhood,
+    refresh_region,
+)
 from repro.core.heuristic import greedy_signed_cliques
-from repro.core.parallel import enumerate_parallel
+from repro.core.parallel import enumerate_grid, enumerate_parallel
 from repro.core.percolation import merge_overlapping_cliques, signed_clique_percolation
 from repro.core.scheduler import WorkStealingScheduler
 from repro.core.cliques import (
@@ -89,7 +93,10 @@ __all__ = [
     "query_search",
     "query_candidate_space",
     "DynamicSignedCliqueIndex",
+    "closed_neighborhood",
+    "refresh_region",
     "enumerate_parallel",
+    "enumerate_grid",
     "WorkStealingScheduler",
     "greedy_signed_cliques",
     "signed_clique_percolation",

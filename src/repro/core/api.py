@@ -13,7 +13,7 @@ two lines:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.core.bbe import MSCE, EnumerationResult
 from repro.core.cliques import SignedClique
@@ -33,6 +33,7 @@ def enumerate_signed_cliques(
     time_limit: Optional[float] = None,
     max_results: Optional[int] = None,
     min_size: Optional[int] = None,
+    reducer: Optional[Callable] = None,
 ) -> List[SignedClique]:
     """Return all maximal (alpha, k)-cliques, largest first.
 
@@ -51,6 +52,7 @@ def enumerate_signed_cliques(
         time_limit=time_limit,
         max_results=max_results,
         min_size=min_size,
+        reducer=reducer,
     ).cliques
 
 
@@ -65,8 +67,14 @@ def enumerate_with_stats(
     time_limit: Optional[float] = None,
     max_results: Optional[int] = None,
     min_size: Optional[int] = None,
+    reducer: Optional[Callable] = None,
 ) -> EnumerationResult:
-    """Run MSCE and return the full :class:`EnumerationResult`."""
+    """Run MSCE and return the full :class:`EnumerationResult`.
+
+    ``reducer`` optionally replaces the coring pass on the compiled
+    fastpath (see :class:`~repro.core.bbe.MSCE`); the serving engine
+    uses it to share reduction work across an (alpha, k) grid.
+    """
     params = AlphaK(alpha=alpha, k=k)
     searcher = MSCE(
         graph,
@@ -78,6 +86,7 @@ def enumerate_with_stats(
         time_limit=time_limit,
         max_results=max_results,
         min_size=min_size,
+        reducer=reducer,
     )
     return searcher.enumerate_all()
 
@@ -92,6 +101,7 @@ def top_r_signed_cliques(
     maxtest: str = "exact",
     seed: int = 0,
     time_limit: Optional[float] = None,
+    reducer: Optional[Callable] = None,
 ) -> List[SignedClique]:
     """Return the ``r`` largest maximal (alpha, k)-cliques.
 
@@ -108,6 +118,7 @@ def top_r_signed_cliques(
         maxtest=maxtest,
         seed=seed,
         time_limit=time_limit,
+        reducer=reducer,
     )
     return searcher.top_r(r).cliques
 

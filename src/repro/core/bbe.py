@@ -270,6 +270,7 @@ class MSCE:
         compile: bool = True,
         frame_rng: bool = False,
         max_memory_bytes: Optional[int] = None,
+        reducer: Optional[Callable[[object, AlphaK, str], int]] = None,
     ):
         #: Compiled fastpath representation, when one was handed in (and
         #: not disabled); the search then runs on bitset kernels.
@@ -302,6 +303,15 @@ class MSCE:
         self.min_size = min_size
         self.seed = seed
         self.frame_rng = frame_rng
+        #: Optional replacement for :func:`~repro.fastpath.kernels.reduce_mask`
+        #: on the compiled path, called as ``reducer(compiled, params,
+        #: method) -> survivor mask``. The serving engine injects a
+        #: memoising wrapper here so (alpha, k) pairs sharing a
+        #: ``ceil(alpha * k)`` ceiling share one coring pass; the result
+        #: must be bit-identical to what ``reduce_mask`` would return.
+        self.reducer = reducer
+        if reducer is not None and self.compiled is None:
+            raise ParameterError("reducer requires the compiled fastpath")
         self._rng = random.Random(seed)
         self._maxtest = make_maxtest(maxtest)
         self._select = self._make_selector(selection)
@@ -525,7 +535,14 @@ class MSCE:
                     from repro.fastpath.kernels import component_masks, reduce_mask
                     from repro.fastpath.search import search_component_fast
 
-                    survivor_mask = reduce_mask(self.compiled, self.params, method=self.reduction)
+                    if self.reducer is not None:
+                        survivor_mask = self.reducer(
+                            self.compiled, self.params, self.reduction
+                        )
+                    else:
+                        survivor_mask = reduce_mask(
+                            self.compiled, self.params, method=self.reduction
+                        )
                     with obs.span("enumerate"):
                         for mask in component_masks(self.compiled, survivor_mask):
                             stats.components += 1

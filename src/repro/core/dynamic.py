@@ -39,6 +39,51 @@ from repro.exceptions import GraphError
 from repro.graphs.signed_graph import Node, SignedGraph
 
 
+def closed_neighborhood(graph: SignedGraph, node: Node) -> Set[Node]:
+    """``{node} ∪ N(node)``, tolerating nodes absent from *graph*.
+
+    The building block of the affected region ``A``: take it in the
+    *old* graph before mutating, union with ``{u, v}`` afterwards.
+    """
+    if not graph.has_node(node):
+        return {node}
+    return {node} | graph.neighbors(node)
+
+
+def refresh_region(
+    graph: SignedGraph,
+    params: AlphaK,
+    cliques: Dict[FrozenSet[Node], SignedClique],
+    region: Set[Node],
+    maxtest: str = "exact",
+    search_graph: Optional[object] = None,
+) -> int:
+    """Apply the locality rule to a cached answer set, in place.
+
+    Drops every cached clique contained in *region* (the only ones whose
+    validity or maximality can have changed — see the module docstring)
+    and replaces them with the globally-maximal cliques inside *region*
+    on the *current* graph, via :meth:`MSCE.enumerate_seeded`. Returns
+    the number of cliques invalidated.
+
+    ``search_graph`` may supply an already-compiled representation of
+    *graph* (the serving engine passes its long-lived
+    :class:`~repro.fastpath.compiled.CompiledGraph`) so repairs across
+    many cached (alpha, k) entries share one compilation.
+    """
+    region = {node for node in region if graph.has_node(node)}
+    stale = [key for key in cliques if key <= region]
+    for key in stale:
+        del cliques[key]
+    searcher = MSCE(
+        graph if search_graph is None else search_graph, params, maxtest=maxtest
+    )
+    result = searcher.enumerate_seeded(region, frozenset())
+    for clique in result.cliques:
+        cliques[clique.nodes] = clique
+    return len(stale)
+
+
 class DynamicSignedCliqueIndex:
     """A live index of all maximal (alpha, k)-cliques under graph updates.
 
@@ -170,19 +215,11 @@ class DynamicSignedCliqueIndex:
     # Internals
     # ------------------------------------------------------------------
     def _closed_neighborhood(self, node: Node) -> Set[Node]:
-        if not self._graph.has_node(node):
-            return {node}
-        return {node} | self._graph.neighbors(node)
+        return closed_neighborhood(self._graph, node)
 
     def _refresh(self, region: Set[Node]) -> None:
         """Recompute the maximal cliques contained in *region*."""
         self.updates_applied += 1
-        region = {node for node in region if self._graph.has_node(node)}
-        stale = [key for key in self._cliques if key <= region]
-        for key in stale:
-            del self._cliques[key]
-        self.cliques_invalidated += len(stale)
-        searcher = MSCE(self._graph, self._params, maxtest=self._maxtest)
-        result = searcher.enumerate_seeded(region, frozenset())
-        for clique in result.cliques:
-            self._cliques[clique.nodes] = clique
+        self.cliques_invalidated += refresh_region(
+            self._graph, self._params, self._cliques, region, maxtest=self._maxtest
+        )

@@ -66,7 +66,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.bbe import MSCE, EnumerationResult, SearchStats
 from repro.core.cliques import SignedClique, sort_cliques
@@ -441,3 +441,293 @@ def enumerate_parallel(
         interrupted_reason=interrupted_reason,
         incomplete_frames=incomplete_frames,
     )
+
+
+class _GridGroup:
+    """Per-(alpha, k) search state of one :func:`enumerate_grid` run."""
+
+    __slots__ = ("params", "searcher", "stats", "found", "size_heap", "reason", "incomplete")
+
+    def __init__(self, params: AlphaK, searcher: MSCE):
+        self.params = params
+        self.searcher = searcher
+        self.stats = SearchStats()
+        self.found: Dict[FrozenSet[Node], SignedClique] = {}
+        self.size_heap: List[int] = []
+        self.reason: Optional[str] = None
+        self.incomplete = 0
+
+
+def enumerate_grid(
+    graph: SignedGraph,
+    points: Iterable[AlphaK],
+    workers: int = 1,
+    selection: str = "greedy",
+    reduction: str = "mcnew",
+    maxtest: str = "exact",
+    seed: int = 0,
+    small_component: int = SMALL_COMPONENT,
+    split_component: int = SPLIT_COMPONENT,
+    presplit: Optional[int] = None,
+    task_budget: int = DEFAULT_TASK_BUDGET,
+    max_offload: int = DEFAULT_MAX_OFFLOAD,
+    time_limit: Optional[float] = None,
+    max_memory_bytes: Optional[int] = None,
+    frame_retries: int = DEFAULT_FRAME_RETRIES,
+    max_respawns: Optional[int] = None,
+    strict: bool = False,
+    drain_timeout: float = RESULT_DRAIN_TIMEOUT,
+    reducer: Optional[Callable] = None,
+) -> Dict[AlphaK, EnumerationResult]:
+    """Enumerate a whole (alpha, k) grid against one compiled graph.
+
+    The batch counterpart of :func:`enumerate_parallel`: the graph is
+    compiled once, each distinct setting is reduced once (``reducer``
+    may memoise the coring across settings sharing a ``ceil(alpha * k)``
+    ceiling — the serving engine injects one), and the frames of *all*
+    settings ride a single :class:`~repro.core.scheduler.WorkStealingScheduler`
+    pool over one shared-memory graph segment. Stealing therefore
+    balances across the grid: while one setting's giant component drags
+    on, idle workers chew through the other settings instead of waiting
+    for a per-point barrier.
+
+    Returns an ordered mapping of each *distinct* requested setting to
+    an :class:`~repro.core.bbe.EnumerationResult` that is bit-identical
+    (cliques and stats) to a sequential ``MSCE(graph, params,
+    ...).enumerate_all()`` run of that setting, by the same argument as
+    :func:`enumerate_parallel` (frames partition each setting's search
+    tree; selection is frame-deterministic). Duplicate points are
+    deduplicated, preserving first-seen order.
+
+    ``workers <= 1`` (or a grid with no shippable frames) runs the same
+    decomposition inline, and the degradation ladder matches
+    :func:`enumerate_parallel`: shared-memory failure, spawn failure or
+    pool collapse finish the remaining frames in the parent unless
+    ``strict`` is set. A tripped ``time_limit`` / ``max_memory_bytes``
+    guard marks the *affected* settings interrupted (their results are
+    partial); settings that already completed stay exact.
+    """
+    _require_positive_int("workers", workers)
+    _require_positive_int("task_budget", task_budget)
+    _require_positive_int("max_offload", max_offload)
+    param_list = list(dict.fromkeys(points))
+    if not param_list:
+        return {}
+
+    started = time.perf_counter()
+    with obs.span(
+        "msce_grid",
+        points=len(param_list),
+        workers=workers,
+        selection=selection,
+        reduction=reduction,
+    ):
+        deadline_ts = time.monotonic() + time_limit if time_limit is not None else None
+        guard = make_guard(deadline_ts, max_memory_bytes)
+        compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
+
+        groups: List[_GridGroup] = []
+        inline_frames: List[Tuple[int, Tuple[int, int]]] = []
+        tasks: List[Tuple[int, Tuple[int, int]]] = []
+        presplit_cap = presplit if presplit is not None else max(4 * workers, 4)
+        report: Dict[str, object] = {
+            "workers": workers,
+            "grid_points": len(param_list),
+            "shared_graph_bytes": 0,
+        }
+        degraded: Optional[str] = None
+
+        for index, params in enumerate(param_list):
+            # Reduce in full-graph index space (no per-group extraction):
+            # every group's frames then address the same shared segment.
+            if reducer is not None:
+                survivor_mask = reducer(compiled, params, reduction)
+            else:
+                survivor_mask = reduce_mask(compiled, params, method=reduction)
+            group = _GridGroup(
+                params,
+                MSCE(
+                    compiled,
+                    params,
+                    selection=selection,
+                    reduction="none",  # reduced above
+                    maxtest=maxtest,
+                    seed=seed,
+                    frame_rng=True,
+                ),
+            )
+            groups.append(group)
+            for mask in component_masks(compiled, survivor_mask):
+                group.stats.components += 1
+                size = bit_count(mask)
+                if size < small_component:
+                    inline_frames.append((index, (mask, 0)))
+                elif size < split_component:
+                    tasks.append((index, (mask, 0)))
+                else:
+                    tasks.extend(
+                        (index, frame)
+                        for frame in decompose_root(
+                            group.searcher,
+                            mask,
+                            group.stats,
+                            group.found,
+                            group.size_heap,
+                            presplit_cap,
+                            guard=guard,
+                        )
+                    )
+        # Biggest subtrees first across the whole grid; deterministic
+        # tie-break keeps the seeded order stable across runs.
+        tasks.sort(key=lambda task: (-bit_count(task[1][0]), task[0], task[1]))
+        report["tasks_seeded"] = len(tasks)
+        report["inline_components"] = len(inline_frames)
+
+        def run_inline(frames: List[Tuple[int, Tuple[int, int]]]) -> None:
+            # One FrameSearch per group per call, same as the sequential
+            # enumerator's per-component sweeps; counters are additive so
+            # the grouping order cannot affect results.
+            by_group: Dict[int, List[Tuple[int, int]]] = {}
+            for index, frame in frames:
+                by_group.setdefault(index, []).append(frame)
+            for index, group_frames in by_group.items():
+                group = groups[index]
+                frame_search = FrameSearch(
+                    group.searcher, group.stats, group.found, group.size_heap, None, guard
+                )
+                reason = frame_search.run(
+                    [(candidates, included, None) for candidates, included in group_frames]
+                )
+                if reason is not None:
+                    if group.reason is None:
+                        group.reason = reason
+                    group.incomplete += len(frame_search.incomplete)
+
+        def finish_inline(leftover: List[Tuple[int, Tuple[int, int], int]]) -> None:
+            # Grouped version of enumerate_parallel's credit-skipping
+            # replay: spawn sequences are per-frame deterministic, so the
+            # first `credited` shed subtrees of each leftover frame were
+            # already enqueued (and completed or handed back) elsewhere.
+            pending = deque(leftover)
+            while pending:
+                index, (candidates, included), credited = pending.popleft()
+                group = groups[index]
+                spawn_index = 0
+                fresh: List[Tuple[int, int]] = []
+
+                def offload(child, _fresh=fresh, _credited=credited):
+                    nonlocal spawn_index
+                    if spawn_index >= _credited:
+                        _fresh.append(child)
+                    spawn_index += 1
+
+                frame_search = FrameSearch(
+                    group.searcher, group.stats, group.found, group.size_heap, None, guard
+                )
+                reason = frame_search.run(
+                    [(candidates, included, None)],
+                    budget=task_budget,
+                    offload=offload,
+                    max_offload=max_offload,
+                )
+                for child in fresh:
+                    pending.append((index, child, 0))
+                if reason is not None:
+                    if group.reason is None:
+                        group.reason = reason
+                    group.incomplete += len(frame_search.incomplete)
+                    for other_index, _, _ in pending:
+                        groups[other_index].incomplete += 1
+                        if groups[other_index].reason is None:
+                            groups[other_index].reason = reason
+                    return
+
+        with obs.span("enumerate"):
+            if workers <= 1 or not tasks:
+                degraded = "workers<=1" if workers <= 1 else "no parallel tasks"
+                run_inline(tasks + inline_frames)
+                report["tasks_completed"] = len(tasks)
+            else:
+                try:
+                    shared = SharedCompiledGraph.create(compiled)
+                except SharedMemoryError as exc:
+                    if strict:
+                        raise
+                    degraded = f"shared memory unavailable ({exc})"
+                    shared = None
+                if shared is None:
+                    run_inline(tasks + inline_frames)
+                    report["tasks_completed"] = len(tasks)
+                else:
+                    try:
+                        scheduler = WorkStealingScheduler(
+                            shared,
+                            workers,
+                            [group.params for group in groups],
+                            selection,
+                            maxtest,
+                            seed,
+                            task_budget=task_budget,
+                            max_offload=max_offload,
+                            deadline=deadline_ts,
+                            max_memory_bytes=max_memory_bytes,
+                            frame_retries=frame_retries,
+                            max_respawns=max_respawns,
+                            strict=strict,
+                            drain_timeout=drain_timeout,
+                        )
+                        rows_by_group, metrics_by_group, leftover = scheduler.run_grouped(
+                            tasks, local_work=lambda: run_inline(inline_frames)
+                        )
+                    finally:
+                        shared.close()
+                        shared.unlink()
+                    for index, group in enumerate(groups):
+                        for nodes, positive, negative in rows_by_group.get(index, []):
+                            group.found[nodes] = SignedClique(
+                                nodes=nodes,
+                                params=group.params,
+                                positive_edges=positive,
+                                negative_edges=negative,
+                            )
+                        group.stats.merge_snapshot(metrics_by_group.get(index, {}))
+                    report.update(scheduler.report)
+                    if scheduler.report["interrupted"]:
+                        reason = scheduler.report["interrupted_reason"]
+                        for index, _, _ in leftover:
+                            groups[index].incomplete += 1
+                            if groups[index].reason is None:
+                                groups[index].reason = reason
+                    elif leftover:
+                        if (
+                            scheduler.report["spawn_failures"] > 0
+                            and scheduler.report["workers_lost"] == 0
+                        ):
+                            degraded = "worker spawn failed"
+                        else:
+                            degraded = "worker pool collapsed"
+                        finish_inline(leftover)
+
+        report["degraded"] = degraded
+        if degraded is not None:
+            obs.journal_event("degraded", reason=degraded)
+
+        elapsed = time.perf_counter() - started
+        results: Dict[AlphaK, EnumerationResult] = {}
+        with obs.span("merge"):
+            for index, group in enumerate(groups):
+                cliques = sort_cliques(group.found.values())
+                group.stats.maximal_found = len(cliques)
+                metrics = group.stats.registry.snapshot()
+                obs.merge_metrics(metrics)
+                results[group.params] = EnumerationResult(
+                    cliques=cliques,
+                    stats=group.stats,
+                    elapsed_seconds=elapsed,
+                    timed_out=group.reason == "deadline",
+                    parallel=dict(report, grid_group=index, metrics=metrics),
+                    interrupted=group.reason is not None,
+                    interrupted_reason=group.reason,
+                    incomplete_frames=group.incomplete,
+                )
+    return results

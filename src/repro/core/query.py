@@ -25,7 +25,7 @@ maximality test is global, so results are maximal in the whole graph.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Callable, Iterable, List, Optional, Set
 
 from repro.algorithms.cliques import common_neighbors
 from repro.core.bbe import MSCE, EnumerationResult
@@ -51,7 +51,11 @@ def _validated_query(graph: SignedGraph, query: Iterable[Node]) -> Set[Node]:
 
 
 def query_candidate_space(
-    graph: SignedGraph, query: Iterable[Node], params: AlphaK, reduction: str = "mcnew"
+    graph: SignedGraph,
+    query: Iterable[Node],
+    params: AlphaK,
+    reduction: str = "mcnew",
+    reducer: Optional[Callable[[SignedGraph, AlphaK, str], Set[Node]]] = None,
 ) -> Optional[Set[Node]]:
     """Candidate space for cliques containing *query*, or ``None``.
 
@@ -60,13 +64,20 @@ def query_candidate_space(
     MCCore. Otherwise the returned set is the query plus every common
     neighbour inside the MCCore whose addition respects the negative
     budget against the query.
+
+    ``reducer`` optionally replaces :func:`~repro.core.reduction.reduce_graph`
+    (same ``(graph, params, method) -> node set`` contract); the serving
+    engine injects a memoised variant so repeated queries share coring.
     """
     query_set = _validated_query(graph, query)
     if violates_clique_constraint(graph, query_set) is not None:
         return None
     if violates_negative_constraint(graph, query_set, params) is not None:
         return None
-    survivors = reduce_graph(graph, params, method=reduction)
+    if reducer is not None:
+        survivors = reducer(graph, params, reduction)
+    else:
+        survivors = reduce_graph(graph, params, method=reduction)
     if not query_set <= survivors:
         return None
     budget = params.k
@@ -93,18 +104,28 @@ def query_search(
     maxtest: str = "exact",
     time_limit: Optional[float] = None,
     max_results: Optional[int] = None,
+    reducer: Optional[Callable[[SignedGraph, AlphaK, str], Set[Node]]] = None,
+    search_graph: Optional[object] = None,
 ) -> EnumerationResult:
     """Run the seeded search and return the full :class:`EnumerationResult`.
 
     Every returned clique contains all query nodes and is maximal in the
     whole graph; an empty result with zero recursions means the query
     itself was infeasible.
+
+    ``search_graph`` optionally supplies an already-compiled
+    representation of *graph* (a :class:`~repro.fastpath.compiled.CompiledGraph`)
+    so long-lived callers avoid recompiling per query; it must describe
+    the same graph. ``reducer`` is forwarded to
+    :func:`query_candidate_space`.
     """
     params = AlphaK(alpha, k)
     query_set = _validated_query(graph, query)
-    space = query_candidate_space(graph, query_set, params, reduction=reduction)
+    space = query_candidate_space(
+        graph, query_set, params, reduction=reduction, reducer=reducer
+    )
     searcher = MSCE(
-        graph,
+        graph if search_graph is None else search_graph,
         params,
         reduction=reduction,
         maxtest=maxtest,

@@ -82,7 +82,7 @@ import queue as queue_module
 import time
 import traceback
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.params import AlphaK
 from repro.exceptions import WorkerCrashError
@@ -124,6 +124,15 @@ CliqueRow = Tuple[frozenset, int, int]
 #: re-run skip the subtrees that were already shed as separate tasks.
 LeftoverFrame = Tuple[TaskFrame, int]
 
+#: A grouped task: ``(group index, frame)`` — the group selects which
+#: parameter setting (one entry of the scheduler's ``params`` sequence)
+#: the frame is searched under. Grid runs interleave frames of many
+#: (alpha, k) settings through one pool and one shared graph segment.
+GroupedTask = Tuple[int, TaskFrame]
+
+#: A grouped leftover: ``(group, frame, spawns_credited)``.
+GroupedLeftover = Tuple[int, TaskFrame, int]
+
 # Task lifecycle states (parent-side bookkeeping).
 _QUEUED, _ASSIGNED, _COMPLETED, _QUARANTINED = range(4)
 
@@ -144,6 +153,7 @@ class _Task:
     __slots__ = (
         "task_id",
         "frame",
+        "group",
         "attempts",
         "spawns_credited",
         "state",
@@ -151,9 +161,17 @@ class _Task:
         "origin",
     )
 
-    def __init__(self, task_id: int, frame: TaskFrame, origin: Optional[int] = None):
+    def __init__(
+        self,
+        task_id: int,
+        frame: TaskFrame,
+        origin: Optional[int] = None,
+        group: int = 0,
+    ):
         self.task_id = task_id
         self.frame = frame
+        #: Index into the scheduler's parameter groups.
+        self.group = group
         #: Failed attempts so far (crash or in-task exception).
         self.attempts = 0
         #: Spawn messages accepted for this task across all attempts.
@@ -183,9 +201,14 @@ class _Worker:
 def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> None:
     """Worker loop: attach the shared graph once, then drain frames.
 
-    *config* is ``(params, selection, maxtest, seed, task_budget,
-    max_offload, deadline, max_memory_bytes)``. Each task is searched
-    with :meth:`~repro.core.bbe.MSCE.run_frames`; branches shed by the
+    *config* is ``(param_groups, selection, maxtest, seed, task_budget,
+    max_offload, deadline, max_memory_bytes)`` where ``param_groups`` is
+    a tuple of :class:`~repro.core.params.AlphaK` settings; each task
+    names its group and the worker keeps one lazily-built
+    :class:`~repro.core.bbe.MSCE` per group, all sharing the attached
+    graph (single-setting runs have exactly one group, so this is the
+    old behaviour). Each task is searched with
+    :meth:`~repro.core.bbe.MSCE.run_frames`; branches shed by the
     node budget go back as indexed ``spawn`` messages *before* the
     task's terminal message, keeping the parent's pending count
     conservative. Terminal messages per task:
@@ -203,7 +226,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
     from repro.fastpath.shared import SharedCompiledGraph
 
     (
-        params,
+        param_groups,
         selection,
         maxtest,
         seed,
@@ -214,13 +237,16 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
     ) = config
     tick = faults.worker_tick(slot, epoch, result_queue)
     view = None
+    searchers: Dict[int, MSCE] = {}
     try:
         view = SharedCompiledGraph.attach(shared_meta)
         # MSCE materialises the maxtest/emit source graph eagerly, so the
-        # one-off reconstruction cost lands here, once per process.
-        searcher = MSCE(
-            view.graph,
-            params,
+        # one-off reconstruction cost lands here, once per process; the
+        # per-group searchers below all share this compiled view.
+        compiled = view.graph
+        searchers[0] = MSCE(
+            compiled,
+            param_groups[0],
             selection=selection,
             reduction="none",  # the parent already reduced
             maxtest=maxtest,
@@ -237,7 +263,19 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
             task = task_queue.get()
             if task is None:
                 break
-            task_id, candidates, included = task
+            task_id, group, candidates, included = task
+            searcher = searchers.get(group)
+            if searcher is None:
+                searcher = MSCE(
+                    compiled,
+                    param_groups[group],
+                    selection=selection,
+                    reduction="none",
+                    maxtest=maxtest,
+                    seed=seed,
+                    frame_rng=True,
+                )
+                searchers[group] = searcher
             spawn_index = 0
 
             def offload(frame, _task_id=task_id):
@@ -311,7 +349,12 @@ class WorkStealingScheduler:
         Number of worker slots in the pool.
     params, selection, maxtest, seed:
         The enumerator configuration, forwarded verbatim to each
-        worker's :class:`~repro.core.bbe.MSCE`.
+        worker's :class:`~repro.core.bbe.MSCE`. ``params`` may be a
+        single :class:`~repro.core.params.AlphaK` or a sequence of them
+        (*parameter groups*); grouped tasks submitted through
+        :meth:`run_grouped` then name which setting each frame is
+        searched under, letting one pool serve a whole (alpha, k) grid
+        against one shared graph segment.
     task_budget, max_offload:
         Re-splitting knobs: frames processed before shedding, and how
         many bottom-of-stack frames one shed may move. Both only change
@@ -345,7 +388,7 @@ class WorkStealingScheduler:
         self,
         shared,
         workers: int,
-        params: AlphaK,
+        params: Union[AlphaK, Sequence[AlphaK]],
         selection: str,
         maxtest: str,
         seed: int,
@@ -362,8 +405,14 @@ class WorkStealingScheduler:
     ):
         self.shared = shared
         self.workers = max(1, workers)
+        if isinstance(params, AlphaK):
+            self.param_groups: Tuple[AlphaK, ...] = (params,)
+        else:
+            self.param_groups = tuple(params)
+            if not self.param_groups:
+                raise ValueError("params must name at least one (alpha, k) setting")
         self.config = (
-            params,
+            self.param_groups,
             selection,
             maxtest,
             seed,
@@ -388,6 +437,11 @@ class WorkStealingScheduler:
         #: Aggregated worker metrics, merged snapshot by snapshot as
         #: terminal messages are accepted (exactly-once under retry).
         self.metrics = MetricsRegistry()
+        #: Per-group worker metrics (same exactly-once guarantee); every
+        #: registry here is also merged into :attr:`metrics`.
+        self.group_metrics: Dict[int, MetricsRegistry] = {
+            group: MetricsRegistry() for group in range(len(self.param_groups))
+        }
 
         # Run-state (created in run()).
         self._ctx = None
@@ -396,7 +450,9 @@ class WorkStealingScheduler:
         self._backlog: deque = deque()
         self._pool: Dict[int, _Worker] = {}
         self._retired_queues: List = []
-        self._rows: List[CliqueRow] = []
+        self._rows_by_group: Dict[int, List[CliqueRow]] = {
+            group: [] for group in range(len(self.param_groups))
+        }
         self._next_id = 0
         self._pending = 0
         self._completed = 0
@@ -417,7 +473,11 @@ class WorkStealingScheduler:
         tasks: List[TaskFrame],
         local_work: Optional[Callable[[], None]] = None,
     ) -> Tuple[List[CliqueRow], Dict[str, Dict], List[LeftoverFrame]]:
-        """Execute *tasks*; return merged rows, a metrics snapshot, leftovers.
+        """Execute *tasks* under the sole parameter group; legacy shape.
+
+        The single-setting entry point (one (alpha, k) for the whole
+        run): a thin wrapper over :meth:`run_grouped` that assigns every
+        frame to group 0 and strips the group tags off the results.
 
         The middle element is the aggregated worker registry snapshot
         (see :meth:`repro.obs.metrics.MetricsRegistry.snapshot`): the
@@ -435,11 +495,39 @@ class WorkStealingScheduler:
         carries its spawn credit so the caller can finish it inline
         without duplicating already-credited subtrees.
         """
+        rows_by_group, metrics_by_group, leftover = self.run_grouped(
+            [(0, (frame[0], frame[1])) for frame in tasks], local_work=local_work
+        )
+        return (
+            rows_by_group.get(0, []),
+            self.metrics.snapshot(),
+            [(frame, credited) for _, frame, credited in leftover],
+        )
+
+    def run_grouped(
+        self,
+        tasks: List[GroupedTask],
+        local_work: Optional[Callable[[], None]] = None,
+    ) -> Tuple[Dict[int, List[CliqueRow]], Dict[int, Dict[str, Dict]], List[GroupedLeftover]]:
+        """Execute ``(group, frame)`` tasks; return per-group results.
+
+        The grid entry point: frames of every parameter group ride the
+        same backlog, pool and stealing policy, so a straggler component
+        of one (alpha, k) setting overlaps with the whole rest of the
+        grid. Returns ``(rows by group, metrics snapshot by group,
+        grouped leftovers)``; within each group the same exactly-once /
+        bit-identical-merge guarantees hold as for :meth:`run`.
+        """
         self._ctx = _make_context()
         self._result_queue = self._ctx.Queue()
         guard = make_guard(self.deadline, self.max_memory_bytes)
-        for frame in tasks:
-            record = _Task(self._next_id, (frame[0], frame[1]))
+        for group, frame in tasks:
+            if not 0 <= group < len(self.param_groups):
+                raise ValueError(
+                    f"task group {group} out of range for "
+                    f"{len(self.param_groups)} parameter groups"
+                )
+            record = _Task(self._next_id, (frame[0], frame[1]), group=group)
             self._records[record.task_id] = record
             self._backlog.append(record)
             self._next_id += 1
@@ -465,13 +553,14 @@ class WorkStealingScheduler:
             self._shutdown(graceful=False)
             raise
 
-        leftover: List[LeftoverFrame] = [
-            (record.frame, record.spawns_credited)
+        leftover: List[GroupedLeftover] = [
+            (record.group, record.frame, record.spawns_credited)
             for record in self._records.values()
             if record.state in (_QUEUED, _ASSIGNED)
         ]
         self.report = {
             "workers": self.workers,
+            "parameter_groups": len(self.param_groups),
             "tasks_seeded": len(tasks),
             "tasks_completed": self._completed,
             "frames_resplit": self._spawned,
@@ -492,7 +581,14 @@ class WorkStealingScheduler:
                 f"({self._workers_lost} workers lost, "
                 f"{len(self._spawn_failures)} spawn failures)"
             )
-        return self._rows, self.metrics.snapshot(), leftover
+        return (
+            self._rows_by_group,
+            {
+                group: registry.snapshot()
+                for group, registry in self.group_metrics.items()
+            },
+            leftover,
+        )
 
     # ------------------------------------------------------------------
     # Parent loop
@@ -549,7 +645,9 @@ class WorkStealingScheduler:
                     origin=record.origin,
                     slot=worker.slot,
                 )
-            worker.queue.put((record.task_id, record.frame[0], record.frame[1]))
+            worker.queue.put(
+                (record.task_id, record.group, record.frame[0], record.frame[1])
+            )
 
     def _handle(self, message) -> None:
         kind = message[0]
@@ -561,7 +659,11 @@ class WorkStealingScheduler:
             if index < parent.spawns_credited:
                 return  # deterministic replay by a retried attempt
             parent.spawns_credited = index + 1
-            child = _Task(self._next_id, (frame[0], frame[1]), origin=slot)
+            # A shed branch is a subtree of its parent's frame, so it is
+            # searched under the same parameter group.
+            child = _Task(
+                self._next_id, (frame[0], frame[1]), origin=slot, group=parent.group
+            )
             self._next_id += 1
             self._records[child.task_id] = child
             self._backlog.append(child)
@@ -579,7 +681,8 @@ class WorkStealingScheduler:
             record.state = _COMPLETED
             self._pending -= 1
             self._completed += 1
-            self._rows.extend(rows)
+            self._rows_by_group[record.group].extend(rows)
+            self.group_metrics[record.group].merge_snapshot(metrics)
             self.metrics.merge_snapshot(metrics)
             if kind == "interrupted":
                 self._worker_incomplete += message[6]

@@ -27,7 +27,7 @@ are exported for readability.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.exceptions import EdgeSignError, GraphError, SelfLoopError
 
@@ -100,7 +100,15 @@ class SignedGraph:
     [3]
     """
 
-    __slots__ = ("_sign", "_pos", "_neg", "_num_pos_edges", "_num_neg_edges")
+    __slots__ = (
+        "_sign",
+        "_pos",
+        "_neg",
+        "_num_pos_edges",
+        "_num_neg_edges",
+        "_version",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -114,6 +122,11 @@ class SignedGraph:
         self._neg: Dict[Node, Set[Node]] = {}
         self._num_pos_edges = 0
         self._num_neg_edges = 0
+        # Monotone mutation counter plus a content-hash memo slot; both
+        # serve `repro.io.cache.graph_fingerprint`, which is O(m) to
+        # recompute but constant per graph *version*.
+        self._version = 0
+        self._fingerprint: "Optional[str]" = None
         for node in nodes:
             self.add_node(node)
         for u, v, sign in edges:
@@ -122,12 +135,24 @@ class SignedGraph:
     # ------------------------------------------------------------------
     # Construction / mutation
     # ------------------------------------------------------------------
+    def _mutated(self) -> None:
+        # Every structural change funnels through here so the memoised
+        # fingerprint can never go stale.
+        self._version += 1
+        self._fingerprint = None
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every structural mutation."""
+        return self._version
+
     def add_node(self, node: Node) -> None:
         """Add an isolated node; a no-op if *node* is already present."""
         if node not in self._sign:
             self._sign[node] = {}
             self._pos[node] = set()
             self._neg[node] = set()
+            self._mutated()
 
     def add_edge(self, u: Node, v: Node, sign: object) -> None:
         """Add the undirected edge ``(u, v)`` with the given *sign*.
@@ -168,6 +193,7 @@ class SignedGraph:
         self._insert(u, v, canonical)
 
     def _insert(self, u: Node, v: Node, canonical: int) -> None:
+        self._mutated()
         self._sign[u][v] = canonical
         self._sign[v][u] = canonical
         if canonical == POSITIVE:
@@ -180,6 +206,7 @@ class SignedGraph:
             self._num_neg_edges += 1
 
     def _delete(self, u: Node, v: Node, canonical: int) -> None:
+        self._mutated()
         del self._sign[u][v]
         del self._sign[v][u]
         if canonical == POSITIVE:
@@ -207,6 +234,7 @@ class SignedGraph:
         del self._sign[node]
         del self._pos[node]
         del self._neg[node]
+        self._mutated()
 
     def remove_nodes(self, nodes: Iterable[Node]) -> None:
         """Remove every node in *nodes* (each must be present)."""
@@ -376,6 +404,11 @@ class SignedGraph:
             clone._neg[node] = set(self._neg[node])
         clone._num_pos_edges = self._num_pos_edges
         clone._num_neg_edges = self._num_neg_edges
+        # A copy has identical content, so it may inherit the fingerprint
+        # memo; its version counter restarts from the copied value and
+        # diverges independently from here on.
+        clone._version = self._version
+        clone._fingerprint = self._fingerprint
         return clone
 
     def subgraph(self, nodes: Iterable[Node]) -> "SignedGraph":

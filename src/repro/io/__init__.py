@@ -6,7 +6,7 @@ from repro.io.edgelist import (
     read_signed_edgelist_string,
     write_signed_edgelist,
 )
-from repro.io.cache import ResultCache, cached_enumerate, graph_fingerprint
+from repro.io.cache import ResultCache, cached_enumerate, entry_key, graph_fingerprint
 from repro.io.dot import save_dot, to_dot
 from repro.io.converters import (
     from_adjacency_matrix,
@@ -40,6 +40,7 @@ __all__ = [
     "from_adjacency_matrix",
     "ResultCache",
     "cached_enumerate",
+    "entry_key",
     "graph_fingerprint",
     "to_dot",
     "save_dot",

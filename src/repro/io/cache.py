@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import repro
 from repro.core.bbe import MSCE
@@ -34,7 +34,9 @@ PathLike = Union[str, Path]
 #: On-disk payload schema revision. Bump whenever the JSON layout written
 #: by :meth:`ResultCache.put` changes shape; old entries then miss (their
 #: filenames carry the old revision) instead of being misparsed.
-CACHE_SCHEMA_VERSION = 1
+#: v2: entries may carry a ``stats`` dict (the SearchStats counters of
+#: the run that produced them) next to the cliques.
+CACHE_SCHEMA_VERSION = 2
 
 
 def graph_fingerprint(graph: SignedGraph) -> str:
@@ -44,7 +46,15 @@ def graph_fingerprint(graph: SignedGraph) -> str:
     but differently-labelled graphs hash differently (labels are part of
     the content — caching is per concrete graph, not per isomorphism
     class).
+
+    The digest is memoised on the graph instance and invalidated by its
+    mutation counter, so hot query paths (the serving engine, repeated
+    :func:`cached_enumerate` calls) pay the O(m) hash once per graph
+    *version* rather than once per call.
     """
+    cached = getattr(graph, "_fingerprint", None)
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
     edge_lines = sorted(
         f"{min(repr(u), repr(v))}|{max(repr(u), repr(v))}|{sign}"
@@ -60,7 +70,29 @@ def graph_fingerprint(graph: SignedGraph) -> str:
     for line in isolated:
         digest.update(line.encode("utf-8"))
         digest.update(b"\n")
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    try:
+        graph._fingerprint = fingerprint
+    except AttributeError:
+        pass  # duck-typed graphs without the memo slot still work
+    return fingerprint
+
+
+def entry_key(fingerprint: str, params: AlphaK, kind: str) -> str:
+    """The canonical cache key for (graph fingerprint, params, kind).
+
+    Shared by the disk tier (as the filename stem) and the serving
+    engine's in-memory LRU, so a result can move between tiers without
+    re-keying and a hit in either tier denotes the exact same
+    computation. The key carries the schema revision and the package
+    version next to the graph fingerprint, so entries written by an
+    older layout (or an older release with different enumeration
+    semantics) are simply never found rather than deserialised into
+    wrong results.
+    """
+    safe_kind = "".join(ch for ch in kind if ch.isalnum() or ch in "-_")
+    version_tag = f"s{CACHE_SCHEMA_VERSION}-v{repro.__version__}"
+    return f"{fingerprint[:32]}-{version_tag}-a{params.alpha:g}-k{params.k}-{safe_kind}"
 
 
 class ResultCache:
@@ -76,26 +108,32 @@ class ResultCache:
         self._dir.mkdir(parents=True, exist_ok=True)
 
     def _path(self, fingerprint: str, params: AlphaK, kind: str) -> Path:
-        # The key carries the schema revision and the package version next
-        # to the graph fingerprint, so entries written by an older layout
-        # (or an older release with different enumeration semantics) are
-        # simply never found rather than deserialised into wrong results.
-        safe_kind = "".join(ch for ch in kind if ch.isalnum() or ch in "-_")
-        version_tag = f"s{CACHE_SCHEMA_VERSION}-v{repro.__version__}"
-        return self._dir / (
-            f"{fingerprint[:32]}-{version_tag}-a{params.alpha:g}-k{params.k}-{safe_kind}.json"
-        )
+        return self._dir / (entry_key(fingerprint, params, kind) + ".json")
 
     def get(
         self, graph: SignedGraph, params: AlphaK, kind: str = "all"
     ) -> Optional[List[SignedClique]]:
         """Return the cached cliques, or ``None`` on a miss/corrupt entry."""
+        entry = self.get_entry(graph, params, kind)
+        return None if entry is None else entry[0]
+
+    def get_entry(
+        self, graph: SignedGraph, params: AlphaK, kind: str = "all"
+    ) -> Optional[Tuple[List[SignedClique], Optional[Dict[str, int]]]]:
+        """Return ``(cliques, stats-or-None)``, or ``None`` on a miss.
+
+        ``stats`` is the :class:`~repro.core.bbe.SearchStats` counter
+        dict recorded by the run that produced the entry (entries written
+        by :meth:`put` without stats yield ``None``). Because the key
+        pins the exact graph content and code version, replaying those
+        counters on a hit is indistinguishable from recomputing.
+        """
         path = self._path(graph_fingerprint(graph), params, kind)
         if not path.exists():
             return None
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-            return [
+            cliques = [
                 SignedClique(
                     nodes=frozenset(entry["nodes"]),
                     params=params,
@@ -104,7 +142,11 @@ class ResultCache:
                 )
                 for entry in payload["cliques"]
             ]
-        except (ValueError, KeyError, TypeError):
+            stats = payload.get("stats")
+            if stats is not None:
+                stats = {str(name): int(value) for name, value in stats.items()}
+            return cliques, stats
+        except (ValueError, KeyError, TypeError, AttributeError):
             return None  # treat corruption as a miss; the entry is rewritten
 
     def put(
@@ -113,8 +155,9 @@ class ResultCache:
         params: AlphaK,
         cliques: List[SignedClique],
         kind: str = "all",
+        stats: Optional[Dict[str, int]] = None,
     ) -> None:
-        """Store *cliques* for (graph, params, kind)."""
+        """Store *cliques* (and optionally their run's stats counters)."""
         for clique in cliques:
             for node in clique.nodes:
                 if not isinstance(node, (int, str)):
@@ -133,6 +176,8 @@ class ResultCache:
                 for clique in cliques
             ],
         }
+        if stats is not None:
+            payload["stats"] = dict(stats)
         path = self._path(graph_fingerprint(graph), params, kind)
         path.write_text(json.dumps(payload), encoding="utf-8")
 

@@ -1,0 +1,29 @@
+"""repro.serve — the compile-once batch query engine.
+
+:class:`SignedCliqueEngine` keeps one signed graph resident and serves
+enumeration, top-r, community-search and MCCore requests against shared
+compiled state, a ceiling-keyed reduction memo, and a two-tier result
+cache (:class:`MemoryLRU` over :class:`repro.io.cache.ResultCache`).
+Batched (alpha, k) grids go through :meth:`SignedCliqueEngine.run_grid`.
+See ``docs/ALGORITHMS.md`` ("Serving layer") and ``tests/test_serve.py``
+for the differential contract the engine maintains.
+"""
+
+from repro.serve.engine import (
+    COUNTER_NAMES,
+    DEFAULT_CACHE_MEM_BYTES,
+    DEFAULT_CACHE_MEM_ENTRIES,
+    GridResult,
+    SignedCliqueEngine,
+)
+from repro.serve.lru import MemoryLRU, approximate_size
+
+__all__ = [
+    "SignedCliqueEngine",
+    "GridResult",
+    "MemoryLRU",
+    "approximate_size",
+    "COUNTER_NAMES",
+    "DEFAULT_CACHE_MEM_ENTRIES",
+    "DEFAULT_CACHE_MEM_BYTES",
+]

@@ -1,0 +1,764 @@
+"""The long-lived signed-clique serving engine.
+
+:class:`SignedCliqueEngine` is the process-resident query layer the
+ROADMAP's serving story needs: load a :class:`~repro.graphs.SignedGraph`
+once, then answer enumeration / top-r / community-search / MCCore
+requests against shared state instead of re-compiling, re-hashing and
+re-coring per call. Three mechanisms amortise work across requests:
+
+* **one compilation** — the graph is compiled to the CSR fastpath
+  (:func:`repro.fastpath.compiled.compile_graph`) lazily and reused by
+  every request until a mutation invalidates it;
+* **a ceiling-keyed reduction memo** — the MCCore depends only on the
+  positive threshold ``ceil(alpha * k)`` (Definition 3 constrains ego
+  networks by a ``(ceil(alpha*k) - 1)``-core; ``k`` never enters), so
+  all (alpha, k) settings sharing a ceiling share one coring pass. The
+  memo is injected into MSCE / the query planner via their ``reducer``
+  hooks, so the search itself is bit-identical to one-shot calls;
+* **a two-tier result cache** — a thread-safe in-memory LRU
+  (:class:`~repro.serve.lru.MemoryLRU`, bounded by entries and
+  approximate bytes) layered over the disk tier
+  (:class:`~repro.io.cache.ResultCache`), both keyed by the same
+  :func:`~repro.io.cache.entry_key` strings (graph fingerprint +
+  ``CACHE_SCHEMA_VERSION`` + package version + params + kind). Entries
+  carry the producing run's :class:`~repro.core.bbe.SearchStats`, so a
+  hit in either tier replays cliques *and* stats bit-identically to a
+  recompute — the differential contract ``tests/test_serve.py`` pins.
+
+Mutations (:meth:`add_edge` / :meth:`remove_edge` / :meth:`flip_sign` /
+...) route through :mod:`repro.core.dynamic`'s locality rule: only the
+cached cliques inside the affected region ``{u, v} ∪ N(u) ∪ N(v)`` are
+invalidated and recomputed via a seeded search; every other cached
+clique is carried to the new graph fingerprint as a cliques-only entry.
+Stats-bearing requests recompute after a mutation (the fingerprint
+changed, so their entries miss), keeping the differential contract
+intact, while cliques-only requests keep their warm cache.
+
+Batched grids go through :meth:`run_grid`, which partitions the whole
+(alpha, k) grid over the :class:`~repro.core.scheduler.WorkStealingScheduler`
+(see :func:`repro.core.parallel.enumerate_grid`) instead of looping one
+query at a time.
+
+Instrumentation rides the ambient observer (:mod:`repro.obs`): each
+request opens a ``serve_request`` span, and every cache/grid event
+increments a ``serve_*`` counter — visible in the Prometheus export
+when observing is enabled — mirrored by the plain :attr:`counters`
+dict for uninstrumented callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.core.api import enumerate_with_stats as _api_enumerate_with_stats
+from repro.core.bbe import MSCE, EnumerationResult, SearchStats
+from repro.core.cliques import SignedClique, sort_cliques
+from repro.core.dynamic import closed_neighborhood, refresh_region
+from repro.core.params import AlphaK
+from repro.core.parallel import enumerate_grid
+from repro.core.query import query_search
+from repro.exceptions import GraphError
+from repro.fastpath.compiled import CompiledGraph, compile_graph
+from repro.fastpath.kernels import reduce_mask
+from repro.graphs.signed_graph import Node, SignedGraph
+from repro.io.cache import ResultCache, entry_key, graph_fingerprint
+from repro.obs import runtime as obs
+from repro.serve.lru import MemoryLRU, approximate_size
+
+#: Default entry bound of the in-memory tier.
+DEFAULT_CACHE_MEM_ENTRIES = 256
+
+#: Default approximate-bytes bound of the in-memory tier (64 MiB).
+DEFAULT_CACHE_MEM_BYTES = 64 * 1024 * 1024
+
+#: Engine counter names, mirrored as ``serve_<name>`` observer counters.
+COUNTER_NAMES = (
+    "requests",
+    "memory_hits",
+    "disk_hits",
+    "derived_hits",
+    "computes",
+    "evictions",
+    "reduce_computed",
+    "reduce_shared",
+    "updates",
+    "cliques_invalidated",
+    "entries_invalidated",
+    "grid_points",
+    "grid_cache_hits",
+    "grid_computed",
+)
+
+GridKey = Union[AlphaK, Tuple[float, int]]
+
+
+def _stats_from_dict(values: Dict[str, int]) -> SearchStats:
+    """Rebuild a :class:`SearchStats` from its :meth:`as_dict` form."""
+    stats = SearchStats()
+    for name in SearchStats.FIELDS:
+        setattr(stats, name, int(values.get(name, 0)))
+    return stats
+
+
+def _query_kind(query_set: Set[Node]) -> str:
+    """A stable cache-kind string for a community-search query set."""
+    payload = "\x1f".join(sorted(repr(node) for node in query_set))
+    return "q" + hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class GridResult:
+    """Outcome of :meth:`SignedCliqueEngine.run_grid`.
+
+    ``results`` maps each distinct requested setting, in grid order, to
+    the :class:`~repro.core.bbe.EnumerationResult` it would get from a
+    one-shot enumeration; ``report`` summarises how the batch was
+    served (cache hits vs computed points, worker counts, reduction
+    sharing).
+    """
+
+    results: "OrderedDict[AlphaK, EnumerationResult]"
+    report: Dict[str, object] = field(default_factory=dict)
+
+    def _key(self, key: GridKey) -> AlphaK:
+        if isinstance(key, AlphaK):
+            return key
+        return AlphaK(key[0], key[1])
+
+    def __getitem__(self, key: GridKey) -> EnumerationResult:
+        return self.results[self._key(key)]
+
+    def __contains__(self, key: GridKey) -> bool:
+        return self._key(key) in self.results
+
+    def __iter__(self) -> Iterator[AlphaK]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def items(self):
+        return self.results.items()
+
+
+class SignedCliqueEngine:
+    """Serve signed-clique queries against one long-lived graph.
+
+    Parameters
+    ----------
+    graph:
+        The signed graph to serve (copied; mutate it only through the
+        engine's update methods).
+    cache_dir:
+        Optional directory for the persistent disk tier. Without it the
+        engine still runs the memory tier; with it, results survive
+        process restarts and LRU evictions fall back to disk.
+    cache_mem_entries / cache_mem_bytes:
+        Bounds of the in-memory tier (entries / approximate bytes);
+        ``cache_mem_bytes=None`` disables the byte bound.
+    workers:
+        Default worker-process count for :meth:`run_grid` (``1`` runs
+        grids inline, still sharing compilation and coring).
+    selection / reduction / maxtest / seed:
+        Enumerator configuration, as in :class:`~repro.core.bbe.MSCE`;
+        the defaults match :mod:`repro.core.api`, which is what the
+        differential harness compares against.
+    record_requests:
+        When ``True``, the engine appends every served request and
+        update to :attr:`request_log` in serialisation order (the order
+        the internal lock admitted them) — the concurrency hammer test
+        replays this log sequentially to pin linearisability.
+
+    Thread safety: every public method serialises on one reentrant
+    lock. Requests are therefore linearisable; the two-tier cache can
+    never serve a torn entry.
+    """
+
+    def __init__(
+        self,
+        graph: SignedGraph,
+        cache_dir: Optional[object] = None,
+        cache_mem_entries: int = DEFAULT_CACHE_MEM_ENTRIES,
+        cache_mem_bytes: Optional[int] = DEFAULT_CACHE_MEM_BYTES,
+        workers: int = 1,
+        selection: str = "greedy",
+        reduction: str = "mcnew",
+        maxtest: str = "exact",
+        seed: int = 0,
+        record_requests: bool = False,
+    ):
+        self._lock = threading.RLock()
+        self._graph = graph.copy()
+        self._compiled_graph: Optional[CompiledGraph] = None
+        self._selection = selection
+        self._reduction = reduction
+        self._maxtest = maxtest
+        self._seed = seed
+        self._workers = max(1, workers)
+        #: (method, positive_threshold) -> survivor bitmask of the
+        #: current compiled graph. Cleared on every mutation.
+        self._reduction_masks: Dict[Tuple[str, int], int] = {}
+        self.memory = MemoryLRU(max_entries=cache_mem_entries, max_bytes=cache_mem_bytes)
+        self.disk: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        #: The live locality index: for every (alpha, k) whose full
+        #: answer set is known for the *current* graph, the maximal
+        #: cliques by node set. This is what mutations repair in place
+        #: (see :func:`repro.core.dynamic.refresh_region`); bounded to
+        #: ``cache_mem_entries`` settings, least-recently-served out.
+        self._live: "OrderedDict[AlphaK, Dict[FrozenSet[Node], SignedClique]]" = (
+            OrderedDict()
+        )
+        self._live_limit = max(1, cache_mem_entries)
+        #: Plain counter mirror of the ``serve_*`` observer counters.
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self._seen_evictions = 0
+        self.record_requests = record_requests
+        #: Serialisation-order log of ``(op, args)`` tuples (only when
+        #: ``record_requests`` is set).
+        self.request_log: List[Tuple[str, tuple]] = []
+
+    # ------------------------------------------------------------------
+    # Shared state
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> SignedGraph:
+        """The engine's current graph (treat as read-only)."""
+        return self._graph
+
+    def snapshot(self) -> SignedGraph:
+        """An independent copy of the current graph."""
+        with self._lock:
+            return self._graph.copy()
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the current graph (memoised)."""
+        with self._lock:
+            return graph_fingerprint(self._graph)
+
+    def _compiled(self) -> CompiledGraph:
+        if self._compiled_graph is None:
+            self._compiled_graph = compile_graph(self._graph)
+        return self._compiled_graph
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        obs.counter("serve_" + name).inc(amount)
+
+    def _note_evictions(self) -> None:
+        delta = self.memory.evictions - self._seen_evictions
+        if delta > 0:
+            self._seen_evictions = self.memory.evictions
+            self._bump("evictions", delta)
+
+    def _reducer(self, compiled, params: AlphaK, method: str) -> int:
+        """Ceiling-keyed memoising replacement for ``reduce_mask``.
+
+        Sound because every reduction method dispatched here (mcnew,
+        mcbasic, positive-core) constrains by ``params.positive_threshold``
+        only — two settings with equal ``ceil(alpha * k)`` have the same
+        MCCore, which is what the grid-sharing counters measure.
+        """
+        key = (method, params.positive_threshold)
+        mask = self._reduction_masks.get(key)
+        if mask is None:
+            mask = reduce_mask(compiled, params, method=method)
+            self._reduction_masks[key] = mask
+            self._bump("reduce_computed")
+        else:
+            self._bump("reduce_shared")
+        return mask
+
+    def _node_reducer(self, graph, params: AlphaK, method: str) -> Set[Node]:
+        """The memo as a node set, for the query planner's contract."""
+        compiled = self._compiled()
+        return set(compiled.nodes_from_mask(self._reducer(compiled, params, method)))
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of reduction requests served from the ceiling memo."""
+        total = self.counters["reduce_computed"] + self.counters["reduce_shared"]
+        return self.counters["reduce_shared"] / total if total else 0.0
+
+    def _record(self, op: str, *args) -> None:
+        if self.record_requests:
+            self.request_log.append((op, args))
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _key(self, params: AlphaK, kind: str) -> str:
+        return entry_key(graph_fingerprint(self._graph), params, kind)
+
+    def _store(
+        self,
+        params: AlphaK,
+        kind: str,
+        cliques: List[SignedClique],
+        stats: Optional[SearchStats],
+    ) -> None:
+        """Write-through store into both tiers (stats may be absent)."""
+        stats_dict = stats.as_dict() if stats is not None else None
+        value = {"cliques": list(cliques), "stats": stats_dict}
+        self.memory.put(self._key(params, kind), value)
+        self._note_evictions()
+        if self.disk is not None:
+            try:
+                self.disk.put(self._graph, params, cliques, kind=kind, stats=stats_dict)
+            except TypeError:
+                pass  # non-JSON-serialisable labels: memory tier only
+
+    def _lookup(
+        self, params: AlphaK, kind: str, need_stats: bool
+    ) -> Optional[Tuple[List[SignedClique], Optional[Dict[str, int]], str]]:
+        """Probe memory then disk; promote disk hits into memory.
+
+        Returns ``(cliques, stats-dict-or-None, tier)`` or ``None``.
+        ``need_stats`` skips cliques-only entries (the repaired ones a
+        stats-bearing request must not serve).
+        """
+        key = self._key(params, kind)
+        value = self.memory.get(key)
+        if value is not None and (value["stats"] is not None or not need_stats):
+            self._bump("memory_hits")
+            return value["cliques"], value["stats"], "memory"
+        if self.disk is not None:
+            entry = self.disk.get_entry(self._graph, params, kind=kind)
+            if entry is not None and (entry[1] is not None or not need_stats):
+                cliques, stats_dict = entry
+                self.memory.put(key, {"cliques": cliques, "stats": stats_dict})
+                self._note_evictions()
+                self._bump("disk_hits")
+                return cliques, stats_dict, "disk"
+        return None
+
+    def _result_from_entry(
+        self, cliques: List[SignedClique], stats_dict: Dict[str, int], elapsed: float
+    ) -> EnumerationResult:
+        return EnumerationResult(
+            cliques=list(cliques),
+            stats=_stats_from_dict(stats_dict),
+            elapsed_seconds=elapsed,
+        )
+
+    def _seed_live(self, params: AlphaK, cliques: Iterable[SignedClique]) -> None:
+        self._live[params] = {clique.nodes: clique for clique in cliques}
+        self._live.move_to_end(params)
+        while len(self._live) > self._live_limit:
+            self._live.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def _full_result(self, params: AlphaK, started: float) -> EnumerationResult:
+        """Stats-tier lookup-or-compute for one full enumeration."""
+        hit = self._lookup(params, "all", need_stats=True)
+        if hit is not None:
+            cliques, stats_dict, _ = hit
+            self._seed_live(params, cliques)
+            return self._result_from_entry(
+                cliques, stats_dict, time.perf_counter() - started
+            )
+        result = _api_enumerate_with_stats(
+            self._compiled(),
+            params.alpha,
+            params.k,
+            selection=self._selection,
+            reduction=self._reduction,
+            maxtest=self._maxtest,
+            seed=self._seed,
+            reducer=self._reducer,
+        )
+        self._bump("computes")
+        if not (result.timed_out or result.truncated or result.interrupted):
+            self._store(params, "all", result.cliques, result.stats)
+            self._seed_live(params, result.cliques)
+        return result
+
+    def enumerate_with_stats(self, alpha: float, k: int) -> EnumerationResult:
+        """Full enumeration with bit-identical cliques *and* stats.
+
+        Served from the stats-bearing tiers only: a hit replays the
+        producing run's counters; a miss computes (sharing compilation
+        and coring) and write-throughs both tiers. Equivalent to
+        :func:`repro.core.api.enumerate_with_stats` on a fresh copy of
+        the current graph, always.
+        """
+        params = AlphaK(alpha, k)
+        with self._lock:
+            self._record("enumerate_with_stats", alpha, k)
+            started = time.perf_counter()
+            with obs.span("serve_request", kind="all", alpha=params.alpha, k=params.k):
+                self._bump("requests")
+                return self._full_result(params, started)
+
+    def enumerate(self, alpha: float, k: int) -> List[SignedClique]:
+        """All maximal (alpha, k)-cliques, largest first (cliques tier).
+
+        Unlike :meth:`enumerate_with_stats` this may serve entries that
+        were *repaired* across mutations (carried to the new fingerprint
+        by the locality rule) — exact clique sets without replayable
+        stats.
+        """
+        params = AlphaK(alpha, k)
+        with self._lock:
+            self._record("enumerate", alpha, k)
+            started = time.perf_counter()
+            with obs.span("serve_request", kind="all", alpha=params.alpha, k=params.k):
+                self._bump("requests")
+                hit = self._lookup(params, "all", need_stats=False)
+                if hit is not None:
+                    self._seed_live(params, hit[0])
+                    return list(hit[0])
+                return list(self._full_result(params, started).cliques)
+
+    def _topr_result(self, params: AlphaK, r: int, started: float) -> EnumerationResult:
+        """Stats-tier lookup-or-compute for one top-r cutoff search."""
+        kind = f"top{r}"
+        hit = self._lookup(params, kind, need_stats=True)
+        if hit is not None:
+            cliques, stats_dict, _ = hit
+            return self._result_from_entry(
+                cliques, stats_dict, time.perf_counter() - started
+            )
+        result = MSCE(
+            self._compiled(),
+            params,
+            selection=self._selection,
+            reduction=self._reduction,
+            maxtest=self._maxtest,
+            seed=self._seed,
+            reducer=self._reducer,
+        ).top_r(r)
+        self._bump("computes")
+        if not (result.timed_out or result.truncated or result.interrupted):
+            self._store(params, kind, result.cliques, result.stats)
+        return result
+
+    def top_r(self, alpha: float, k: int, r: int) -> List[SignedClique]:
+        """The ``r`` largest maximal (alpha, k)-cliques.
+
+        Derives from a cached full enumeration when one is present (the
+        top-r cutoff never changes which cliques sort first — both
+        paths order with :func:`~repro.core.cliques.sort_cliques`);
+        otherwise serves the dedicated ``top<r>`` entry or runs the
+        paper's cutoff search.
+        """
+        params = AlphaK(alpha, k)
+        with self._lock:
+            self._record("top_r", alpha, k, r)
+            started = time.perf_counter()
+            with obs.span(
+                "serve_request", kind=f"top{r}", alpha=params.alpha, k=params.k
+            ):
+                self._bump("requests")
+                full = self._lookup(params, "all", need_stats=False)
+                if full is not None:
+                    self._bump("derived_hits")
+                    return list(full[0][: max(r, 0)])
+                return list(self._topr_result(params, r, started).cliques)
+
+    def top_r_with_stats(self, alpha: float, k: int, r: int) -> EnumerationResult:
+        """Top-r with the cutoff search's own bit-identical stats."""
+        params = AlphaK(alpha, k)
+        with self._lock:
+            self._record("top_r_with_stats", alpha, k, r)
+            started = time.perf_counter()
+            with obs.span(
+                "serve_request", kind=f"top{r}", alpha=params.alpha, k=params.k
+            ):
+                self._bump("requests")
+                return self._topr_result(params, r, started)
+
+    def query_with_stats(
+        self, query: Iterable[Node], alpha: float, k: int
+    ) -> EnumerationResult:
+        """Community search: maximal cliques containing every query node.
+
+        Mirrors :func:`repro.core.query.query_search` bit-for-bit; the
+        engine contributes its compiled graph and reduction memo, and
+        caches per query set (a stable digest of the node reprs keys
+        the entry).
+        """
+        params = AlphaK(alpha, k)
+        query_set = set(query)
+        kind = _query_kind(query_set)
+        with self._lock:
+            self._record("query_with_stats", tuple(sorted(map(repr, query_set))), alpha, k)
+            started = time.perf_counter()
+            with obs.span("serve_request", kind="query", alpha=params.alpha, k=params.k):
+                self._bump("requests")
+                hit = self._lookup(params, kind, need_stats=True)
+                if hit is not None:
+                    cliques, stats_dict, _ = hit
+                    return self._result_from_entry(
+                        cliques, stats_dict, time.perf_counter() - started
+                    )
+                result = query_search(
+                    self._graph,
+                    query_set,
+                    alpha,
+                    k,
+                    reduction=self._reduction,
+                    maxtest=self._maxtest,
+                    reducer=self._node_reducer,
+                    search_graph=self._compiled(),
+                )
+                self._bump("computes")
+                if not (result.timed_out or result.truncated or result.interrupted):
+                    self._store(params, kind, result.cliques, result.stats)
+                return result
+
+    def cliques_containing(
+        self, query: Iterable[Node], alpha: float, k: int
+    ) -> List[SignedClique]:
+        """The community-search answer set, largest first."""
+        return list(self.query_with_stats(query, alpha, k).cliques)
+
+    def best_clique_for(
+        self, query: Iterable[Node], alpha: float, k: int
+    ) -> Optional[SignedClique]:
+        """The largest maximal clique containing *query*, or ``None``."""
+        cliques = self.cliques_containing(query, alpha, k)
+        return cliques[0] if cliques else None
+
+    def mccore(self, alpha: float, k: int, method: Optional[str] = None) -> Set[Node]:
+        """The MCCore node set (Definition 3), via the ceiling memo."""
+        params = AlphaK(alpha, k)
+        with self._lock:
+            self._record("mccore", alpha, k, method)
+            with obs.span("serve_request", kind="mccore", alpha=params.alpha, k=params.k):
+                self._bump("requests")
+                return self._node_reducer(
+                    self._graph, params, method or self._reduction
+                )
+
+    # ------------------------------------------------------------------
+    # Batch grid
+    # ------------------------------------------------------------------
+    def run_grid(
+        self,
+        alphas: Iterable[float],
+        ks: Iterable[int],
+        workers: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> GridResult:
+        """Enumerate the whole ``alphas × ks`` grid in one batch.
+
+        Cached settings (stats-bearing, current fingerprint) are served
+        straight from the tiers; the rest are computed together by
+        :func:`repro.core.parallel.enumerate_grid` — one compilation,
+        memoised coring per distinct ceiling, and all missing settings'
+        frames interleaved through one work-stealing pool. Complete
+        results are write-through cached, so re-running a grid after a
+        partial overlap only computes the new settings.
+
+        Each returned result is bit-identical (cliques and stats) to a
+        one-shot enumeration of that setting; settings interrupted by
+        *time_limit* are returned partial and not cached.
+        """
+        grid = [AlphaK(alpha, k) for alpha in alphas for k in ks]
+        points = list(dict.fromkeys(grid))
+        with self._lock:
+            self._record(
+                "run_grid",
+                tuple((p.alpha, p.k) for p in points),
+                workers,
+                time_limit,
+            )
+            started = time.perf_counter()
+            with obs.span("serve_grid", points=len(points), workers=workers or self._workers):
+                self._bump("requests")
+                self._bump("grid_points", len(points))
+                results: "OrderedDict[AlphaK, EnumerationResult]" = OrderedDict()
+                missing: List[AlphaK] = []
+                for params in points:
+                    hit = self._lookup(params, "all", need_stats=True)
+                    if hit is not None:
+                        cliques, stats_dict, _ = hit
+                        self._seed_live(params, cliques)
+                        results[params] = self._result_from_entry(
+                            cliques, stats_dict, 0.0
+                        )
+                        self._bump("grid_cache_hits")
+                    else:
+                        results[params] = None  # placeholder, filled below
+                        missing.append(params)
+                if missing:
+                    computed = enumerate_grid(
+                        self._compiled(),
+                        missing,
+                        workers=workers or self._workers,
+                        selection=self._selection,
+                        reduction=self._reduction,
+                        maxtest=self._maxtest,
+                        seed=self._seed,
+                        time_limit=time_limit,
+                        reducer=self._reducer,
+                    )
+                    self._bump("grid_computed", len(missing))
+                    self._bump("computes", len(missing))
+                    for params, result in computed.items():
+                        results[params] = result
+                        if not (
+                            result.timed_out or result.truncated or result.interrupted
+                        ):
+                            self._store(params, "all", result.cliques, result.stats)
+                            self._seed_live(params, result.cliques)
+                report = {
+                    "points": len(points),
+                    "served_from_cache": len(points) - len(missing),
+                    "computed": len(missing),
+                    "workers": workers or self._workers,
+                    "sharing_ratio": self.sharing_ratio,
+                    "elapsed_seconds": time.perf_counter() - started,
+                }
+                return GridResult(results=results, report=report)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Node, v: Node, sign: object) -> None:
+        """Add edge ``(u, v)``; raises if present with a different sign."""
+        with self._lock:
+            self._record("add_edge", u, v, sign)
+            region = closed_neighborhood(self._graph, u) | closed_neighborhood(
+                self._graph, v
+            )
+            self._graph.add_edge(u, v, sign)
+            self._after_update(region | {u, v})
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``(u, v)``; raises :class:`GraphError` if absent."""
+        with self._lock:
+            self._record("remove_edge", u, v)
+            region = closed_neighborhood(self._graph, u) | closed_neighborhood(
+                self._graph, v
+            )
+            self._graph.remove_edge(u, v)
+            self._after_update(region)
+
+    def flip_sign(self, u: Node, v: Node, sign: object) -> None:
+        """Add edge ``(u, v)`` or overwrite its sign (last write wins)."""
+        with self._lock:
+            self._record("flip_sign", u, v, sign)
+            region = closed_neighborhood(self._graph, u) | closed_neighborhood(
+                self._graph, v
+            )
+            self._graph.set_sign(u, v, sign)
+            self._after_update(region | {u, v})
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (itself a clique under degenerate params)."""
+        with self._lock:
+            self._record("add_node", node)
+            known = self._graph.has_node(node)
+            self._graph.add_node(node)
+            if not known:
+                self._after_update({node})
+
+    def remove_node(self, node: Node) -> None:
+        """Remove *node* and every incident edge."""
+        with self._lock:
+            self._record("remove_node", node)
+            if not self._graph.has_node(node):
+                raise GraphError(f"node {node!r} not in graph")
+            region = closed_neighborhood(self._graph, node)
+            self._graph.remove_node(node)
+            region.discard(node)
+            dropped = 0
+            for cliques in self._live.values():
+                stale = [key for key in cliques if node in key]
+                for key in stale:
+                    del cliques[key]
+                dropped += len(stale)
+            self.counters["cliques_invalidated"] += dropped
+            self._after_update(region, extra_invalidated=dropped)
+
+    def apply_edits(self, edits: Iterable) -> None:
+        """Apply ``("add"/"remove"/"flip", u, v[, sign])`` edit tuples."""
+        for edit in edits:
+            operation = edit[0]
+            if operation == "add":
+                self.add_edge(edit[1], edit[2], edit[3])
+            elif operation == "remove":
+                self.remove_edge(edit[1], edit[2])
+            elif operation == "flip":
+                self.flip_sign(edit[1], edit[2], edit[3])
+            else:
+                raise GraphError(f"unknown edit operation {operation!r}")
+
+    def _after_update(self, region: Set[Node], extra_invalidated: int = 0) -> None:
+        """Post-mutation bookkeeping: invalidate narrowly, repair live sets.
+
+        The compiled graph and reduction memo are graph-global and must
+        rebuild; cache entries of the old fingerprint can never hit
+        again (the key changed), so they are dropped from the memory
+        tier. The live (alpha, k) answer sets survive: only their
+        cliques inside the affected *region* are recomputed
+        (:func:`repro.core.dynamic.refresh_region`), then each repaired
+        set is re-published under the new fingerprint as a cliques-only
+        entry — so cliques-tier requests stay warm across updates.
+        """
+        with obs.span("serve_update", region=len(region)):
+            self._bump("updates")
+            self._compiled_graph = None
+            self._reduction_masks.clear()
+            fingerprint_prefix = graph_fingerprint(self._graph)[:32]
+            stale_keys = [
+                key for key in self.memory.keys() if not key.startswith(fingerprint_prefix)
+            ]
+            for key in stale_keys:
+                self.memory.remove(key)
+            self._bump("entries_invalidated", len(stale_keys))
+            invalidated = extra_invalidated
+            if self._live:
+                compiled = self._compiled()
+                for params, cliques in self._live.items():
+                    invalidated += refresh_region(
+                        self._graph,
+                        params,
+                        cliques,
+                        set(region),
+                        maxtest=self._maxtest,
+                        search_graph=compiled,
+                    )
+                    self._store(params, "all", sort_cliques(cliques.values()), None)
+            self.counters["cliques_invalidated"] += invalidated - extra_invalidated
+            obs.counter("serve_cliques_invalidated").inc(invalidated)
+            obs.journal_event(
+                "serve_update",
+                region=len(region),
+                entries_invalidated=len(stale_keys),
+                cliques_invalidated=invalidated,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, object]:
+        """Snapshot of both tiers plus the engine counters."""
+        with self._lock:
+            return {
+                "memory": self.memory.stats(),
+                "disk": str(self.disk._dir) if self.disk is not None else None,
+                "counters": dict(self.counters),
+                "sharing_ratio": self.sharing_ratio,
+                "live_settings": len(self._live),
+                "reduction_memo": len(self._reduction_masks),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SignedCliqueEngine(n={self._graph.number_of_nodes()}, "
+            f"m={self._graph.number_of_edges()}, "
+            f"memory_entries={len(self.memory)}, "
+            f"requests={self.counters['requests']})"
+        )

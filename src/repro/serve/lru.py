@@ -1,0 +1,176 @@
+"""Thread-safe in-memory LRU for the serving engine's hot tier.
+
+Entries are keyed by the exact same strings :func:`repro.io.cache.entry_key`
+produces for the disk tier — graph fingerprint, schema revision, package
+version, (alpha, k), request kind — so a result moves between the two
+tiers without re-keying, and a hit in either tier denotes the identical
+computation (the differential harness in ``tests/test_serve.py`` pins
+memory-hit ≡ disk-hit ≡ recompute bit-for-bit).
+
+The cache is bounded twice: by entry count and by *approximate* payload
+bytes (see :func:`approximate_size` — a recursive ``sys.getsizeof`` walk,
+deliberately cheap rather than exact). Eviction is LRU on reads and
+writes; evicted entries fall back to the disk tier, which the engine
+writes through on every store.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+def approximate_size(value: Any) -> int:
+    """Approximate deep size of *value* in bytes.
+
+    Walks containers (dict/list/tuple/set/frozenset) recursively and
+    sums ``sys.getsizeof``; shared references are counted once per
+    appearance, which overestimates — the safe direction for a memory
+    bound. Unknown object types contribute their shallow size plus
+    their ``__dict__``/slot values when present.
+    """
+    seen_total = 0
+    stack = [value]
+    while stack:
+        item = stack.pop()
+        try:
+            seen_total += sys.getsizeof(item)
+        except TypeError:  # pragma: no cover - exotic objects
+            seen_total += 64
+        if isinstance(item, dict):
+            stack.extend(item.keys())
+            stack.extend(item.values())
+        elif isinstance(item, (list, tuple, set, frozenset)):
+            stack.extend(item)
+        elif hasattr(item, "__dict__"):
+            stack.append(vars(item))
+        elif hasattr(item, "__slots__"):
+            stack.extend(
+                getattr(item, name)
+                for name in item.__slots__
+                if hasattr(item, name)
+            )
+    return seen_total
+
+
+class MemoryLRU:
+    """A bounded, thread-safe, byte-aware LRU mapping of cache entries.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count bound (at least 1).
+    max_bytes:
+        Approximate total payload bound in bytes, or ``None`` for
+        unbounded. An entry whose lone size exceeds the bound is
+        admitted and then immediately evicted (counted in
+        :attr:`evictions`) — it simply never sticks.
+
+    All operations take one internal lock, so readers never observe a
+    torn entry; values are treated as immutable by convention (the
+    engine stores fresh containers and never mutates a stored value in
+    place).
+    """
+
+    def __init__(self, max_entries: int = 256, max_bytes: Optional[int] = None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        #: Monotone operation counters (read under the lock via stats()).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.puts = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value (marking it most-recent), or ``None``."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: str, value: Any, size: Optional[int] = None) -> None:
+        """Store *value* under *key*, evicting LRU entries past the bounds."""
+        if size is None:
+            size = approximate_size(value)
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._data[key] = (value, size)
+            self._bytes += size
+            self.puts += 1
+            while len(self._data) > self.max_entries or (
+                self.max_bytes is not None and self._bytes > self.max_bytes
+            ):
+                _, (_, evicted_size) = self._data.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+
+    def remove(self, key: str) -> bool:
+        """Drop *key* if present; returns whether it was."""
+        with self._lock:
+            entry = self._data.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry[1]
+            return True
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        with self._lock:
+            removed = len(self._data)
+            self._data.clear()
+            self._bytes = 0
+            return removed
+
+    def keys(self) -> List[str]:
+        """Current keys, least- to most-recently used (a snapshot)."""
+        with self._lock:
+            return list(self._data)
+
+    def items(self) -> List[Tuple[str, Any]]:
+        """Snapshot of ``(key, value)`` pairs, LRU to MRU order."""
+        with self._lock:
+            return [(key, value) for key, (value, _) in self._data.items()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Approximate bytes currently held."""
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits/misses/evictions/puts/entries/bytes."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "puts": self.puts,
+                "entries": len(self._data),
+                "approximate_bytes": self._bytes,
+            }

@@ -33,6 +33,50 @@ class TestFingerprint:
         extended.add_node("ghost")
         assert graph_fingerprint(extended) != base
 
+    def test_fingerprint_memoized_one_hash_per_version(self, paper_graph, monkeypatch):
+        import hashlib as real_hashlib
+
+        calls = []
+        original = real_hashlib.sha256
+
+        def counting_sha256(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr("repro.io.cache.hashlib.sha256", counting_sha256)
+        graph = paper_graph.copy()
+        first = graph_fingerprint(graph)
+        assert len(calls) == 1
+        # repeated fingerprints of the same graph version hash zero times
+        for _ in range(5):
+            assert graph_fingerprint(graph) == first
+        assert len(calls) == 1
+        # every mutation bumps the version and invalidates the memo...
+        graph.set_sign(1, 2, "-")
+        version = graph.version
+        changed = graph_fingerprint(graph)
+        assert changed != first and len(calls) == 2 and graph.version == version
+        # ...exactly once per version, not per call
+        assert graph_fingerprint(graph) == changed
+        assert len(calls) == 2
+
+    def test_version_counter_tracks_mutations(self, paper_graph):
+        graph = paper_graph.copy()
+        start = graph.version
+        graph.add_node("new-node")
+        graph.add_node("new-node")  # already present: no version bump
+        assert graph.version == start + 1
+        graph.set_sign("new-node", 1, "+")
+        graph.remove_edge("new-node", 1)
+        graph.remove_node("new-node")
+        assert graph.version == start + 4
+
+    def test_copy_carries_memoized_fingerprint(self, paper_graph):
+        fingerprint = graph_fingerprint(paper_graph)
+        clone = paper_graph.copy()
+        assert clone._fingerprint == fingerprint
+        assert graph_fingerprint(clone) == fingerprint
+
 
 class TestResultCache:
     def test_put_get_round_trip(self, paper_graph, tmp_path):

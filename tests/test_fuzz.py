@@ -90,3 +90,66 @@ class TestStructuralFuzz:
         result = MSCE(graph, params, audit=True).enumerate_all()
         for clique in result.cliques:
             clique.verify(graph)
+
+
+class TestEngineOracleFuzz:
+    """The serving engine vs the one-shot API, under generator fuzz.
+
+    Random generator graphs × an (alpha, k) grid, served through every
+    cache tier the engine has — cold compute, memory hit, and the
+    post-LRU-eviction disk re-hit — must all equal a fresh
+    :func:`repro.core.api.enumerate_with_stats` call, cliques and stats.
+    """
+
+    GRID = [(2.0, 1), (2.0, 2), (3.0, 1), (2.5, 2)]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_random_signed_engine_matches_api(self, seed):
+        from repro.core.api import enumerate_with_stats
+        from repro.generators import gnp_signed
+        from repro.serve import SignedCliqueEngine
+
+        rng = random.Random(seed)
+        graph = gnp_signed(
+            rng.randrange(8, 26),
+            rng.uniform(0.15, 0.45),
+            negative_fraction=rng.uniform(0.0, 0.5),
+            seed=seed,
+        )
+        engine = SignedCliqueEngine(graph)
+        for alpha, k in self.GRID:
+            served = engine.enumerate_with_stats(alpha, k)
+            reference = enumerate_with_stats(graph, alpha, k)
+            assert served.cliques == reference.cliques, (seed, alpha, k)
+            assert served.stats == reference.stats, (seed, alpha, k)
+            warm = engine.enumerate_with_stats(alpha, k)
+            assert warm.cliques == reference.cliques, (seed, alpha, k, "warm")
+            assert warm.stats == reference.stats, (seed, alpha, k, "warm")
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_planted_engine_disk_rehit_after_eviction(self, tmp_path_factory, seed):
+        from repro.core.api import enumerate_with_stats
+        from repro.generators import CommunitySpec, gnp_signed, planted_partition_graph
+        from repro.serve import SignedCliqueEngine
+
+        background = gnp_signed(20, 0.1, negative_fraction=0.3, seed=seed)
+        graph, _ = planted_partition_graph(
+            background, [CommunitySpec(5, density=1.0)], seed=seed
+        )
+        cache_dir = tmp_path_factory.mktemp("engine-fuzz")
+        # One memory slot: each new grid point evicts the previous one,
+        # so the second sweep is served purely by disk re-hits.
+        engine = SignedCliqueEngine(graph, cache_dir=cache_dir, cache_mem_entries=1)
+        for alpha, k in self.GRID:
+            engine.enumerate_with_stats(alpha, k)
+        evicted_before = engine.counters["evictions"]
+        for alpha, k in self.GRID[:-1]:
+            rehit = engine.enumerate_with_stats(alpha, k)
+            reference = enumerate_with_stats(graph, alpha, k)
+            assert rehit.cliques == reference.cliques, (seed, alpha, k)
+            assert rehit.stats == reference.stats, (seed, alpha, k)
+        assert engine.counters["evictions"] > 0
+        assert evicted_before > 0
+        assert engine.counters["disk_hits"] >= len(self.GRID) - 1
