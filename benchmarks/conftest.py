@@ -18,16 +18,19 @@ from __future__ import annotations
 import json
 import platform
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 import repro
 from repro.experiments.harness import Exhibit
+from repro.fastpath import resolve_backend
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Schema revision of the ``BENCH_<name>.json`` artifacts; bump on shape
 #: changes so downstream dashboards can dispatch on it.
-BENCH_JSON_SCHEMA = 1
+#: v2: adds the resolved ``backend`` (kernel tier, honouring
+#: ``REPRO_BACKEND``) and an optional benchmark-specific ``extra`` block.
+BENCH_JSON_SCHEMA = 2
 
 
 def _exhibit_payload(exhibit: Exhibit) -> dict:
@@ -42,12 +45,19 @@ def _exhibit_payload(exhibit: Exhibit) -> dict:
     }
 
 
-def record_exhibits(name: str, exhibits: Union[Exhibit, Iterable[Exhibit]]) -> str:
+def record_exhibits(
+    name: str,
+    exhibits: Union[Exhibit, Iterable[Exhibit]],
+    extra: Optional[dict] = None,
+) -> str:
     """Render exhibits to text + JSON, save under results/, return the text.
 
     Two artifacts per benchmark: ``<name>.txt`` (the human-readable table
     EXPERIMENTS.md cites) and ``BENCH_<name>.json`` (the same rows as
-    machine-readable data, uploaded by CI for trend tracking).
+    machine-readable data, uploaded by CI for trend tracking). The JSON
+    payload stamps the resolved kernel ``backend`` — set ``REPRO_BACKEND``
+    to re-run a gate under a specific tier — and merges ``extra`` (e.g.
+    per-kernel speedup maps) under an ``"extra"`` key.
     """
     if isinstance(exhibits, Exhibit):
         exhibits = [exhibits]
@@ -60,8 +70,11 @@ def record_exhibits(name: str, exhibits: Union[Exhibit, Iterable[Exhibit]]) -> s
         "name": name,
         "repro_version": repro.__version__,
         "python": platform.python_version(),
+        "backend": resolve_backend(None),
         "exhibits": [_exhibit_payload(exhibit) for exhibit in exhibits],
     }
+    if extra:
+        payload["extra"] = dict(extra)
     (RESULTS_DIR / f"BENCH_{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -181,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="in-memory cache approximate byte bound (default unbounded)",
     )
+    serve_grid.add_argument(
+        "--backend",
+        default=None,
+        choices=["python", "vectorized", "native"],
+        help="kernel tier (default: REPRO_BACKEND or auto-detect)",
+    )
     serve_grid.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     return parser
@@ -237,7 +243,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.trace_out:
                 write_trace_json(observer.tracer, args.trace_out)
             if args.metrics_out:
-                write_prometheus(observer.registry, args.metrics_out)
+                from repro.fastpath.backend import resolve_backend
+
+                write_prometheus(
+                    observer.registry,
+                    args.metrics_out,
+                    labels={"kernel_backend": resolve_backend(getattr(args, "backend", None))},
+                )
             return code
         return _dispatch(args)
     except ReproError as error:
@@ -381,6 +393,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             cache_mem_entries=args.cache_mem_entries,
             cache_mem_bytes=args.cache_mem_bytes,
             workers=args.workers,
+            backend=args.backend,
         )
         grid = engine.run_grid(
             args.alphas, args.ks, workers=args.workers, time_limit=args.time_limit
@@ -413,7 +426,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         report = grid.report
         print(
             f"served {report['served_from_cache']}/{report['points']} from cache, "
-            f"computed {report['computed']} with {report['workers']} worker(s); "
+            f"computed {report['computed']} with {report['workers']} worker(s) "
+            f"[{report['backend']} kernels]; "
             f"reduction sharing {report['sharing_ratio']:.0%}; "
             f"{report['elapsed_seconds']:.2f}s"
         )

@@ -34,6 +34,7 @@ def enumerate_signed_cliques(
     max_results: Optional[int] = None,
     min_size: Optional[int] = None,
     reducer: Optional[Callable] = None,
+    backend: Optional[str] = None,
 ) -> List[SignedClique]:
     """Return all maximal (alpha, k)-cliques, largest first.
 
@@ -53,6 +54,7 @@ def enumerate_signed_cliques(
         max_results=max_results,
         min_size=min_size,
         reducer=reducer,
+        backend=backend,
     ).cliques
 
 
@@ -68,12 +70,16 @@ def enumerate_with_stats(
     max_results: Optional[int] = None,
     min_size: Optional[int] = None,
     reducer: Optional[Callable] = None,
+    backend: Optional[str] = None,
 ) -> EnumerationResult:
     """Run MSCE and return the full :class:`EnumerationResult`.
 
     ``reducer`` optionally replaces the coring pass on the compiled
     fastpath (see :class:`~repro.core.bbe.MSCE`); the serving engine
     uses it to share reduction work across an (alpha, k) grid.
+    ``backend`` selects the kernel tier
+    (:data:`repro.fastpath.backend.BACKENDS`); results are bit-identical
+    across tiers.
     """
     params = AlphaK(alpha=alpha, k=k)
     searcher = MSCE(
@@ -87,6 +93,7 @@ def enumerate_with_stats(
         max_results=max_results,
         min_size=min_size,
         reducer=reducer,
+        backend=backend,
     )
     return searcher.enumerate_all()
 
@@ -102,6 +109,7 @@ def top_r_signed_cliques(
     seed: int = 0,
     time_limit: Optional[float] = None,
     reducer: Optional[Callable] = None,
+    backend: Optional[str] = None,
 ) -> List[SignedClique]:
     """Return the ``r`` largest maximal (alpha, k)-cliques.
 
@@ -119,6 +127,7 @@ def top_r_signed_cliques(
         seed=seed,
         time_limit=time_limit,
         reducer=reducer,
+        backend=backend,
     )
     return searcher.top_r(r).cliques
 

@@ -52,6 +52,7 @@ from repro.core.maxtest import make_maxtest
 from repro.core.params import AlphaK
 from repro.core.reduction import reduction_components
 from repro.exceptions import ParameterError
+from repro.fastpath.backend import resolve_backend
 from repro.fastpath.compiled import as_compiled, source_graph
 from repro.graphs.signed_graph import Node, SignedGraph
 from repro.limits import ResourceGuard, make_guard
@@ -103,11 +104,15 @@ class SearchStats:
 
     FIELDS = _STAT_FIELDS
 
-    __slots__ = ("registry",) + tuple("_c_" + name for name in _STAT_FIELDS)
+    __slots__ = ("registry", "backend") + tuple("_c_" + name for name in _STAT_FIELDS)
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         #: Backing registry; private to this run unless one was injected.
         self.registry = MetricsRegistry() if registry is None else registry
+        #: Resolved kernel backend the producing run used (metadata only:
+        #: deliberately excluded from :meth:`as_dict` and ``==`` so stats
+        #: from different tiers compare equal — the bit-identity contract).
+        self.backend: Optional[str] = None
         for name in _STAT_FIELDS:
             setattr(self, "_c_" + name, self.registry.counter(STAT_METRIC_PREFIX + name))
 
@@ -271,6 +276,7 @@ class MSCE:
         frame_rng: bool = False,
         max_memory_bytes: Optional[int] = None,
         reducer: Optional[Callable[[object, AlphaK, str], int]] = None,
+        backend: Optional[str] = None,
     ):
         #: Compiled fastpath representation, when one was handed in (and
         #: not disabled); the search then runs on bitset kernels.
@@ -312,6 +318,11 @@ class MSCE:
         self.reducer = reducer
         if reducer is not None and self.compiled is None:
             raise ParameterError("reducer requires the compiled fastpath")
+        #: Resolved kernel tier for every fastpath kernel this enumerator
+        #: invokes (see :func:`repro.fastpath.backend.resolve_backend`).
+        #: Resolved once here so a run can never mix tiers mid-flight,
+        #: and so parent processes can ship the concrete name to workers.
+        self.backend = resolve_backend(backend)
         self._rng = random.Random(seed)
         self._maxtest = make_maxtest(maxtest)
         self._select = self._make_selector(selection)
@@ -348,6 +359,7 @@ class MSCE:
         are maximal in the whole graph, not merely within *space*.
         """
         stats = SearchStats()
+        stats.backend = self.backend
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
         started = time.perf_counter()
@@ -438,6 +450,7 @@ class MSCE:
                 "construct the enumerator from a CompiledGraph"
             )
         stats = SearchStats()
+        stats.backend = self.backend
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
         started = time.perf_counter()
@@ -512,6 +525,7 @@ class MSCE:
 
     def _run(self, top_r: Optional[int]) -> EnumerationResult:
         stats = SearchStats()
+        stats.backend = self.backend
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []  # min-heap of the top-r sizes
         started = time.perf_counter()
@@ -529,6 +543,7 @@ class MSCE:
             reduction=self.reduction,
             compiled=self.compiled is not None,
             top_r=top_r,
+            backend=self.backend,
         ):
             try:
                 if self.compiled is not None:
@@ -541,7 +556,10 @@ class MSCE:
                         )
                     else:
                         survivor_mask = reduce_mask(
-                            self.compiled, self.params, method=self.reduction
+                            self.compiled,
+                            self.params,
+                            method=self.reduction,
+                            backend=self.backend,
                         )
                     with obs.span("enumerate"):
                         for mask in component_masks(self.compiled, survivor_mask):

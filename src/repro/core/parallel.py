@@ -79,6 +79,7 @@ from repro.core.scheduler import (
     WorkStealingScheduler,
 )
 from repro.exceptions import SharedMemoryError
+from repro.fastpath.backend import resolve_backend
 from repro.fastpath.bitset import bit_count
 from repro.fastpath.compiled import CompiledGraph, compile_graph, source_graph
 from repro.fastpath.kernels import component_masks, reduce_mask
@@ -130,6 +131,7 @@ def enumerate_parallel(
     strict: bool = False,
     drain_timeout: float = RESULT_DRAIN_TIMEOUT,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    backend: Optional[str] = None,
 ) -> EnumerationResult:
     """Enumerate all maximal (alpha, k)-cliques using *workers* processes.
 
@@ -191,6 +193,12 @@ def enumerate_parallel(
         :class:`~repro.obs.progress.ProgressEvent` samples (completed
         and outstanding frame counts, completion rate, ETA) while the
         pool runs, plus one forced final sample.
+    backend:
+        Kernel tier (:data:`repro.fastpath.backend.BACKENDS`). Resolved
+        once in the parent and shipped to every worker, so the whole
+        run uses one consistent tier; recorded in
+        ``result.parallel["backend"]``. Results are bit-identical
+        across tiers.
 
     Raises
     ------
@@ -209,6 +217,9 @@ def enumerate_parallel(
         raise ValueError(f"max_respawns must be a non-negative integer or None, got {max_respawns!r}")
 
     params = AlphaK(alpha, k)
+    # Resolve once up front: workers inherit the concrete tier name, so
+    # a native->vectorized degradation in the parent applies everywhere.
+    backend = resolve_backend(backend)
     started = time.perf_counter()
     reporter = (
         ProgressReporter(progress) if progress is not None else None
@@ -220,6 +231,7 @@ def enumerate_parallel(
         workers=workers,
         selection=selection,
         reduction=reduction,
+        backend=backend,
     ):
         # The deadline is an absolute time.monotonic timestamp so the parent
         # and forked workers (same clock) agree on when time is up.
@@ -229,7 +241,7 @@ def enumerate_parallel(
 
         # Reduce once, then carve the survivor subgraph straight out of the
         # CSR arrays — no per-component dict-of-sets subgraph rebuilds.
-        survivor_mask = reduce_mask(compiled, params, method=reduction)
+        survivor_mask = reduce_mask(compiled, params, method=reduction, backend=backend)
         if survivor_mask == compiled.full_mask:
             extracted = compiled
         else:
@@ -248,9 +260,11 @@ def enumerate_parallel(
             maxtest=maxtest,
             seed=seed,
             frame_rng=True,
+            backend=backend,
         )
 
         stats = SearchStats()
+        stats.backend = backend
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
 
@@ -278,6 +292,7 @@ def enumerate_parallel(
 
         report: Dict[str, object] = {
             "workers": workers,
+            "backend": backend,
             "tasks_seeded": len(tasks),
             "inline_components": len(inline_frames),
             "presplit_components": split_components,
@@ -377,6 +392,7 @@ def enumerate_parallel(
                             strict=strict,
                             drain_timeout=drain_timeout,
                             progress=reporter.update if reporter is not None else None,
+                            backend=backend,
                         )
                         rows, worker_metrics, leftover = scheduler.run(
                             tasks, local_work=lambda: run_inline(inline_frames)
@@ -478,6 +494,7 @@ def enumerate_grid(
     strict: bool = False,
     drain_timeout: float = RESULT_DRAIN_TIMEOUT,
     reducer: Optional[Callable] = None,
+    backend: Optional[str] = None,
 ) -> Dict[AlphaK, EnumerationResult]:
     """Enumerate a whole (alpha, k) grid against one compiled graph.
 
@@ -506,6 +523,10 @@ def enumerate_grid(
     ``strict`` is set. A tripped ``time_limit`` / ``max_memory_bytes``
     guard marks the *affected* settings interrupted (their results are
     partial); settings that already completed stay exact.
+
+    ``backend`` selects the kernel tier exactly as in
+    :func:`enumerate_parallel`: resolved once, shipped to every worker,
+    recorded in each result's ``parallel["backend"]``.
     """
     _require_positive_int("workers", workers)
     _require_positive_int("task_budget", task_budget)
@@ -514,6 +535,7 @@ def enumerate_grid(
     if not param_list:
         return {}
 
+    backend = resolve_backend(backend)
     started = time.perf_counter()
     with obs.span(
         "msce_grid",
@@ -521,6 +543,7 @@ def enumerate_grid(
         workers=workers,
         selection=selection,
         reduction=reduction,
+        backend=backend,
     ):
         deadline_ts = time.monotonic() + time_limit if time_limit is not None else None
         guard = make_guard(deadline_ts, max_memory_bytes)
@@ -532,6 +555,7 @@ def enumerate_grid(
         presplit_cap = presplit if presplit is not None else max(4 * workers, 4)
         report: Dict[str, object] = {
             "workers": workers,
+            "backend": backend,
             "grid_points": len(param_list),
             "shared_graph_bytes": 0,
         }
@@ -543,7 +567,7 @@ def enumerate_grid(
             if reducer is not None:
                 survivor_mask = reducer(compiled, params, reduction)
             else:
-                survivor_mask = reduce_mask(compiled, params, method=reduction)
+                survivor_mask = reduce_mask(compiled, params, method=reduction, backend=backend)
             group = _GridGroup(
                 params,
                 MSCE(
@@ -554,8 +578,10 @@ def enumerate_grid(
                     maxtest=maxtest,
                     seed=seed,
                     frame_rng=True,
+                    backend=backend,
                 ),
             )
+            group.stats.backend = backend
             groups.append(group)
             for mask in component_masks(compiled, survivor_mask):
                 group.stats.components += 1
@@ -675,6 +701,7 @@ def enumerate_grid(
                             max_respawns=max_respawns,
                             strict=strict,
                             drain_timeout=drain_timeout,
+                            backend=backend,
                         )
                         rows_by_group, metrics_by_group, leftover = scheduler.run_grouped(
                             tasks, local_work=lambda: run_inline(inline_frames)

@@ -202,7 +202,8 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
     """Worker loop: attach the shared graph once, then drain frames.
 
     *config* is ``(param_groups, selection, maxtest, seed, task_budget,
-    max_offload, deadline, max_memory_bytes)`` where ``param_groups`` is
+    max_offload, deadline, max_memory_bytes, backend)`` where
+    ``param_groups`` is
     a tuple of :class:`~repro.core.params.AlphaK` settings; each task
     names its group and the worker keeps one lazily-built
     :class:`~repro.core.bbe.MSCE` per group, all sharing the attached
@@ -234,6 +235,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
         max_offload,
         deadline,
         max_memory_bytes,
+        backend,
     ) = config
     tick = faults.worker_tick(slot, epoch, result_queue)
     view = None
@@ -244,6 +246,9 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
         # one-off reconstruction cost lands here, once per process; the
         # per-group searchers below all share this compiled view.
         compiled = view.graph
+        # The parent ships the *resolved* backend name, so every worker
+        # runs the same kernel tier no matter what its own environment
+        # says (a worker missing numba still degrades safely).
         searchers[0] = MSCE(
             compiled,
             param_groups[0],
@@ -252,6 +257,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
             maxtest=maxtest,
             seed=seed,
             frame_rng=True,
+            backend=backend,
         )
     except BaseException:
         result_queue.put(("fatal", slot, epoch, traceback.format_exc()))
@@ -274,6 +280,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
                     maxtest=maxtest,
                     seed=seed,
                     frame_rng=True,
+                    backend=backend,
                 )
                 searchers[group] = searcher
             spawn_index = 0
@@ -382,6 +389,10 @@ class WorkStealingScheduler:
         Optional ``callback(completed, outstanding)`` invoked by the
         parent loop after every handled message — throttle it with a
         :class:`~repro.obs.progress.ProgressReporter`.
+    backend:
+        Kernel tier request; resolved once here (see
+        :func:`repro.fastpath.backend.resolve_backend`) and shipped to
+        every worker, so one run always uses one consistent tier.
     """
 
     def __init__(
@@ -402,6 +413,7 @@ class WorkStealingScheduler:
         strict: bool = False,
         drain_timeout: float = RESULT_DRAIN_TIMEOUT,
         progress: Optional[Callable[[int, int], None]] = None,
+        backend: Optional[str] = None,
     ):
         self.shared = shared
         self.workers = max(1, workers)
@@ -411,6 +423,11 @@ class WorkStealingScheduler:
             self.param_groups = tuple(params)
             if not self.param_groups:
                 raise ValueError("params must name at least one (alpha, k) setting")
+        from repro.fastpath.backend import resolve_backend
+
+        #: Resolved kernel tier shipped to every worker, so parent and
+        #: workers can never disagree on the tier mid-run.
+        self.backend = resolve_backend(backend)
         self.config = (
             self.param_groups,
             selection,
@@ -420,6 +437,7 @@ class WorkStealingScheduler:
             max_offload,
             deadline,
             max_memory_bytes,
+            self.backend,
         )
         self.deadline = deadline
         self.max_memory_bytes = max_memory_bytes

@@ -28,7 +28,14 @@ This package provides the flat alternative:
   parallel enumerator can split, budget and offload subtrees;
 * :mod:`~repro.fastpath.shared` — one-shot shared-memory shipping of a
   compiled graph to worker processes
-  (:class:`~repro.fastpath.shared.SharedCompiledGraph`).
+  (:class:`~repro.fastpath.shared.SharedCompiledGraph`);
+* :mod:`~repro.fastpath.backend` — the kernel-tier resolver
+  (:func:`~repro.fastpath.backend.resolve_backend`): ``python`` is the
+  pure-Python oracle, ``vectorized`` the numpy packed-uint64 port
+  (:mod:`~repro.fastpath.packed` / :mod:`~repro.fastpath.vectorized`),
+  ``native`` the optional numba tier (:mod:`~repro.fastpath.native`)
+  that degrades silently when numba is missing. All tiers return
+  bit-identical cliques and stats; only the wall clock changes.
 
 Dispatch is transparent: :func:`compile_graph` once, then hand the
 compiled graph anywhere a ``SignedGraph`` is accepted —
@@ -40,6 +47,12 @@ bit-identical to the pure-Python path (the cross-validation suite in
 those entry points to force the pure path for ablations.
 """
 
+from repro.fastpath.backend import (
+    BACKENDS,
+    available_backends,
+    default_backend,
+    resolve_backend,
+)
 from repro.fastpath.bitset import IntBitset, bit_count, iter_bits
 from repro.fastpath.compiled import CompiledGraph, as_compiled, compile_graph, source_graph
 from repro.fastpath.shared import SharedCompiledGraph
@@ -53,4 +66,8 @@ __all__ = [
     "IntBitset",
     "bit_count",
     "iter_bits",
+    "BACKENDS",
+    "available_backends",
+    "default_backend",
+    "resolve_backend",
 ]

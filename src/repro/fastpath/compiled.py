@@ -78,6 +78,7 @@ class CompiledGraph:
         "_masks",
         "_oriented",
         "_repr_rank",
+        "_packed",
     )
 
     def __init__(
@@ -101,6 +102,7 @@ class CompiledGraph:
         self._masks: Dict[str, List[int]] = {}
         self._oriented: Dict[str, Tuple[List[int], List[List[int]]]] = {}
         self._repr_rank: Optional[List[int]] = None
+        self._packed: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Mapping between nodes and indices
@@ -195,6 +197,25 @@ class CompiledGraph:
             xadj, adj = self.csr(sign)
             cached = _build_masks(self.n, xadj, adj)
             self._masks[sign] = cached
+        return cached
+
+    def packed(self, sign: str = "all"):
+        """Return the ``(n, n_words)`` packed-``uint64`` adjacency (cached).
+
+        The numpy counterpart of :meth:`masks`: row ``i`` is node *i*'s
+        adjacency bitmask in the little-endian packed layout of
+        :mod:`repro.fastpath.packed`, so ``int.from_bytes(row, "little")
+        == masks(sign)[i]``. Requires numpy; callers route through
+        :func:`repro.fastpath.backend.resolve_backend`, which never
+        selects a packed-consuming tier without it.
+        """
+        cached = self._packed.get(sign)
+        if cached is None:
+            from repro.fastpath import packed as packed_mod
+
+            xadj, adj = self.csr(sign)
+            cached = packed_mod.pack_csr(self.n, xadj, adj)
+            self._packed[sign] = cached
         return cached
 
     def degeneracy_order(self, sign: str = "all") -> List[int]:

@@ -19,6 +19,12 @@ from collections import deque
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import ParameterError
+from repro.fastpath.backend import (
+    BACKEND_NATIVE,
+    BACKEND_PYTHON,
+    BACKEND_VECTORIZED,
+    resolve_backend,
+)
 from repro.fastpath.bitset import bit_count, iter_bits
 from repro.fastpath.compiled import CompiledGraph
 from repro.graphs.signed_graph import Node
@@ -82,10 +88,27 @@ def core_numbers_csr(n: int, xadj, adj) -> Tuple[List[int], List[int]]:
     return core, vert
 
 
-def core_numbers_fast(compiled: CompiledGraph, sign: str = "all") -> Dict[Node, int]:
-    """Fastpath port of :func:`repro.algorithms.kcore.core_numbers`."""
+def core_numbers_fast(
+    compiled: CompiledGraph, sign: str = "all", backend: Optional[str] = None
+) -> Dict[Node, int]:
+    """Fastpath port of :func:`repro.algorithms.kcore.core_numbers`.
+
+    *backend* selects the kernel tier (see
+    :func:`repro.fastpath.backend.resolve_backend`); every tier returns
+    the identical core-number dict.
+    """
+    resolved = resolve_backend(backend)
+    if resolved == BACKEND_VECTORIZED:
+        from repro.fastpath import vectorized
+
+        return vectorized.core_numbers(compiled, sign)
     xadj, adj = compiled.csr(sign)
-    core, _order = core_numbers_csr(compiled.n, xadj, adj)
+    if resolved == BACKEND_NATIVE:
+        from repro.fastpath import native
+
+        core, _order = native.core_numbers_csr(compiled.n, xadj, adj)
+    else:
+        core, _order = core_numbers_csr(compiled.n, xadj, adj)
     nodes = compiled.nodes
     return {nodes[i]: core[i] for i in range(compiled.n)}
 
@@ -101,14 +124,22 @@ def icore_fast(
     tau: int,
     within_mask: Optional[int] = None,
     sign: str = "all",
+    backend: Optional[str] = None,
 ) -> Tuple[bool, int]:
     """Bitmask port of Algorithm 1 (:func:`repro.algorithms.kcore.icore`).
 
     *fixed_mask* plays the paper's ``I``: the moment peeling would drop
     a fixed node the call fails with ``(False, 0)``. Returns the maximal
     tau-core of the *sign*-class subgraph induced by *within_mask* (the
-    whole graph when ``None``) otherwise.
+    whole graph when ``None``) otherwise. The maximal tau-core is
+    unique, so the wave-peeled vectorized/native tiers return the
+    identical ``(flag, mask)``.
     """
+    resolved = resolve_backend(backend)
+    if resolved != BACKEND_PYTHON:
+        from repro.fastpath import vectorized
+
+        return vectorized.icore(compiled, fixed_mask, tau, within_mask, sign)
     if tau < 0:
         raise ParameterError(f"tau must be non-negative, got {tau}")
     masks = compiled.masks(sign)
@@ -194,9 +225,10 @@ def k_core_fast(
     k: int,
     within_mask: Optional[int] = None,
     sign: str = "all",
+    backend: Optional[str] = None,
 ) -> int:
     """Bitmask port of :func:`repro.algorithms.kcore.k_core` (mask result)."""
-    _flag, mask = icore_fast(compiled, 0, k, within_mask, sign)
+    _flag, mask = icore_fast(compiled, 0, k, within_mask, sign, backend=backend)
     return mask
 
 
@@ -239,14 +271,21 @@ def mccore_basic_fast(compiled: CompiledGraph, params: AlphaK) -> Set[Node]:
     return compiled.nodes_from_mask(mccore_basic_mask(compiled, params))
 
 
-def mccore_basic_mask(compiled: CompiledGraph, params: AlphaK) -> int:
-    """Mask-returning core of :func:`mccore_basic_fast`."""
+def mccore_basic_mask(
+    compiled: CompiledGraph, params: AlphaK, backend: Optional[str] = None
+) -> int:
+    """Mask-returning core of :func:`mccore_basic_fast`.
+
+    MCBasic is the paper's superseded baseline (kept for ablations), so
+    only its initial positive-core peel dispatches on *backend*; the
+    per-node ego-core probes always run the tier-0 loop.
+    """
     threshold = params.positive_threshold
     if threshold == 0:
         return compiled.full_mask
     core_order = threshold - 1
 
-    flag, alive = icore_fast(compiled, 0, threshold, None, sign="positive")
+    flag, alive = icore_fast(compiled, 0, threshold, None, sign="positive", backend=backend)
     if not flag:
         return 0
     pos_masks = compiled.masks("positive")
@@ -290,14 +329,27 @@ def mccore_new_fast(compiled: CompiledGraph, params: AlphaK) -> Set[Node]:
     return compiled.nodes_from_mask(mccore_new_mask(compiled, params))
 
 
-def mccore_new_mask(compiled: CompiledGraph, params: AlphaK) -> int:
-    """Mask-returning core of :func:`mccore_new_fast`."""
+def mccore_new_mask(
+    compiled: CompiledGraph, params: AlphaK, backend: Optional[str] = None
+) -> int:
+    """Mask-returning core of :func:`mccore_new_fast`.
+
+    The MC-core is the greatest fixpoint of a monotone constraint
+    system, so the vectorized wave peel
+    (:func:`repro.fastpath.vectorized.mccore_new_mask`) returns the
+    identical mask despite removing violators in a different order.
+    """
+    resolved = resolve_backend(backend)
+    if resolved != BACKEND_PYTHON:
+        from repro.fastpath import vectorized
+
+        return vectorized.mccore_new_mask(compiled, params)
     threshold = params.positive_threshold
     if threshold == 0:
         return compiled.full_mask
     tau = threshold - 1
 
-    flag, alive = icore_fast(compiled, 0, threshold, None, sign="positive")
+    flag, alive = icore_fast(compiled, 0, threshold, None, sign="positive", backend=resolved)
     if not flag:
         return 0
     pos_masks = compiled.masks("positive")
@@ -369,29 +421,47 @@ def mccore_new_mask(compiled: CompiledGraph, params: AlphaK) -> int:
     return alive_ref[0]
 
 
-def reduce_fast(compiled: CompiledGraph, params: AlphaK, method: str = "mcnew") -> Set[Node]:
+def reduce_fast(
+    compiled: CompiledGraph,
+    params: AlphaK,
+    method: str = "mcnew",
+    backend: Optional[str] = None,
+) -> Set[Node]:
     """Fastpath port of :func:`repro.core.reduction.reduce_graph`."""
-    return compiled.nodes_from_mask(reduce_mask(compiled, params, method))
+    return compiled.nodes_from_mask(reduce_mask(compiled, params, method, backend=backend))
 
 
-def reduce_mask(compiled: CompiledGraph, params: AlphaK, method: str = "mcnew") -> int:
-    """Mask-returning core of :func:`reduce_fast`."""
+def reduce_mask(
+    compiled: CompiledGraph,
+    params: AlphaK,
+    method: str = "mcnew",
+    backend: Optional[str] = None,
+) -> int:
+    """Mask-returning core of :func:`reduce_fast`.
+
+    Resolves *backend* once and threads the concrete tier into every
+    sub-kernel, so a reduction never mixes tiers mid-flight; the
+    resolved name is recorded on the ``reduce`` trace span.
+    """
     from repro.obs import runtime as obs
 
-    with obs.span("reduce", method=method):
+    resolved = resolve_backend(backend)
+    with obs.span("reduce", method=method, backend=resolved):
         if method == "none":
             return compiled.full_mask
         if method == "positive-core":
             if params.positive_threshold == 0:
                 return compiled.full_mask
-            _flag, mask = icore_fast(compiled, 0, params.positive_threshold, None, sign="positive")
+            _flag, mask = icore_fast(
+                compiled, 0, params.positive_threshold, None, sign="positive", backend=resolved
+            )
             return mask
         if method == "mcbasic":
             with obs.span("mccore", method=method):
-                return mccore_basic_mask(compiled, params)
+                return mccore_basic_mask(compiled, params, backend=resolved)
         if method == "mcnew":
             with obs.span("mccore", method=method):
-                return mccore_new_mask(compiled, params)
+                return mccore_new_mask(compiled, params, backend=resolved)
         raise ParameterError(
             "unknown reduction method "
             f"{method!r}; expected one of ['mcbasic', 'mcnew', 'none', 'positive-core']"
@@ -403,15 +473,22 @@ def reduce_mask(compiled: CompiledGraph, params: AlphaK, method: str = "mcnew") 
 # ----------------------------------------------------------------------
 
 
-def triangle_count_fast(compiled: CompiledGraph, sign: str = "all") -> int:
+def triangle_count_fast(
+    compiled: CompiledGraph, sign: str = "all", backend: Optional[str] = None
+) -> int:
     """Count triangles via degeneracy orientation (forward algorithm).
 
     Port of :func:`repro.algorithms.triangles.triangle_count`: every
     edge is directed from earlier to later in a degeneracy order, so
     each triangle is counted exactly once and each out-neighbourhood has
     at most *degeneracy* entries. The inner membership probe is a flat
-    bytearray flag, not a hashed set.
+    bytearray flag, not a hashed set; the vectorized tier replaces the
+    wedge scan with batched popcounts over the same orientation.
     """
+    if resolve_backend(backend) != BACKEND_PYTHON:
+        from repro.fastpath import vectorized
+
+        return vectorized.triangle_count(compiled, sign)
     _order, rows = compiled.oriented(sign)
     mark = bytearray(compiled.n)
     total = 0
@@ -430,14 +507,21 @@ def triangle_count_fast(compiled: CompiledGraph, sign: str = "all") -> int:
 
 
 def ego_triangle_degrees_fast(
-    compiled: CompiledGraph, within: Optional[Set[Node]] = None
+    compiled: CompiledGraph,
+    within: Optional[Set[Node]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[Tuple[Node, Node], int]:
     """Bitmask port of :func:`repro.algorithms.triangles.all_ego_triangle_degrees`.
 
     ``delta(u, v)`` (Definition 5 / Lemma 4) is the degree of ``v``
     inside ``u``'s ego network: one AND + popcount per directed positive
-    edge.
+    edge — or one batched popcount over *all* such edges on the
+    vectorized tier.
     """
+    if resolve_backend(backend) != BACKEND_PYTHON:
+        from repro.fastpath import vectorized
+
+        return vectorized.ego_triangle_degrees(compiled, within)
     pos_masks = compiled.masks("positive")
     adj_masks = compiled.masks("all")
     member_mask = (

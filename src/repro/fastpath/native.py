@@ -1,0 +1,330 @@
+"""Optional numba tier for the two loops that resist vectorization.
+
+The vectorized tier (:mod:`repro.fastpath.vectorized`) covers every
+kernel whose peel can be expressed as waves of numpy ops. Two hot loops
+cannot: the **bucket-queue core peel** (its output *order* is part of
+the contract — `CompiledGraph.oriented` depends on the exact
+smallest-remaining-degree tie-breaking) and the **BBE inner branch
+step** (one frame at a time, data-dependent, called millions of times).
+This module jit-compiles exactly those two, as straight ports of the
+tier-0 loops over flat int64 / packed uint64 arrays.
+
+numba is strictly optional: nothing here is imported unless
+:func:`~repro.fastpath.backend.resolve_backend` is asked for
+``"native"``, and even then the resolver downgrades silently to
+``"vectorized"`` when numba is missing **or** :func:`self_check` fails.
+The self-check runs the jitted kernels against pure-Python references
+on randomized inputs once per process — a defensive gate so a broken
+numba install (or an ABI mismatch) can never produce wrong cliques; it
+either works bit-identically or it is not used.
+
+The jitted functions deliberately stick to loop-and-index code with
+explicit ``np.uint64`` casts; the pure-Python references use Python
+big-ints, so the comparison crosses two independent implementations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - native requires the vectorized tier
+    np = None
+
+try:
+    from numba import njit
+
+    HAS_NUMBA = True
+except Exception:  # pragma: no cover - exercised on the no-numba CI leg
+    HAS_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Identity decorator so the module still imports without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+_SELF_CHECK: int = -1  # -1 unknown, 0 failed, 1 passed
+
+
+# ----------------------------------------------------------------------
+# Jitted kernels
+# ----------------------------------------------------------------------
+@njit(cache=True)
+def _core_peel(n, xadj, adj, degree, bucket_start, vert, position, core):  # pragma: no cover - jit
+    """Matula–Beck bucket peel; exact port of ``core_numbers_csr``."""
+    max_degree = 0
+    for v in range(n):
+        degree[v] = xadj[v + 1] - xadj[v]
+        if degree[v] > max_degree:
+            max_degree = degree[v]
+    for d in range(max_degree + 2):
+        bucket_start[d] = 0
+    for v in range(n):
+        bucket_start[degree[v] + 1] += 1
+    for d in range(1, max_degree + 2):
+        bucket_start[d] += bucket_start[d - 1]
+    for v in range(n):
+        slot = bucket_start[degree[v]]
+        vert[slot] = v
+        position[v] = slot
+        bucket_start[degree[v]] += 1
+    for d in range(max_degree + 1, 0, -1):
+        bucket_start[d] = bucket_start[d - 1]
+    bucket_start[0] = 0
+    for v in range(n):
+        core[v] = degree[v]
+    for slot in range(n):
+        v = vert[slot]
+        dv = core[v]
+        for t in range(xadj[v], xadj[v + 1]):
+            u = adj[t]
+            du = core[u]
+            if du > dv:
+                pu = position[u]
+                pw = bucket_start[du]
+                w = vert[pw]
+                if u != w:
+                    vert[pu] = w
+                    position[w] = pu
+                    vert[pw] = u
+                    position[u] = pw
+                bucket_start[du] += 1
+                core[u] = du - 1
+
+
+@njit(cache=True)
+def _branch_keep(neg_rows, adj_row, cand, inc, budget, clique_pruning, negative_pruning, neg_inside, keep):  # pragma: no cover - jit
+    """The BBE include-branch candidate filter over packed uint64 words.
+
+    Writes the surviving candidates into *keep* (preset to the include
+    set) and returns ``(clique_pruned, negative_pruned)`` — the same two
+    counter deltas the tier-0 loop accumulates, candidate for candidate.
+    """
+    words = cand.shape[0]
+    one = np.uint64(1)
+    zero = np.uint64(0)
+    # neg_inside[m] = |neg(m) & included| for the included members.
+    for wi in range(words):
+        word = inc[wi]
+        base = wi << 6
+        for bit in range(64):
+            if word == zero:
+                break
+            if word & one:
+                m = base + bit
+                total = 0
+                for wj in range(words):
+                    total += _popcount64(neg_rows[m, wj] & inc[wj])
+                neg_inside[m] = total
+            word >>= one
+    clique_pruned = 0
+    negative_pruned = 0
+    for wi in range(words):
+        word = cand[wi] & ~inc[wi]
+        base = wi << 6
+        for bit in range(64):
+            if word == zero:
+                break
+            if word & one:
+                i = base + bit
+                if clique_pruning and (adj_row[i >> 6] >> np.uint64(i & 63)) & one == zero:
+                    clique_pruned += 1
+                    word >>= one
+                    continue
+                if negative_pruning:
+                    total = 0
+                    for wj in range(words):
+                        total += _popcount64(neg_rows[i, wj] & inc[wj])
+                    bad = total > budget
+                    if not bad:
+                        for wj in range(words):
+                            nword = neg_rows[i, wj] & inc[wj]
+                            nbase = wj << 6
+                            for nbit in range(64):
+                                if nword == zero:
+                                    break
+                                if nword & one:
+                                    if neg_inside[nbase + nbit] + 1 > budget:
+                                        bad = True
+                                        break
+                                nword >>= one
+                            if bad:
+                                break
+                    if bad:
+                        negative_pruned += 1
+                        word >>= one
+                        continue
+                keep[wi] |= one << np.uint64(bit)
+            word >>= one
+    return clique_pruned, negative_pruned
+
+
+@njit(cache=True)
+def _popcount64(x):  # pragma: no cover - jit
+    count = 0
+    while x != np.uint64(0):
+        x &= x - np.uint64(1)
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Wrappers (the API the dispatch layer uses)
+# ----------------------------------------------------------------------
+def core_numbers_csr(n: int, xadj, adj) -> Tuple[List[int], List[int]]:
+    """Jitted drop-in for :func:`repro.fastpath.kernels.core_numbers_csr`.
+
+    Same ``(core, order)`` — including the peel order, which downstream
+    orientation depends on — just compiled.
+    """
+    if n == 0:
+        return [], []
+    from repro.fastpath import packed
+
+    xadj_np = packed.as_int64(xadj)
+    adj_np = packed.as_int64(adj)
+    degree = np.empty(n, dtype=np.int64)
+    max_degree = int(np.diff(xadj_np).max())
+    bucket_start = np.empty(max_degree + 2, dtype=np.int64)
+    vert = np.empty(n, dtype=np.int64)
+    position = np.empty(n, dtype=np.int64)
+    core = np.empty(n, dtype=np.int64)
+    _core_peel(n, xadj_np, adj_np, degree, bucket_start, vert, position, core)
+    return core.tolist(), vert.tolist()
+
+
+def branch_keep(
+    neg_rows,
+    adj_row,
+    cand_words,
+    inc_words,
+    budget: int,
+    clique_pruning: bool,
+    negative_pruning: bool,
+    scratch,
+) -> Tuple[int, int, int]:
+    """Run the jitted branch filter; returns ``(keep_mask, clique_pruned,
+    negative_pruned)`` with *keep_mask* as a big-int (include bits set)."""
+    from repro.fastpath import packed
+
+    keep = inc_words.copy()
+    clique_pruned, negative_pruned = _branch_keep(
+        neg_rows,
+        adj_row,
+        cand_words,
+        inc_words,
+        budget,
+        clique_pruning,
+        negative_pruning,
+        scratch,
+        keep,
+    )
+    return packed.unpack_mask(keep), int(clique_pruned), int(negative_pruned)
+
+
+# ----------------------------------------------------------------------
+# Self-check: jitted kernels vs pure-Python references
+# ----------------------------------------------------------------------
+def _reference_branch_keep(neg_masks, adj_mask, cand, inc, budget, clique_pruning, negative_pruning):
+    """Big-int reference of the tier-0 keep loop (bbe/search semantics)."""
+    from repro.fastpath.bitset import bit_count, iter_bits
+
+    neg_inside = {m: bit_count(neg_masks[m] & inc) for m in iter_bits(inc)}
+    keep = inc
+    clique_pruned = negative_pruned = 0
+    for i in iter_bits(cand & ~inc):
+        if clique_pruning and not (adj_mask >> i) & 1:
+            clique_pruned += 1
+            continue
+        if negative_pruning:
+            negatives = neg_masks[i] & inc
+            if bit_count(negatives) > budget or any(
+                neg_inside[m] + 1 > budget for m in iter_bits(negatives)
+            ):
+                negative_pruned += 1
+                continue
+        keep |= 1 << i
+    return keep, clique_pruned, negative_pruned
+
+
+def self_check() -> bool:
+    """Prove the jitted kernels bit-identical on randomized inputs (once).
+
+    Compares ``core_numbers_csr`` and ``branch_keep`` against their
+    pure-Python references on a deterministic batch of random graphs.
+    Any discrepancy — or any numba compilation error — marks the native
+    tier unusable for this process and the resolver falls back to
+    ``"vectorized"``.
+    """
+    global _SELF_CHECK
+    if _SELF_CHECK >= 0:
+        return bool(_SELF_CHECK)
+    if not HAS_NUMBA or np is None:
+        _SELF_CHECK = 0
+        return False
+    try:
+        from repro.fastpath import packed
+        from repro.fastpath.kernels import core_numbers_csr as reference_core
+
+        rng = np.random.default_rng(20180414)
+        full = lambda bits: int.from_bytes(rng.bytes((bits + 7) // 8), "little") & (
+            (1 << bits) - 1
+        )
+        for n in (1, 7, 40, 130):
+            # Random symmetric graph as CSR (np.nonzero is row-major, so
+            # rows come out ascending — a valid CSR ordering).
+            dense = rng.random((n, n)) < 0.2
+            dense |= dense.T
+            np.fill_diagonal(dense, False)
+            xadj = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(dense.sum(axis=1), out=xadj[1:])
+            adj = np.nonzero(dense)[1].astype(np.int64)
+            if core_numbers_csr(n, xadj, adj) != reference_core(n, list(xadj), list(adj)):
+                _SELF_CHECK = 0
+                return False
+            # Branch filter on random masks over the same n.
+            neg_dense = dense & (rng.random((n, n)) < 0.5)
+            neg_dense |= neg_dense.T
+            neg_masks = [
+                int.from_bytes(np.packbits(neg_dense[i], bitorder="little").tobytes(), "little")
+                for i in range(n)
+            ]
+            adj_masks = [
+                int.from_bytes(np.packbits(dense[i], bitorder="little").tobytes(), "little")
+                for i in range(n)
+            ]
+            neg_rows = packed.pack_masks(neg_masks, n)
+            for _trial in range(4):
+                cand = full(n)
+                inc = cand & full(n)
+                branch = int(rng.integers(0, n))
+                budget = int(rng.integers(0, 3))
+                scratch = np.zeros(n, dtype=np.int64)
+                got = branch_keep(
+                    neg_rows,
+                    packed.pack_mask(adj_masks[branch], n),
+                    packed.pack_mask(cand, n),
+                    packed.pack_mask(inc, n),
+                    budget,
+                    True,
+                    True,
+                    scratch,
+                )
+                want = _reference_branch_keep(
+                    neg_masks, adj_masks[branch], cand, inc, budget, True, True
+                )
+                if got != want:
+                    _SELF_CHECK = 0
+                    return False
+        _SELF_CHECK = 1
+        return True
+    except Exception:  # pragma: no cover - defensive: broken numba install
+        _SELF_CHECK = 0
+        return False

@@ -1,0 +1,212 @@
+"""Packed-``uint64`` bitset algebra for the vectorized kernel tier.
+
+The pure-Python fastpath stores node sets as Python big-int bitmasks
+(bit *i* = node *i*). This module provides the numpy counterpart: a
+node set over *n* nodes becomes a ``(n_words,)`` ``uint64`` array with
+``n_words = ceil(n / 64)``; bit *j* of the set lives at word ``j >> 6``,
+bit ``j & 63``. The layout is **little-endian across words and bytes**,
+so ``int.from_bytes(arr.tobytes(), "little")`` is exactly the big-int
+mask — conversions between the two worlds are therefore lossless and
+cheap, which is what lets the vectorized tier interoperate with the
+int-mask search layer while staying bit-identical to it.
+
+An adjacency *matrix* is the row-stacked ``(n, n_words)`` form; rows
+are node masks, so set algebra over whole neighbourhoods is plain
+elementwise ``&``/``|``/``&~`` and population counts come from
+:func:`popcount_rows` (``np.bitwise_count`` on numpy >= 2, an 8-bit
+lookup table otherwise — the py3.9 CI leg resolves numpy 1.26).
+
+Everything here is deliberately dependency-light: numpy only, no
+compiled extensions. The module is import-guarded by callers through
+:mod:`repro.fastpath.backend` — it must only be imported when
+``HAS_NUMPY`` is true.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+WORD_BITS = 64
+_WORD_BYTES = 8
+
+#: 8-bit population-count lookup table for numpy < 2 (no bitwise_count).
+_POPCOUNT_LUT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def n_words(n: int) -> int:
+    """Words needed for an *n*-bit set (at least one, so slices exist)."""
+    return max(1, (n + WORD_BITS - 1) >> 6)
+
+
+# ----------------------------------------------------------------------
+# packed <-> int-mask conversion
+# ----------------------------------------------------------------------
+def pack_mask(mask: int, n: int) -> np.ndarray:
+    """Pack a big-int bitmask into a ``(n_words(n),)`` uint64 array."""
+    words = n_words(n)
+    return np.frombuffer(
+        mask.to_bytes(words * _WORD_BYTES, "little"), dtype=np.uint64
+    ).copy()
+
+
+def unpack_mask(words: np.ndarray) -> int:
+    """Invert :func:`pack_mask`: packed words back to a big-int mask."""
+    return int.from_bytes(np.ascontiguousarray(words).tobytes(), "little")
+
+
+def pack_masks(masks: Sequence[int], n: int) -> np.ndarray:
+    """Pack a sequence of big-int masks into a ``(len, n_words)`` matrix."""
+    words = n_words(n)
+    out = np.empty((len(masks), words), dtype=np.uint64)
+    for row, mask in enumerate(masks):
+        out[row] = np.frombuffer(
+            mask.to_bytes(words * _WORD_BYTES, "little"), dtype=np.uint64
+        )
+    return out
+
+
+def unpack_rows(matrix: np.ndarray) -> List[int]:
+    """Each row of a packed matrix as a big-int mask."""
+    contiguous = np.ascontiguousarray(matrix)
+    return [
+        int.from_bytes(contiguous[row].tobytes(), "little")
+        for row in range(contiguous.shape[0])
+    ]
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def pack_bool(flags: np.ndarray) -> np.ndarray:
+    """Pack a boolean vector (index = node) into uint64 words."""
+    n = flags.shape[0]
+    padded = np.zeros(n_words(n) * WORD_BITS, dtype=np.uint8)
+    padded[:n] = flags
+    return np.packbits(padded, bitorder="little").view(np.uint64)
+
+
+def unpack_bool(words: np.ndarray, n: int) -> np.ndarray:
+    """Unpack uint64 words to an ``(n,)`` boolean vector."""
+    bits = np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8), bitorder="little"
+    )
+    return bits[:n].astype(bool)
+
+
+def pack_edges(n: int, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Build a ``(n, n_words)`` matrix with bit ``cols[i]`` set in row
+    ``rows[i]`` for every edge *i*.
+
+    Works byte-wise through ``np.bitwise_or.at`` so the intermediate is
+    the final 12.5%-density byte matrix, never an O(n^2) boolean dense
+    form (100 MB at n = 10k); duplicate edges are harmless.
+    """
+    words = n_words(n)
+    bytes_matrix = np.zeros((n, words * _WORD_BYTES), dtype=np.uint8)
+    if rows.size:
+        np.bitwise_or.at(
+            bytes_matrix,
+            (rows, cols >> 3),
+            np.left_shift(np.uint8(1), (cols & 7).astype(np.uint8)),
+        )
+    return bytes_matrix.view(np.uint64)
+
+
+def pack_csr(n: int, xadj, adj) -> np.ndarray:
+    """Pack a CSR adjacency (row per node) into a ``(n, n_words)`` matrix."""
+    xadj_np = as_int64(xadj)
+    adj_np = as_int64(adj)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj_np))
+    return pack_edges(n, rows, adj_np)
+
+
+def as_int64(buffer) -> np.ndarray:
+    """View a CSR buffer (``array('q')`` or shm memoryview) as int64."""
+    if isinstance(buffer, np.ndarray):
+        return buffer.astype(np.int64, copy=False)
+    if len(buffer) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.frombuffer(buffer, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Algebra
+# ----------------------------------------------------------------------
+def and_(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise intersection."""
+    return np.bitwise_and(a, b)
+
+
+def or_(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise union."""
+    return np.bitwise_or(a, b)
+
+
+def andnot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise difference ``a & ~b``."""
+    return np.bitwise_and(a, np.bitwise_not(b))
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits in a packed array (any shape)."""
+    if _HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(words).sum(dtype=np.int64))
+    return int(
+        _POPCOUNT_LUT[np.ascontiguousarray(words).view(np.uint8)].sum(dtype=np.int64)
+    )
+
+
+def popcount_rows(matrix: np.ndarray) -> np.ndarray:
+    """Per-row population count of a ``(rows, n_words)`` matrix."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+    view = np.ascontiguousarray(matrix).view(np.uint8)
+    return _POPCOUNT_LUT[view].sum(axis=1, dtype=np.int64)
+
+
+def indices(words: np.ndarray, n: int) -> np.ndarray:
+    """Sorted indices of the set bits, as int64 (vectorized unpack)."""
+    bits = np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8), bitorder="little"
+    )
+    return np.flatnonzero(bits[:n]).astype(np.int64)
+
+
+def iter_bits(words: np.ndarray) -> Iterator[int]:
+    """Yield set-bit indices in ascending order (matches bitset.iter_bits)."""
+    for word_index, word in enumerate(np.ascontiguousarray(words).tolist()):
+        base = word_index << 6
+        while word:
+            low = word & -word
+            yield base + low.bit_length() - 1
+            word ^= low
+
+
+def test_bit(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Boolean vector: is bit ``cols[i]`` set in ``matrix[rows[i]]``?
+
+    Probes single *bytes* of the (contiguous) packed matrix — an 8x
+    smaller gather than whole words, which matters at wedge-probe
+    volumes (millions of lookups per triangle kernel call).
+    """
+    view = matrix.view(np.uint8)
+    probed = view[rows, cols >> 3]
+    shifts = np.bitwise_and(cols, 7).astype(np.uint8)
+    return np.bitwise_and(np.right_shift(probed, shifts), np.uint8(1)) != 0
+
+
+def clear_bits(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> None:
+    """Clear bit ``cols[i]`` in ``matrix[rows[i]]`` in place."""
+    if rows.size == 0:
+        return
+    cols_u = cols.astype(np.uint64)
+    keep = np.bitwise_not(
+        np.left_shift(np.uint64(1), np.bitwise_and(cols_u, np.uint64(63)))
+    )
+    np.bitwise_and.at(matrix, (rows, cols >> 6), keep)

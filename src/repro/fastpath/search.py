@@ -87,6 +87,10 @@ class FrameSearch:
         "neg_masks",
         "adj_masks",
         "select",
+        "native",
+        "packed_neg",
+        "packed_adj",
+        "scratch",
     )
 
     def __init__(
@@ -125,6 +129,21 @@ class FrameSearch:
         self.neg_masks = compiled.masks("negative")
         self.adj_masks = compiled.masks("all")
         self.select = _make_selector(msce, self.pos_masks)
+        #: Native tier: run the include-branch candidate filter through
+        #: the jitted kernel (bit-identical keep set and counter deltas;
+        #: see :mod:`repro.fastpath.native`). The enumerator's resolved
+        #: backend is already downgraded when numba is unusable.
+        self.native = getattr(msce, "backend", None) == "native"
+        if self.native:
+            import numpy as _np
+
+            self.packed_neg = compiled.packed("negative")
+            self.packed_adj = compiled.packed("all")
+            self.scratch = _np.zeros(self.packed_adj.shape[1] << 6, dtype=_np.int64)
+        else:
+            self.packed_neg = None
+            self.packed_adj = None
+            self.scratch = None
 
     # ------------------------------------------------------------------
     # Frame processing
@@ -212,23 +231,40 @@ class FrameSearch:
 
         neg_masks = self.neg_masks
         pos_masks = self.pos_masks
-        keep = new_included
-        adjacency = self.adj_masks[branch]
-        negative_inside = {
-            i: bit_count(neg_masks[i] & new_included) for i in iter_bits(new_included)
-        }
-        for i in iter_bits(candidates & ~new_included):
-            if msce.clique_pruning and not (adjacency >> i) & 1:
-                stats.clique_pruned_candidates += 1
-                continue
-            if msce.negative_pruning:
-                negatives = neg_masks[i] & new_included
-                if bit_count(negatives) > budget or any(
-                    negative_inside[member] + 1 > budget for member in iter_bits(negatives)
-                ):
-                    stats.negative_pruned_candidates += 1
+        if self.native:
+            from repro.fastpath import native, packed as packed_mod
+
+            n = compiled.n
+            keep, clique_pruned, negative_pruned = native.branch_keep(
+                self.packed_neg,
+                self.packed_adj[branch],
+                packed_mod.pack_mask(candidates, n),
+                packed_mod.pack_mask(new_included, n),
+                budget,
+                msce.clique_pruning,
+                msce.negative_pruning,
+                self.scratch,
+            )
+            stats.clique_pruned_candidates += clique_pruned
+            stats.negative_pruned_candidates += negative_pruned
+        else:
+            keep = new_included
+            adjacency = self.adj_masks[branch]
+            negative_inside = {
+                i: bit_count(neg_masks[i] & new_included) for i in iter_bits(new_included)
+            }
+            for i in iter_bits(candidates & ~new_included):
+                if msce.clique_pruning and not (adjacency >> i) & 1:
+                    stats.clique_pruned_candidates += 1
                     continue
-            keep |= 1 << i
+                if msce.negative_pruning:
+                    negatives = neg_masks[i] & new_included
+                    if bit_count(negatives) > budget or any(
+                        negative_inside[member] + 1 > budget for member in iter_bits(negatives)
+                    ):
+                        stats.negative_pruned_candidates += 1
+                        continue
+                keep |= 1 << i
 
         # Exclude branch: candidates lose the branch node.
         exclude_candidates = candidates & ~branch_bit

@@ -191,6 +191,7 @@ class SharedCompiledGraph:
             graph._masks = {}
             graph._oriented = {}
             graph._repr_rank = None
+            graph._packed = {}
             self._graph = graph
         return self._graph
 

@@ -16,7 +16,7 @@ golden-file check pins: timings drift every run, the schema must not.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
@@ -42,43 +42,67 @@ def _metric_name(name: str) -> str:
     return cleaned
 
 
-def prometheus_text(registry: MetricsRegistry, namespace: str = "repro") -> str:
+def _label_block(labels: Optional[Dict[str, str]]) -> str:
+    """Render *labels* as a ``{key="value",...}`` block ('' when empty)."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{_metric_name(key)}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def prometheus_text(
+    registry: MetricsRegistry,
+    namespace: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render *registry* in the Prometheus text exposition format.
 
     Counters get a ``_total`` suffix, histograms the standard
     ``_bucket``/``_sum``/``_count`` triplet with cumulative ``le``
     labels ending in ``+Inf``. Instruments are emitted in sorted name
-    order so the export is deterministic.
+    order so the export is deterministic. ``labels`` attaches constant
+    labels to every sample — the CLI uses it to stamp the run's
+    ``kernel_backend`` on the export.
     """
     prefix = _metric_name(namespace) + "_" if namespace else ""
+    tags = _label_block(labels)
     lines: List[str] = []
     for name in sorted(registry.counters):
         metric = f"{prefix}{_metric_name(name)}_total"
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {registry.counters[name].value}")
+        lines.append(f"{metric}{tags} {registry.counters[name].value}")
     for name in sorted(registry.gauges):
         metric = f"{prefix}{_metric_name(name)}"
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {registry.gauges[name].value}")
+        lines.append(f"{metric}{tags} {registry.gauges[name].value}")
     for name in sorted(registry.histograms):
         histogram = registry.histograms[name]
         metric = f"{prefix}{_metric_name(name)}"
         lines.append(f"# TYPE {metric} histogram")
+        extra = ("," + tags[1:-1]) if tags else ""
         cumulative = 0
         for bound, count in zip(histogram.bounds, histogram.counts):
             cumulative += count
-            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(f'{metric}_bucket{{le="{bound:g}"{extra}}} {cumulative}')
         cumulative += histogram.counts[-1]
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{metric}_sum {histogram.total:g}")
-        lines.append(f"{metric}_count {histogram.count}")
+        lines.append(f'{metric}_bucket{{le="+Inf"{extra}}} {cumulative}')
+        lines.append(f"{metric}_sum{tags} {histogram.total:g}")
+        lines.append(f"{metric}_count{tags} {histogram.count}")
     return "\n".join(lines) + "\n"
 
 
-def write_prometheus(registry: MetricsRegistry, path, namespace: str = "repro") -> None:
+def write_prometheus(
+    registry: MetricsRegistry,
+    path,
+    namespace: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
+) -> None:
     """Write :func:`prometheus_text` output to *path*."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(prometheus_text(registry, namespace=namespace))
+        handle.write(prometheus_text(registry, namespace=namespace, labels=labels))
 
 
 _Shape = Union[str, List, Dict[str, object]]

@@ -63,6 +63,7 @@ from repro.core.params import AlphaK
 from repro.core.parallel import enumerate_grid
 from repro.core.query import query_search
 from repro.exceptions import GraphError
+from repro.fastpath.backend import resolve_backend
 from repro.fastpath.compiled import CompiledGraph, compile_graph
 from repro.fastpath.kernels import reduce_mask
 from repro.graphs.signed_graph import Node, SignedGraph
@@ -168,6 +169,11 @@ class SignedCliqueEngine:
         Enumerator configuration, as in :class:`~repro.core.bbe.MSCE`;
         the defaults match :mod:`repro.core.api`, which is what the
         differential harness compares against.
+    backend:
+        Kernel tier for every search the engine runs
+        (:data:`repro.fastpath.backend.BACKENDS`); resolved once at
+        construction, so cache keys and results are identical across
+        tiers — only the wall clock changes.
     record_requests:
         When ``True``, the engine appends every served request and
         update to :attr:`request_log` in serialisation order (the order
@@ -191,6 +197,7 @@ class SignedCliqueEngine:
         maxtest: str = "exact",
         seed: int = 0,
         record_requests: bool = False,
+        backend: Optional[str] = None,
     ):
         self._lock = threading.RLock()
         self._graph = graph.copy()
@@ -199,6 +206,7 @@ class SignedCliqueEngine:
         self._reduction = reduction
         self._maxtest = maxtest
         self._seed = seed
+        self._backend = resolve_backend(backend)
         self._workers = max(1, workers)
         #: (method, positive_threshold) -> survivor bitmask of the
         #: current compiled graph. Cleared on every mutation.
@@ -269,7 +277,7 @@ class SignedCliqueEngine:
         key = (method, params.positive_threshold)
         mask = self._reduction_masks.get(key)
         if mask is None:
-            mask = reduce_mask(compiled, params, method=method)
+            mask = reduce_mask(compiled, params, method=method, backend=self._backend)
             self._reduction_masks[key] = mask
             self._bump("reduce_computed")
         else:
@@ -375,6 +383,7 @@ class SignedCliqueEngine:
             maxtest=self._maxtest,
             seed=self._seed,
             reducer=self._reducer,
+            backend=self._backend,
         )
         self._bump("computes")
         if not (result.timed_out or result.truncated or result.interrupted):
@@ -436,6 +445,7 @@ class SignedCliqueEngine:
             maxtest=self._maxtest,
             seed=self._seed,
             reducer=self._reducer,
+            backend=self._backend,
         ).top_r(r)
         self._bump("computes")
         if not (result.timed_out or result.truncated or result.interrupted):
@@ -510,6 +520,7 @@ class SignedCliqueEngine:
                     maxtest=self._maxtest,
                     reducer=self._node_reducer,
                     search_graph=self._compiled(),
+                    backend=self._backend,
                 )
                 self._bump("computes")
                 if not (result.timed_out or result.truncated or result.interrupted):
@@ -602,6 +613,7 @@ class SignedCliqueEngine:
                         seed=self._seed,
                         time_limit=time_limit,
                         reducer=self._reducer,
+                        backend=self._backend,
                     )
                     self._bump("grid_computed", len(missing))
                     self._bump("computes", len(missing))
@@ -617,6 +629,7 @@ class SignedCliqueEngine:
                     "served_from_cache": len(points) - len(missing),
                     "computed": len(missing),
                     "workers": workers or self._workers,
+                    "backend": self._backend,
                     "sharing_ratio": self.sharing_ratio,
                     "elapsed_seconds": time.perf_counter() - started,
                 }
@@ -749,6 +762,7 @@ class SignedCliqueEngine:
             return {
                 "memory": self.memory.stats(),
                 "disk": str(self.disk._dir) if self.disk is not None else None,
+                "backend": self._backend,
                 "counters": dict(self.counters),
                 "sharing_ratio": self.sharing_ratio,
                 "live_settings": len(self._live),

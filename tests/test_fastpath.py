@@ -24,12 +24,22 @@ from repro.core import MSCE, AlphaK, mccore_basic, mccore_new
 from repro.core.reduction import reduce_graph, reduction_components
 from repro.exceptions import ParameterError
 from repro.fastpath import (
+    BACKENDS,
     CompiledGraph,
     IntBitset,
     as_compiled,
     bit_count,
     compile_graph,
     iter_bits,
+    resolve_backend,
+)
+from repro.fastpath.bitset import _bit_count_fallback
+from repro.fastpath.kernels import (
+    core_numbers_fast,
+    ego_triangle_degrees_fast,
+    mccore_new_mask,
+    reduce_mask,
+    triangle_count_fast,
 )
 from repro.generators import (
     CommunitySpec,
@@ -125,6 +135,16 @@ class TestBitset:
             mask |= 1 << i
         assert list(iter_bits(mask)) == indices
         assert bit_count(mask) == 40
+
+    def test_bit_count_fallback_matches_reference(self):
+        """The py<3.10 chunked popcount must agree with the reference count,
+        including on huge masks where the old ``bin(mask)`` path was the
+        quadratic-ish hazard."""
+        rng = random.Random(9)
+        masks = [0, 1, (1 << 64) - 1, 1 << 4096, (1 << 100_000) - 1]
+        masks += [rng.getrandbits(bits) for bits in (7, 63, 64, 65, 1000, 50_000)]
+        for mask in masks:
+            assert _bit_count_fallback(mask) == bin(mask).count("1")
 
 
 class TestKernelCrossValidation:
@@ -262,6 +282,57 @@ class TestSearchCrossValidation:
             compiled = compile_graph(graph)
             for clique in MSCE(compiled, AlphaK(1.5, 1)).enumerate_all().cliques:
                 clique.verify(graph)
+
+
+class TestBackendSweep:
+    """3-way kernel-tier differential: python / vectorized / native.
+
+    Every tier must return bit-identical outputs — kernel by kernel, and
+    end-to-end through MSCE including the ``SearchStats`` counters.
+    ``native`` degrades silently (to ``vectorized`` without numba, all
+    the way to ``python`` without numpy), so the sweep is meaningful on
+    every CI leg: a degraded tier simply re-checks the tier it landed on.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("graph", _cases())
+    def test_kernel_outputs_identical(self, graph, backend):
+        compiled = compile_graph(graph)
+        for sign in ("all", "positive", "negative"):
+            assert core_numbers_fast(
+                compiled, sign, backend=backend
+            ) == core_numbers_fast(compiled, sign, backend="python")
+        assert triangle_count_fast(compiled, backend=backend) == triangle_count_fast(
+            compiled, backend="python"
+        )
+        nodes = sorted(graph.nodes(), key=repr)
+        for within in (None, set(nodes[: max(3, len(nodes) // 2)])):
+            assert ego_triangle_degrees_fast(
+                compiled, within=within, backend=backend
+            ) == ego_triangle_degrees_fast(compiled, within=within, backend="python")
+        for params in PARAM_GRID:
+            assert mccore_new_mask(compiled, params, backend=backend) == mccore_new_mask(
+                compiled, params, backend="python"
+            )
+        for method in ("none", "positive-core", "mcbasic", "mcnew"):
+            assert reduce_mask(
+                compiled, AlphaK(2, 1), method=method, backend=backend
+            ) == reduce_mask(compiled, AlphaK(2, 1), method=method, backend="python")
+
+    @pytest.mark.parametrize("params", PARAM_GRID, ids=str)
+    @pytest.mark.parametrize("graph", _cases())
+    def test_msce_identical_across_backends(self, graph, params):
+        compiled = compile_graph(graph)
+        oracle = MSCE(compiled, params, backend="python").enumerate_all()
+        for backend in BACKENDS:
+            result = MSCE(compiled, params, backend=backend).enumerate_all()
+            assert [c.nodes for c in result.cliques] == [
+                c.nodes for c in oracle.cliques
+            ], backend
+            assert result.stats.as_dict() == oracle.stats.as_dict(), backend
+            # The stamped tier is metadata, not part of stats equality.
+            assert result.stats == oracle.stats
+            assert result.stats.backend == resolve_backend(backend)
 
 
 # -- hypothesis: arbitrary small graphs, arbitrary (alpha, k) ----------------

@@ -1,0 +1,119 @@
+"""Property tests for the packed-uint64 bitset algebra (``fastpath.packed``).
+
+The vectorized tier interoperates with the int-mask search layer through
+the conversions in :mod:`repro.fastpath.packed`; the whole bit-identity
+contract rests on those conversions being lossless and on the packed
+algebra agreeing operation-for-operation with Python big-int arithmetic.
+Hypothesis drives both directions of the round-trip and the algebra
+parity over arbitrary masks and widths (word-boundary widths included).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.fastpath import packed  # noqa: E402  (needs numpy first)
+from repro.fastpath.bitset import bit_count, iter_bits  # noqa: E402
+
+# Widths straddle the uint64 word boundary on purpose: 1..200 covers
+# 1-4 words including the exact-multiple edge cases 64 and 128.
+widths = st.integers(min_value=1, max_value=200)
+
+
+def masks_for(n: int):
+    return st.integers(min_value=0, max_value=(1 << n) - 1)
+
+
+mask_pairs = widths.flatmap(
+    lambda n: st.tuples(st.just(n), masks_for(n), masks_for(n))
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(widths.flatmap(lambda n: st.tuples(st.just(n), masks_for(n))))
+def test_pack_unpack_roundtrip(spec):
+    n, mask = spec
+    words = packed.pack_mask(mask, n)
+    assert words.dtype == np.uint64
+    assert words.shape == (packed.n_words(n),)
+    assert packed.unpack_mask(words) == mask
+
+
+@settings(max_examples=200, deadline=None)
+@given(mask_pairs)
+def test_algebra_matches_int_masks(spec):
+    n, a, b = spec
+    pa, pb = packed.pack_mask(a, n), packed.pack_mask(b, n)
+    assert packed.unpack_mask(packed.and_(pa, pb)) == a & b
+    assert packed.unpack_mask(packed.or_(pa, pb)) == a | b
+    assert packed.unpack_mask(packed.andnot(pa, pb)) == a & ~b
+    assert packed.popcount(pa) == bit_count(a)
+
+
+@settings(max_examples=150, deadline=None)
+@given(widths.flatmap(lambda n: st.tuples(st.just(n), masks_for(n))))
+def test_bit_enumeration_matches_int_layer(spec):
+    n, mask = spec
+    words = packed.pack_mask(mask, n)
+    expected = list(iter_bits(mask))
+    assert list(packed.iter_bits(words)) == expected
+    assert packed.indices(words, n).tolist() == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(widths.flatmap(lambda n: st.tuples(st.just(n), masks_for(n))))
+def test_bool_vector_roundtrip(spec):
+    n, mask = spec
+    flags = np.array([(mask >> i) & 1 for i in range(n)], dtype=bool)
+    words = packed.pack_bool(flags)
+    assert packed.unpack_mask(words) == mask
+    assert packed.unpack_bool(words, n).tolist() == flags.tolist()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(masks_for(200), min_size=0, max_size=8))
+def test_pack_masks_rows_roundtrip(masks):
+    matrix = packed.pack_masks(masks, 200)
+    assert packed.unpack_rows(matrix) == list(masks)
+
+
+@settings(max_examples=100, deadline=None)
+@given(mask_pairs)
+def test_test_and_clear_bits_match_int_ops(spec):
+    n, a, b = spec
+    matrix = packed.pack_masks([a, b], n)
+    positions = np.arange(n, dtype=np.int64)
+    rows = np.zeros(n, dtype=np.int64)
+    got = packed.test_bit(np.ascontiguousarray(matrix), rows, positions)
+    assert got.tolist() == [bool((a >> i) & 1) for i in range(n)]
+    # Clearing the set bits of b from row 0 must equal a & ~b.
+    hits = packed.indices(packed.pack_mask(b, n), n)
+    packed.clear_bits(matrix, np.zeros(hits.shape[0], dtype=np.int64), hits)
+    assert packed.unpack_mask(matrix[0]) == a & ~b
+    assert packed.unpack_mask(matrix[1]) == b
+
+
+@settings(max_examples=100, deadline=None)
+@given(mask_pairs)
+def test_popcount_rows_matches_bit_count(spec):
+    n, a, b = spec
+    matrix = packed.pack_masks([a, b, a & b], n)
+    assert packed.popcount_rows(matrix).tolist() == [
+        bit_count(a),
+        bit_count(b),
+        bit_count(a & b),
+    ]
+
+
+def test_popcount_lut_fallback_matches_bitwise_count():
+    """Force the 8-bit LUT path (the numpy<2 fallback) and pin parity."""
+    rng = np.random.default_rng(20180414)
+    matrix = rng.integers(0, 2**64, size=(16, 7), dtype=np.uint64)
+    with_lut = packed._POPCOUNT_LUT[matrix.view(np.uint8)].sum(
+        axis=1, dtype=np.int64
+    )
+    assert with_lut.tolist() == packed.popcount_rows(matrix).tolist()
+    expected = [bit_count(m) for m in packed.unpack_rows(matrix)]
+    assert packed.popcount_rows(matrix).tolist() == expected
