@@ -4,6 +4,11 @@ Subcommands
 -----------
 stats
     Print Table-I style statistics of a signed edge-list file.
+compile
+    Compile a graph into a mmap-able storage artifact
+    (:mod:`repro.fastpath.storage`); other subcommands accept the
+    artifact anywhere a graph path is expected and re-attach it
+    zero-copy instead of re-reading and re-compiling the edge list.
 mccore
     Print the maximal constrained ceil(alpha*k)-core of a graph.
 enumerate
@@ -29,7 +34,9 @@ report
     Regenerate the full evaluation report as markdown.
 
 Graphs are read with :func:`repro.io.read_signed_edgelist` (``src dst
-sign`` lines, ``#``/``%`` comments).
+sign`` lines, ``#``/``%`` comments), or — when the file starts with the
+storage magic — mmapped back as a
+:class:`~repro.fastpath.compiled.CompiledGraph` artifact.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from typing import List, Optional
 
 from repro.core import MSCE, AlphaK, find_mccore, signed_cliques_containing
 from repro.exceptions import ReproError
+from repro.fastpath.compiled import source_graph
 from repro.generators import DATASET_BUILDERS, load_dataset
 from repro.graphs import graph_stats
 from repro.io import read_signed_edgelist, write_signed_edgelist
@@ -90,6 +98,19 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print dataset statistics (Table I columns)")
     _add_graph_argument(stats)
 
+    compile_cmd = sub.add_parser(
+        "compile", help="compile a graph into a mmap-able storage artifact"
+    )
+    _add_graph_argument(compile_cmd)
+    compile_cmd.add_argument("output", help="artifact output path")
+    compile_cmd.add_argument(
+        "--packed",
+        choices=("auto", "always", "none"),
+        default="auto",
+        help="embed packed-uint64 adjacency matrices (default auto: "
+        "when numpy is available and the graph is small enough)",
+    )
+
     mccore = sub.add_parser("mccore", help="compute the maximal constrained core")
     _add_graph_argument(mccore)
     _add_alpha_k(mccore)
@@ -106,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_cmd.add_argument("--selection", choices=("greedy", "random", "first"), default="greedy")
     enumerate_cmd.add_argument("--time-limit", type=float, default=None, help="seconds cap")
     enumerate_cmd.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    enumerate_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="enumerate through the parallel scheduler with this many workers",
+    )
+    enumerate_cmd.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="soft memory budget (kb/mb/gb suffix ok); pending frames "
+        "spill to disk instead of growing the heap (implies the "
+        "scheduler path; default: REPRO_MEMORY_BUDGET)",
+    )
 
     top = sub.add_parser("top", help="find the top-r largest maximal (alpha,k)-cliques")
     _add_graph_argument(top)
@@ -214,9 +249,27 @@ def _print_cliques(cliques, as_json: bool) -> None:
 
 
 def _load_graph(path: str):
-    """Read an edge-list graph inside a ``load`` span (the phase tree's root-most phase)."""
+    """Read a graph inside a ``load`` span (the phase tree's root-most phase).
+
+    Files beginning with the storage magic (written by the ``compile``
+    subcommand / :meth:`CompiledGraph.save
+    <repro.fastpath.compiled.CompiledGraph.mmap>`) are mmapped back as a
+    :class:`~repro.fastpath.compiled.CompiledGraph` — zero parsing, zero
+    compilation; anything else is read as a signed edge list.
+    """
+    from repro.fastpath.storage import MAGIC
     from repro.obs import runtime as obs
 
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(MAGIC))
+    except OSError:
+        head = b""
+    if head == MAGIC:
+        from repro.fastpath.compiled import CompiledGraph
+
+        with obs.span("load", path=str(path), format="storage"):
+            return CompiledGraph.mmap(path)
     with obs.span("load", path=str(path)):
         return read_signed_edgelist(path)
 
@@ -259,7 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "stats":
-        stats = graph_stats(_load_graph(args.graph))
+        stats = graph_stats(source_graph(_load_graph(args.graph)))
         print(stats.as_table_row(args.graph))
         print(
             f"negative fraction: {stats.negative_fraction:.3f}, "
@@ -275,12 +328,52 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(" ".join(str(node) for node in sorted(nodes, key=repr)))
         return 0
 
+    if args.command == "compile":
+        from repro.fastpath.compiled import CompiledGraph, compile_graph
+        from repro.io.cache import graph_fingerprint
+
+        graph = _load_graph(args.graph)
+        if isinstance(graph, CompiledGraph):
+            compiled, fingerprint = graph, None
+        else:
+            fingerprint = graph_fingerprint(graph)
+            compiled = compile_graph(graph)
+        written = compiled.save(args.output, packed=args.packed, fingerprint=fingerprint)
+        print(
+            f"wrote {args.output}: n={compiled.n} m={len(compiled.adj) // 2} "
+            f"({written} bytes, packed={args.packed})"
+        )
+        return 0
+
     if args.command == "enumerate":
         graph = _load_graph(args.graph)
         params = AlphaK(args.alpha, args.k)
-        result = MSCE(
-            graph, params, selection=args.selection, time_limit=args.time_limit
-        ).enumerate_all()
+        if args.workers is not None or args.memory_budget is not None:
+            from repro.core.parallel import enumerate_parallel
+            from repro.limits import parse_memory_budget
+
+            try:
+                budget = (
+                    parse_memory_budget(args.memory_budget)
+                    if args.memory_budget is not None
+                    else None
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            result = enumerate_parallel(
+                graph,
+                params.alpha,
+                params.k,
+                workers=args.workers or 1,
+                selection=args.selection,
+                time_limit=args.time_limit,
+                memory_budget_bytes=budget,
+            )
+        else:
+            result = MSCE(
+                graph, params, selection=args.selection, time_limit=args.time_limit
+            ).enumerate_all()
         _print_cliques(result.cliques, args.json)
         if result.timed_out:
             print("warning: time limit hit; results are partial", file=sys.stderr)
@@ -322,7 +415,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "balance":
-        graph = _load_graph(args.graph)
+        graph = source_graph(_load_graph(args.graph))
         partition = balanced_partition(graph)
         census = triangle_sign_census(graph)
         if partition is not None:
@@ -350,7 +443,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.core import signed_clique_percolation
         from repro.io.dot import save_dot
 
-        graph = _load_graph(args.graph)
+        graph = source_graph(_load_graph(args.graph))
         communities = signed_clique_percolation(
             graph, args.alpha, args.k, overlap=args.overlap, time_limit=args.time_limit
         )
@@ -369,7 +462,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             suggest_parameters,
         )
 
-        graph = _load_graph(args.graph)
+        graph = source_graph(_load_graph(args.graph))
         points = parameter_map(
             graph, alphas=args.alphas, ks=args.ks, time_limit=args.time_limit
         )
@@ -386,7 +479,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve-grid":
         from repro.serve import SignedCliqueEngine
 
-        graph = _load_graph(args.graph)
+        graph = source_graph(_load_graph(args.graph))
         engine = SignedCliqueEngine(
             graph,
             cache_dir=args.cache_dir,

@@ -80,13 +80,14 @@ from repro.core.scheduler import (
 )
 from repro.exceptions import SharedMemoryError
 from repro.fastpath.backend import resolve_backend
-from repro.fastpath.bitset import bit_count
+from repro.fastpath.bitset import bit_count, iter_bits
 from repro.fastpath.compiled import CompiledGraph, compile_graph, source_graph
 from repro.fastpath.kernels import component_masks, reduce_mask
 from repro.fastpath.search import FrameSearch, decompose_root
-from repro.fastpath.shared import SharedCompiledGraph
+from repro.fastpath.shared import SharedCompiledGraph, resolve_transport
+from repro.fastpath.storage import SpillFrontier
 from repro.graphs.signed_graph import Node, SignedGraph
-from repro.limits import make_guard
+from repro.limits import make_guard, resolve_memory_budget
 from repro.obs import runtime as obs
 from repro.obs.progress import ProgressEvent, ProgressReporter
 
@@ -97,6 +98,24 @@ SMALL_COMPONENT = 32
 #: Components of at least this node count are root-branch decomposed
 #: into multiple tasks instead of shipping as one frame.
 SPLIT_COMPONENT = 128
+
+
+def _shard_footprint(compiled: CompiledGraph, mask: int) -> int:
+    """Estimated resident bytes to search the *mask* component shard.
+
+    Dominated by the per-node adjacency bitmasks the frame search builds
+    (three sign classes of ``n``-bit integers per member) plus the CSR
+    rows actually touched; a constant overhead keeps tiny shards from
+    estimating zero. Only the *relative order* matters — the budgeted
+    execution plan runs the heaviest shards first, while the spill
+    frontier is emptiest — so a coarse model is enough.
+    """
+    xadj = compiled.xadj
+    degree_sum = 0
+    for i in iter_bits(mask):
+        degree_sum += xadj[i + 1] - xadj[i]
+    size = bit_count(mask)
+    return size * (3 * (compiled.n >> 3) + 64) + degree_sum * 8 + 1024
 
 
 def _require_positive_int(name: str, value) -> int:
@@ -132,6 +151,9 @@ def enumerate_parallel(
     drain_timeout: float = RESULT_DRAIN_TIMEOUT,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     backend: Optional[str] = None,
+    memory_budget_bytes: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+    transport: Optional[str] = None,
 ) -> EnumerationResult:
     """Enumerate all maximal (alpha, k)-cliques using *workers* processes.
 
@@ -199,6 +221,30 @@ def enumerate_parallel(
         run uses one consistent tier; recorded in
         ``result.parallel["backend"]``. Results are bit-identical
         across tiers.
+    memory_budget_bytes:
+        *Soft* peak-RSS target in bytes enabling the out-of-core
+        execution plan (explicit argument wins over the
+        ``REPRO_MEMORY_BUDGET`` environment variable). Component shards
+        are ordered by estimated footprint (heaviest first, while the
+        frontier is emptiest) and the parent-side frame searches run
+        under a :class:`~repro.fastpath.storage.SpillFrontier` that
+        parks bottom-of-stack frames in a disk-backed frame store when
+        the in-memory frontier crosses its budget-derived high-water
+        mark. Unlike ``max_memory_bytes`` it never interrupts the run —
+        every frame still runs exactly once, so cliques and stats are
+        bit-identical to the unbudgeted path; ``spilled_frames`` /
+        ``spill_bytes`` land in ``result.parallel``.
+    spill_dir:
+        Directory for spill files and mmap-transport artifacts (default
+        system tempdir). All are crash-guarded temp files.
+    transport:
+        Graph transport (:data:`repro.fastpath.shared.TRANSPORTS`):
+        ``"shm"`` publishes the reduced graph in a shared-memory block,
+        ``"mmap"`` in an on-disk artifact workers map read-only
+        (file-backed pages the OS can evict — the right choice next to
+        a memory budget). Resolved once (explicit > ``REPRO_TRANSPORT``
+        env > shm) and recorded in ``result.parallel["transport"]``;
+        results are bit-identical across transports.
 
     Raises
     ------
@@ -220,6 +266,8 @@ def enumerate_parallel(
     # Resolve once up front: workers inherit the concrete tier name, so
     # a native->vectorized degradation in the parent applies everywhere.
     backend = resolve_backend(backend)
+    transport = resolve_transport(transport)
+    memory_budget_bytes = resolve_memory_budget(memory_budget_bytes)
     started = time.perf_counter()
     reporter = (
         ProgressReporter(progress) if progress is not None else None
@@ -236,7 +284,9 @@ def enumerate_parallel(
         # The deadline is an absolute time.monotonic timestamp so the parent
         # and forked workers (same clock) agree on when time is up.
         deadline_ts = time.monotonic() + time_limit if time_limit is not None else None
-        guard = make_guard(deadline_ts, max_memory_bytes)
+        guard = make_guard(
+            deadline_ts, max_memory_bytes, memory_budget_bytes=memory_budget_bytes
+        )
         compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
 
         # Reduce once, then carve the survivor subgraph straight out of the
@@ -286,30 +336,70 @@ def enumerate_parallel(
                         searcher, mask, stats, found, size_heap, presplit_cap, guard=guard
                     )
                 )
-        # Biggest subtrees first so stragglers start early; deterministic
-        # tie-break keeps the seeded order stable across runs.
-        tasks.sort(key=lambda frame: (-bit_count(frame[0]), frame[0], frame[1]))
+        if memory_budget_bytes is not None:
+            # Budgeted execution plan: order shards by estimated resident
+            # footprint, heaviest first, so the big components run while
+            # the spill frontier is emptiest. Ordering changes nothing
+            # observable — frames partition the search tree and counters
+            # are additive — so results stay bit-identical either way.
+            tasks.sort(
+                key=lambda frame: (
+                    -_shard_footprint(extracted, frame[0]),
+                    frame[0],
+                    frame[1],
+                )
+            )
+        else:
+            # Biggest subtrees first so stragglers start early; deterministic
+            # tie-break keeps the seeded order stable across runs.
+            tasks.sort(key=lambda frame: (-bit_count(frame[0]), frame[0], frame[1]))
 
         report: Dict[str, object] = {
             "workers": workers,
             "backend": backend,
+            "transport": transport,
             "tasks_seeded": len(tasks),
             "inline_components": len(inline_frames),
             "presplit_components": split_components,
             "shared_graph_bytes": 0,
             "frames_resplit": 0,
+            "memory_budget_bytes": memory_budget_bytes,
+            "spilled_frames": 0,
+            "spill_bytes": 0,
         }
         degraded: Optional[str] = None
         # Interruption state accumulated by the parent-side inline searches
         # (small components, degraded fallbacks, leftover completion).
         inline_state: Dict[str, object] = {"reason": None, "incomplete": 0}
+        # One disk-backed frontier shared by every parent-side inline
+        # search of a budgeted run; each run() drains it before
+        # returning, so reuse across calls is safe.
+        frontier = (
+            SpillFrontier(
+                memory_budget_bytes, extracted.n, dir=spill_dir, guard=guard
+            )
+            if memory_budget_bytes is not None
+            else None
+        )
 
         def run_inline(frames: List[Tuple[int, int]]) -> None:
             if not frames:
                 return
+            if frontier is not None and len(frames) > 1:
+                # The DFS pops from the end, so ascending footprint puts
+                # the heaviest shard first in execution order.
+                frames = sorted(
+                    frames,
+                    key=lambda frame: (
+                        _shard_footprint(extracted, frame[0]),
+                        frame[0],
+                        frame[1],
+                    ),
+                )
             frame_search = FrameSearch(searcher, stats, found, size_heap, None, guard)
             reason = frame_search.run(
-                [(candidates, included, None) for candidates, included in frames]
+                [(candidates, included, None) for candidates, included in frames],
+                frontier=frontier,
             )
             if reason is not None:
                 if inline_state["reason"] is None:
@@ -363,7 +453,9 @@ def enumerate_parallel(
                 report["tasks_completed"] = len(tasks)
             else:
                 try:
-                    shared = SharedCompiledGraph.create(extracted)
+                    shared = SharedCompiledGraph.create(
+                        extracted, transport=transport, dir=spill_dir
+                    )
                 except SharedMemoryError as exc:
                     if strict:
                         raise
@@ -425,6 +517,11 @@ def enumerate_parallel(
                             scheduler.report["incomplete_frames"] - len(leftover)
                         )
                         finish_inline(leftover)
+
+        if frontier is not None:
+            report["spilled_frames"] = frontier.spilled_frames
+            report["spill_bytes"] = frontier.spill_bytes
+            frontier.close()
 
         interrupted_reason = report.get("interrupted_reason") or inline_state["reason"]
         incomplete_frames = int(report.get("incomplete_frames", 0)) + int(
@@ -495,6 +592,8 @@ def enumerate_grid(
     drain_timeout: float = RESULT_DRAIN_TIMEOUT,
     reducer: Optional[Callable] = None,
     backend: Optional[str] = None,
+    transport: Optional[str] = None,
+    spill_dir: Optional[str] = None,
 ) -> Dict[AlphaK, EnumerationResult]:
     """Enumerate a whole (alpha, k) grid against one compiled graph.
 
@@ -524,9 +623,11 @@ def enumerate_grid(
     guard marks the *affected* settings interrupted (their results are
     partial); settings that already completed stay exact.
 
-    ``backend`` selects the kernel tier exactly as in
-    :func:`enumerate_parallel`: resolved once, shipped to every worker,
-    recorded in each result's ``parallel["backend"]``.
+    ``backend`` selects the kernel tier and ``transport`` the graph
+    transport exactly as in :func:`enumerate_parallel`: resolved once,
+    shipped to every worker, recorded in each result's
+    ``parallel["backend"]`` / ``parallel["transport"]``; ``spill_dir``
+    locates any mmap-transport artifact.
     """
     _require_positive_int("workers", workers)
     _require_positive_int("task_budget", task_budget)
@@ -536,6 +637,7 @@ def enumerate_grid(
         return {}
 
     backend = resolve_backend(backend)
+    transport = resolve_transport(transport)
     started = time.perf_counter()
     with obs.span(
         "msce_grid",
@@ -556,6 +658,7 @@ def enumerate_grid(
         report: Dict[str, object] = {
             "workers": workers,
             "backend": backend,
+            "transport": transport,
             "grid_points": len(param_list),
             "shared_graph_bytes": 0,
         }
@@ -675,7 +778,9 @@ def enumerate_grid(
                 report["tasks_completed"] = len(tasks)
             else:
                 try:
-                    shared = SharedCompiledGraph.create(compiled)
+                    shared = SharedCompiledGraph.create(
+                        compiled, transport=transport, dir=spill_dir
+                    )
                 except SharedMemoryError as exc:
                     if strict:
                         raise

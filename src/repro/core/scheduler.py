@@ -583,6 +583,7 @@ class WorkStealingScheduler:
             "tasks_completed": self._completed,
             "frames_resplit": self._spawned,
             "shared_graph_bytes": self.shared.nbytes,
+            "shared_graph_transport": self.shared.transport,
             "interrupted": self._interrupted_reason is not None,
             "interrupted_reason": self._interrupted_reason,
             "incomplete_frames": len(leftover) + self._worker_incomplete,

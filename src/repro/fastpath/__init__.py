@@ -26,9 +26,17 @@ This package provides the flat alternative:
   branch-and-bound component search, refactored around explicit
   resumable frames (:class:`~repro.fastpath.search.FrameSearch`) so the
   parallel enumerator can split, budget and offload subtrees;
-* :mod:`~repro.fastpath.shared` — one-shot shared-memory shipping of a
+* :mod:`~repro.fastpath.shared` — one-shot zero-copy shipping of a
   compiled graph to worker processes
-  (:class:`~repro.fastpath.shared.SharedCompiledGraph`);
+  (:class:`~repro.fastpath.shared.SharedCompiledGraph`), over a
+  shared-memory block or an mmapped on-disk artifact, selected by
+  :func:`~repro.fastpath.shared.resolve_transport`;
+* :mod:`~repro.fastpath.storage` — the durable storage tier: a
+  versioned little-endian artifact layout written by
+  :meth:`CompiledGraph.save <repro.fastpath.compiled.CompiledGraph.save>`
+  and re-attached zero-copy by :meth:`CompiledGraph.mmap
+  <repro.fastpath.compiled.CompiledGraph.mmap>`, plus the disk-backed
+  frame store / spill frontier behind memory-budgeted enumeration;
 * :mod:`~repro.fastpath.backend` — the kernel-tier resolver
   (:func:`~repro.fastpath.backend.resolve_backend`): ``python`` is the
   pure-Python oracle, ``vectorized`` the numpy packed-uint64 port
@@ -55,7 +63,18 @@ from repro.fastpath.backend import (
 )
 from repro.fastpath.bitset import IntBitset, bit_count, iter_bits
 from repro.fastpath.compiled import CompiledGraph, as_compiled, compile_graph, source_graph
-from repro.fastpath.shared import SharedCompiledGraph
+from repro.fastpath.shared import (
+    TRANSPORTS,
+    SharedCompiledGraph,
+    resolve_transport,
+)
+from repro.fastpath.storage import (
+    FrameStore,
+    GraphStore,
+    SpillFrontier,
+    mmap_compiled,
+    save_compiled,
+)
 
 __all__ = [
     "CompiledGraph",
@@ -63,6 +82,13 @@ __all__ = [
     "as_compiled",
     "source_graph",
     "SharedCompiledGraph",
+    "TRANSPORTS",
+    "resolve_transport",
+    "GraphStore",
+    "FrameStore",
+    "SpillFrontier",
+    "save_compiled",
+    "mmap_compiled",
     "IntBitset",
     "bit_count",
     "iter_bits",

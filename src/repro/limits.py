@@ -27,6 +27,7 @@ guard is inert.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Callable, Optional
@@ -37,6 +38,13 @@ MEMORY_STRIDE = 64
 #: Reason strings a tripped guard reports.
 REASON_DEADLINE = "deadline"
 REASON_MEMORY = "memory"
+
+#: Environment variable naming the default soft memory budget (bytes,
+#: with an optional kb/mb/gb suffix) for budgeted enumeration runs.
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET"
+
+_BUDGET_SUFFIXES = {"kb": 1 << 10, "mb": 1 << 20, "gb": 1 << 30,
+                    "k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
 
 try:  # pragma: no cover - import guard for non-POSIX platforms
     import resource as _resource
@@ -58,6 +66,44 @@ def rss_bytes() -> Optional[int]:
     return peak if sys.platform == "darwin" else peak * 1024
 
 
+def parse_memory_budget(text: str) -> int:
+    """Parse a byte count with an optional ``kb``/``mb``/``gb`` suffix."""
+    value = text.strip().lower()
+    scale = 1
+    for suffix, multiplier in _BUDGET_SUFFIXES.items():
+        if value.endswith(suffix):
+            value = value[: -len(suffix)].strip()
+            scale = multiplier
+            break
+    try:
+        return int(value) * scale
+    except ValueError as exc:
+        raise ValueError(
+            f"invalid memory budget {text!r}: expected bytes with an "
+            "optional kb/mb/gb suffix"
+        ) from exc
+
+
+def resolve_memory_budget(memory_budget_bytes: Optional[int] = None) -> Optional[int]:
+    """Resolve the soft budget: explicit argument > env > no budget.
+
+    Mirrors :func:`repro.fastpath.backend.resolve_backend` precedence:
+    an explicit ``memory_budget_bytes=`` wins over
+    :data:`MEMORY_BUDGET_ENV`, which wins over ``None`` (unbudgeted).
+    Non-positive values disable the budget.
+    """
+    if memory_budget_bytes is None:
+        raw = os.environ.get(MEMORY_BUDGET_ENV, "").strip()
+        if not raw:
+            return None
+        memory_budget_bytes = parse_memory_budget(raw)
+    if isinstance(memory_budget_bytes, bool) or not isinstance(memory_budget_bytes, int):
+        raise ValueError(
+            f"memory_budget_bytes must be an integer byte count, got {memory_budget_bytes!r}"
+        )
+    return memory_budget_bytes if memory_budget_bytes > 0 else None
+
+
 class ResourceGuard:
     """Latched deadline / memory-ceiling check, cheap enough per frame.
 
@@ -68,22 +114,37 @@ class ResourceGuard:
         trips with reason ``"deadline"``, or ``None`` for no deadline.
     max_memory_bytes:
         Peak-RSS ceiling tripping with reason ``"memory"``, or ``None``.
+    memory_budget_bytes:
+        *Soft* peak-RSS target, or ``None``. Unlike the ceiling it never
+        trips the guard: :meth:`over_budget` merely reports the overrun
+        so budget-aware callers (the spill frontier of
+        :mod:`repro.fastpath.storage`) can move pending state to disk
+        and keep running to completion.
     clock:
         The time source *deadline* is compared against. Use
         ``time.monotonic`` when worker processes must agree on the same
         deadline, ``time.perf_counter`` for process-local limits.
     """
 
-    __slots__ = ("deadline", "max_memory_bytes", "clock", "_calls", "_tripped")
+    __slots__ = (
+        "deadline",
+        "max_memory_bytes",
+        "memory_budget_bytes",
+        "clock",
+        "_calls",
+        "_tripped",
+    )
 
     def __init__(
         self,
         deadline: Optional[float] = None,
         max_memory_bytes: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
+        memory_budget_bytes: Optional[int] = None,
     ):
         self.deadline = deadline
         self.max_memory_bytes = max_memory_bytes
+        self.memory_budget_bytes = memory_budget_bytes
         self.clock = clock
         self._calls = 0
         self._tripped: Optional[str] = None
@@ -91,7 +152,24 @@ class ResourceGuard:
     @property
     def enabled(self) -> bool:
         """Whether any limit is configured at all."""
-        return self.deadline is not None or self.max_memory_bytes is not None
+        return (
+            self.deadline is not None
+            or self.max_memory_bytes is not None
+            or self.memory_budget_bytes is not None
+        )
+
+    def over_budget(self) -> bool:
+        """Whether peak RSS currently exceeds the *soft* budget.
+
+        Advisory and non-latching as far as the guard is concerned
+        (``ru_maxrss`` itself is a high-water mark, so once the process
+        has peaked past the budget this stays true). Never trips the
+        guard: budgeted runs complete, they just spill.
+        """
+        if self.memory_budget_bytes is None:
+            return False
+        peak = rss_bytes()
+        return peak is not None and peak > self.memory_budget_bytes
 
     @property
     def tripped(self) -> Optional[str]:
@@ -146,8 +224,14 @@ def make_guard(
     deadline: Optional[float],
     max_memory_bytes: Optional[int],
     clock: Callable[[], float] = time.monotonic,
+    memory_budget_bytes: Optional[int] = None,
 ) -> Optional[ResourceGuard]:
     """Build a guard, or ``None`` when no limit is configured."""
-    if deadline is None and max_memory_bytes is None:
+    if deadline is None and max_memory_bytes is None and memory_budget_bytes is None:
         return None
-    return ResourceGuard(deadline, max_memory_bytes, clock=clock)
+    return ResourceGuard(
+        deadline,
+        max_memory_bytes,
+        clock=clock,
+        memory_budget_bytes=memory_budget_bytes,
+    )

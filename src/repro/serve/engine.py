@@ -62,12 +62,17 @@ from repro.core.dynamic import closed_neighborhood, refresh_region
 from repro.core.params import AlphaK
 from repro.core.parallel import enumerate_grid
 from repro.core.query import query_search
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, StorageError
 from repro.fastpath.backend import resolve_backend
 from repro.fastpath.compiled import CompiledGraph, compile_graph
 from repro.fastpath.kernels import reduce_mask
 from repro.graphs.signed_graph import Node, SignedGraph
-from repro.io.cache import ResultCache, entry_key, graph_fingerprint
+from repro.io.cache import (
+    ResultCache,
+    entry_key,
+    graph_fingerprint,
+    storage_artifact_path,
+)
 from repro.obs import runtime as obs
 from repro.serve.lru import MemoryLRU, approximate_size
 
@@ -93,6 +98,8 @@ COUNTER_NAMES = (
     "grid_points",
     "grid_cache_hits",
     "grid_computed",
+    "storage_saves",
+    "storage_attaches",
 )
 
 GridKey = Union[AlphaK, Tuple[float, int]]
@@ -215,6 +222,9 @@ class SignedCliqueEngine:
         self.disk: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache_dir is not None else None
         )
+        #: Whether the current compiled graph was mmap-attached from the
+        #: persisted storage artifact (vs compiled in-process).
+        self._storage_attached = False
         #: The live locality index: for every (alpha, k) whose full
         #: answer set is known for the *current* graph, the maximal
         #: cliques by node set. This is what mutations repair in place
@@ -253,8 +263,55 @@ class SignedCliqueEngine:
 
     def _compiled(self) -> CompiledGraph:
         if self._compiled_graph is None:
-            self._compiled_graph = compile_graph(self._graph)
+            self._compiled_graph = self._compile_or_attach()
         return self._compiled_graph
+
+    def _storage_path(self):
+        """Artifact path of the current graph, or ``None`` without a disk tier."""
+        if self.disk is None:
+            return None
+        return storage_artifact_path(self.disk._dir, graph_fingerprint(self._graph))
+
+    def _compile_or_attach(self) -> CompiledGraph:
+        """Compile the current graph, or re-attach its persisted artifact.
+
+        With a disk tier configured, the compiled CSR form is itself
+        persisted under ``<cache_dir>/graphs/`` in the storage layout of
+        :mod:`repro.fastpath.storage`, keyed by graph fingerprint and
+        layout revision. A restarted engine then mmaps the artifact
+        back zero-copy instead of re-hashing and re-compiling the whole
+        graph — the serve layer's cold-start cost drops to one header
+        read. Stale or corrupt artifacts (fingerprint mismatch,
+        truncation) are deleted and recompiled; artifact I/O failures
+        degrade to plain compilation.
+        """
+        path = self._storage_path()
+        if path is None:
+            return compile_graph(self._graph)
+        fingerprint = graph_fingerprint(self._graph)
+        if path.exists():
+            try:
+                compiled = CompiledGraph.mmap(path, expected_fingerprint=fingerprint)
+            except (StorageError, OSError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                compiled._source = self._graph
+                self._storage_attached = True
+                self._bump("storage_attaches")
+                return compiled
+        compiled = compile_graph(self._graph)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            compiled.save(path, fingerprint=fingerprint)
+        except (StorageError, OSError):
+            pass  # artifact persistence is best-effort; serving continues
+        else:
+            self._bump("storage_saves")
+        self._storage_attached = False
+        return compiled
 
     def _bump(self, name: str, amount: int = 1) -> None:
         self.counters[name] += amount
@@ -723,6 +780,7 @@ class SignedCliqueEngine:
         with obs.span("serve_update", region=len(region)):
             self._bump("updates")
             self._compiled_graph = None
+            self._storage_attached = False
             self._reduction_masks.clear()
             fingerprint_prefix = graph_fingerprint(self._graph)[:32]
             stale_keys = [
@@ -757,8 +815,16 @@ class SignedCliqueEngine:
     # Introspection
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, object]:
-        """Snapshot of both tiers plus the engine counters."""
+        """Snapshot of both tiers, the storage tier and the engine counters."""
         with self._lock:
+            storage_dir = (
+                self.disk._dir / "graphs" if self.disk is not None else None
+            )
+            artifacts = (
+                sorted(p.name for p in storage_dir.glob("graph-*.graph"))
+                if storage_dir is not None and storage_dir.is_dir()
+                else []
+            )
             return {
                 "memory": self.memory.stats(),
                 "disk": str(self.disk._dir) if self.disk is not None else None,
@@ -767,6 +833,11 @@ class SignedCliqueEngine:
                 "sharing_ratio": self.sharing_ratio,
                 "live_settings": len(self._live),
                 "reduction_memo": len(self._reduction_masks),
+                "storage": {
+                    "dir": str(storage_dir) if storage_dir is not None else None,
+                    "artifacts": artifacts,
+                    "attached": self._storage_attached,
+                },
             }
 
     def __repr__(self) -> str:

@@ -14,6 +14,7 @@ import gc
 import multiprocessing
 import os
 import random
+import tempfile
 import time
 from multiprocessing import shared_memory
 from pathlib import Path
@@ -23,6 +24,7 @@ import pytest
 from repro.core import MSCE, AlphaK, enumerate_parallel
 from repro.exceptions import SharedMemoryError, WorkerCrashError
 from repro.fastpath import compile_graph
+from repro.fastpath import storage
 from repro.fastpath.shared import SharedCompiledGraph
 from repro.graphs import SignedGraph
 from repro.testing import FaultPlan, injected
@@ -62,8 +64,15 @@ def _fingerprint(result):
 
 @pytest.fixture(autouse=True)
 def _no_leaks():
-    """Every test must leave /dev/shm and the process table clean."""
+    """Every test must leave /dev/shm, the tempdir and the process table clean.
+
+    The tempdir check covers the storage tier's crash-guarded artifacts
+    (``repro-mmap-*`` transport files, ``repro-spill-*`` frame stores) —
+    the on-disk mirror of the /dev/shm guarantee.
+    """
+    tmp_dir = Path(tempfile.gettempdir())
     before = set(os.listdir(SHM_DIR)) if SHM_DIR.exists() else set()
+    tmp_before = set(os.listdir(tmp_dir))
     yield
     gc.collect()
     if SHM_DIR.exists():
@@ -73,6 +82,12 @@ def _no_leaks():
             if name.startswith("psm_")
         }
         assert not leaked, f"leaked shared-memory segments: {leaked}"
+    leaked_files = {
+        name
+        for name in set(os.listdir(tmp_dir)) - tmp_before
+        if name.startswith((storage.MMAP_PREFIX, storage.SPILL_PREFIX))
+    }
+    assert not leaked_files, f"leaked storage temp artifacts: {leaked_files}"
     # Scheduler children are joined/terminated by every exit path; give
     # freshly-terminated ones a moment to be reaped.
     deadline = time.monotonic() + 5.0
@@ -203,7 +218,10 @@ class TestGracefulDegradation:
     def test_strict_mode_raises_on_shm_failure(self):
         graph = _fault_graph(seed=13)
         with injected(FaultPlan(fail_shm_create=True)):
-            with pytest.raises(SharedMemoryError, match="shared-memory segment"):
+            with pytest.raises(
+                SharedMemoryError,
+                match="shared-memory segment|mmap graph artifact",
+            ):
                 enumerate_parallel(
                     graph, 1.5, 1, workers=WORKERS, strict=True, **SPLIT_KNOBS
                 )
@@ -247,10 +265,63 @@ class TestSharedMemoryCrashGuard:
         compiled = compile_graph(
             make_random_signed_graph(random.Random(5), n_range=(8, 12))
         )
-        shared = SharedCompiledGraph.create(compiled)
+        shared = SharedCompiledGraph.create(compiled, transport="shm")
         name = shared.name
         # Simulate the crash: the handle is dropped without close/unlink.
         del shared
         gc.collect()
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
+
+
+class TestStorageCrashGuard:
+    def test_leaked_mmap_transport_owner_removes_file_on_collection(self):
+        """The mmap-transport twin of the shm guard: a dropped owner
+        handle must reclaim the on-disk graph artifact."""
+        compiled = compile_graph(
+            make_random_signed_graph(random.Random(5), n_range=(8, 12))
+        )
+        shared = SharedCompiledGraph.create(compiled, transport="mmap")
+        path = shared.name
+        assert os.path.exists(path)
+        del shared
+        gc.collect()
+        assert not os.path.exists(path)
+
+    def test_leaked_frame_store_removes_spill_file_on_collection(self):
+        store = storage.FrameStore()
+        store.push_batch([(0b1011, 0b1), (0b100, 0b10)])
+        path = store.path
+        assert os.path.exists(path)
+        del store
+        gc.collect()
+        assert not os.path.exists(path)
+
+    def test_interrupted_budgeted_mmap_run_leaves_no_artifacts(self):
+        """Ctrl-C mid-run with spilling active and the mmap transport:
+        the autouse fixture asserts no repro-mmap-*/repro-spill-* files
+        survive."""
+        graph = _fault_graph(seed=13)
+        with injected(FaultPlan(interrupt_parent_after=1)):
+            with pytest.raises(KeyboardInterrupt):
+                enumerate_parallel(
+                    graph,
+                    1.5,
+                    1,
+                    workers=WORKERS,
+                    transport="mmap",
+                    memory_budget_bytes=1,
+                    **SPLIT_KNOBS,
+                )
+
+    def test_mmap_transport_starvation_falls_back_inline(self):
+        """fail_shm_create starves the mmap transport too (same injection
+        point); the run degrades inline with identical results."""
+        graph = _fault_graph(seed=13)
+        expected = _fingerprint(MSCE(graph, AlphaK(1.5, 1)).enumerate_all())
+        with injected(FaultPlan(fail_shm_create=True)):
+            result = enumerate_parallel(
+                graph, 1.5, 1, workers=WORKERS, transport="mmap", **SPLIT_KNOBS
+            )
+        assert _fingerprint(result) == expected
+        assert result.parallel["degraded"].startswith("shared memory unavailable")
