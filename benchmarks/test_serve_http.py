@@ -1,0 +1,166 @@
+"""Extension benchmark: request coalescing under duplicate-heavy overload.
+
+The serving layer's claim (:mod:`repro.net`): when many clients ask the
+same question at once, single-flight coalescing answers *all* of them
+with one computation, while an uncoalesced server burns its bounded
+admission capacity on duplicates and sheds the rest. This benchmark
+drives both configurations of a live :class:`~repro.net.CliqueServer`
+with the same workload and gates the throughput ratio.
+
+Workload: ``ROUNDS`` bursts of ``CLIENTS`` *simultaneous, identical*
+requests (a fresh ``alpha`` per round so no round is served from the
+result cache of the previous one), against a server with deliberately
+tiny capacity (``max_concurrency=2``, ``max_queue_depth=2``). Service
+time is pinned at ``SERVICE_SECONDS`` per computation (a fixed delay
+wrapped around the real engine call), so the measured ratio reflects
+the *admission accounting* — how many clients each configuration can
+answer — rather than machine-speed noise.
+
+The gate: coalescing must deliver at least ``MIN_SPEEDUP``x the goodput
+(successful responses per second) of the no-coalescing server. The
+mechanism makes this structural: coalesced rounds serve all ``CLIENTS``
+with one admitted flight; uncoalesced rounds can admit at most
+``max_concurrency + max_queue_depth`` and shed the rest with 503s.
+"""
+
+import time
+
+from benchmarks.conftest import record_exhibits
+from repro.experiments.harness import Exhibit, Series
+from repro.graphs import SignedGraph
+from repro.net import ServerConfig
+from repro.testing.chaos import ServerHarness, closed_loop, http_request
+from tests.conftest import PAPER_EDGES
+
+#: Bursts per configuration (each on a fresh coalescing key).
+ROUNDS = 3
+
+#: Simultaneous identical clients per burst.
+CLIENTS = 12
+
+#: Pinned service time per computation, seconds.
+SERVICE_SECONDS = 0.25
+
+#: Admission capacity: max_concurrency + max_queue_depth.
+MAX_CONCURRENCY = 2
+MAX_QUEUE_DEPTH = 2
+
+#: The hard acceptance gate on the goodput ratio.
+MIN_SPEEDUP = 2.0
+
+
+def _pin_service_time(harness, tenant: str, seconds: float) -> None:
+    engine = harness.registry.get(tenant).engine
+    original = engine.run_grid
+
+    def pinned(*args, **kwargs):
+        time.sleep(seconds)
+        return original(*args, **kwargs)
+
+    engine.run_grid = pinned
+
+
+def _drive(coalesce: bool):
+    """Run the duplicate-burst workload; returns per-round reports."""
+    config = ServerConfig(
+        port=0,
+        coalesce=coalesce,
+        max_concurrency=MAX_CONCURRENCY,
+        max_queue_depth=MAX_QUEUE_DEPTH,
+    )
+    reports = []
+    with ServerHarness({"g": SignedGraph(PAPER_EDGES)}, config=config) as harness:
+        _pin_service_time(harness, "g", SERVICE_SECONDS)
+        for round_index in range(ROUNDS):
+            # Fresh alpha -> fresh coalescing/cache key each round.
+            path = f"/v1/graphs/g/cliques?alpha={2 + round_index}&k=1"
+            report = closed_loop(
+                lambda client, index, path=path: http_request(
+                    harness.host, harness.port, "GET", path, timeout=60
+                ),
+                clients=CLIENTS,
+                requests_per_client=1,
+            )
+            reports.append(report)
+        counters = dict(harness.server.counters)
+    return reports, counters
+
+
+def test_coalescing_multiplies_goodput_under_duplicate_load():
+    coalesced_reports, coalesced_counters = _drive(coalesce=True)
+    plain_reports, plain_counters = _drive(coalesce=False)
+
+    coalesced_ok = sum(r.ok for r in coalesced_reports)
+    plain_ok = sum(r.ok for r in plain_reports)
+    coalesced_wall = sum(r.wall_seconds for r in coalesced_reports)
+    plain_wall = sum(r.wall_seconds for r in plain_reports)
+    coalesced_goodput = coalesced_ok / coalesced_wall
+    plain_goodput = plain_ok / plain_wall
+    goodput_ratio = coalesced_goodput / max(plain_goodput, 1e-9)
+    served_ratio = coalesced_ok / max(plain_ok, 1)
+
+    total = ROUNDS * CLIENTS
+    capacity = MAX_CONCURRENCY + MAX_QUEUE_DEPTH
+    rounds_axis = list(range(1, ROUNDS + 1))
+    exhibit = Exhibit(
+        title=(
+            f"HTTP goodput under duplicate bursts ({CLIENTS} identical clients "
+            f"x {ROUNDS} rounds, capacity {capacity}, "
+            f"{SERVICE_SECONDS * 1000:.0f}ms pinned service time)"
+        ),
+        series=[
+            Series("coalescing: served per round", x=rounds_axis,
+                   y=[r.ok for r in coalesced_reports]),
+            Series("no coalescing: served per round", x=rounds_axis,
+                   y=[r.ok for r in plain_reports]),
+            Series("no coalescing: shed per round", x=rounds_axis,
+                   y=[r.shed for r in plain_reports]),
+        ],
+        notes=[
+            f"goodput: {coalesced_goodput:.1f} vs {plain_goodput:.1f} ok/s "
+            f"-> {goodput_ratio:.2f}x (gate: >= {MIN_SPEEDUP:.1f}x)",
+            f"served: {coalesced_ok}/{total} coalesced vs {plain_ok}/{total} "
+            f"uncoalesced ({served_ratio:.2f}x)",
+            f"computations: {coalesced_counters['computes']} coalesced vs "
+            f"{plain_counters['computes']} uncoalesced "
+            f"({coalesced_counters['coalesced']} requests rode shared flights)",
+            f"sheds: {coalesced_counters['shed']} coalesced vs "
+            f"{plain_counters['shed']} uncoalesced (all with Retry-After)",
+        ],
+    )
+    record_exhibits(
+        "serve_http",
+        exhibit,
+        extra={
+            "gate": MIN_SPEEDUP,
+            "goodput_ratio": round(goodput_ratio, 3),
+            "served_ratio": round(served_ratio, 3),
+            "coalesced": {
+                "ok": coalesced_ok,
+                "shed": sum(r.shed for r in coalesced_reports),
+                "wall_seconds": round(coalesced_wall, 3),
+                "computes": coalesced_counters["computes"],
+            },
+            "uncoalesced": {
+                "ok": plain_ok,
+                "shed": sum(r.shed for r in plain_reports),
+                "wall_seconds": round(plain_wall, 3),
+                "computes": plain_counters["computes"],
+            },
+        },
+    )
+
+    # Structural claims first: coalescing serves every duplicate with one
+    # flight per round; the uncoalesced server is capacity-bound and sheds.
+    assert coalesced_ok == total
+    assert coalesced_counters["computes"] == ROUNDS
+    assert coalesced_counters["coalesced"] == total - ROUNDS
+    assert plain_ok <= ROUNDS * capacity
+    assert sum(r.shed for r in plain_reports) == total - plain_ok
+    assert all(r.transport_errors == 0 for r in coalesced_reports + plain_reports)
+
+    # The hard gate.
+    assert goodput_ratio >= MIN_SPEEDUP, (
+        f"coalescing goodput only {goodput_ratio:.2f}x the uncoalesced server "
+        f"({coalesced_goodput:.1f} vs {plain_goodput:.1f} ok/s)"
+    )

@@ -30,6 +30,10 @@ sweep
 serve-grid
     Batch-enumerate an (alpha, k) grid through the serving engine
     (one compilation, shared coring, two-tier cache, optional workers).
+serve
+    Host one or more graphs over HTTP (:mod:`repro.net`): request
+    coalescing, admission control with load shedding, per-request
+    deadlines, per-tenant caches, and a Prometheus ``/metrics`` page.
 report
     Regenerate the full evaluation report as markdown.
 
@@ -223,6 +227,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel tier (default: REPRO_BACKEND or auto-detect)",
     )
     serve_grid.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    serve = sub.add_parser(
+        "serve",
+        help="host graphs over HTTP with coalescing, admission control and deadlines",
+    )
+    serve.add_argument(
+        "graphs",
+        nargs="+",
+        metavar="NAME=PATH",
+        help="graphs to host; bare PATH uses the file stem as the name",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8265, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--max-concurrency", type=int, default=4, help="computations in flight at once"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, help="admitted-but-waiting bound before shedding"
+    )
+    serve.add_argument(
+        "--default-deadline",
+        default="30s",
+        help="per-request deadline when the client sends none (e.g. 30s, 500ms)",
+    )
+    serve.add_argument(
+        "--max-deadline", default="300s", help="hard cap on client-requested deadlines"
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=10.0, help="seconds for a request head to arrive"
+    )
+    serve.add_argument(
+        "--write-timeout", type=float, default=10.0, help="seconds for a response to drain"
+    )
+    serve.add_argument(
+        "--memory-budget",
+        default=None,
+        help="shed new work when process RSS exceeds this (e.g. 2g, 512m)",
+    )
+    serve.add_argument("--workers", type=int, default=1, help="worker processes per engine")
+    serve.add_argument("--cache-dir", default=None, help="base directory for per-tenant caches")
+    serve.add_argument(
+        "--cache-mem-entries", type=int, default=256, help="per-tenant memory-cache entries"
+    )
+    serve.add_argument(
+        "--cache-mem-bytes", type=int, default=None, help="per-tenant memory-cache bytes"
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        choices=["python", "vectorized", "native"],
+        help="kernel tier (default: REPRO_BACKEND or auto-detect)",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable request coalescing (every request computes; for benchmarks)",
+    )
+    serve.add_argument(
+        "--exit-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop serving after this many seconds (smoke tests)",
+    )
 
     return parser
 
@@ -537,7 +605,82 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}: n={stats.nodes} m={stats.edges}")
         return 0
 
+    if args.command == "serve":
+        return _serve_http(args)
+
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _serve_http(args: argparse.Namespace) -> int:
+    """Run the :mod:`repro.net` HTTP server until interrupted.
+
+    Hosted graphs are given as ``NAME=PATH`` (or a bare ``PATH``, named
+    after the file stem). The server runs under a fresh enabled
+    observer when none is installed yet, so ``/metrics`` is live even
+    without ``--metrics-out``.
+    """
+    import asyncio
+    from pathlib import Path
+
+    from repro.limits import parse_deadline, parse_memory_budget
+    from repro.net import CliqueServer, ServerConfig, TenantRegistry
+    from repro.obs import runtime as obs
+
+    registry = TenantRegistry(
+        cache_dir=args.cache_dir,
+        cache_mem_entries=args.cache_mem_entries,
+        cache_mem_bytes=args.cache_mem_bytes,
+        workers=args.workers,
+        backend=args.backend,
+    )
+    for spec in args.graphs:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = Path(spec).stem, spec
+        registry.create(name, source_graph(_load_graph(path)))
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue_depth=args.queue_depth,
+        default_deadline=parse_deadline(args.default_deadline),
+        max_deadline=parse_deadline(args.max_deadline),
+        read_timeout=args.read_timeout,
+        write_timeout=args.write_timeout,
+        memory_budget_bytes=(
+            parse_memory_budget(args.memory_budget)
+            if args.memory_budget is not None
+            else None
+        ),
+        coalesce=not args.no_coalesce,
+    )
+    server = CliqueServer(registry, config)
+
+    async def run() -> None:
+        host, port = await server.start()
+        names = ", ".join(registry.names())
+        print(f"serving {names} on http://{host}:{port} (Ctrl-C to stop)")
+        try:
+            if args.exit_after is not None:
+                try:
+                    await asyncio.wait_for(server.serve_forever(), args.exit_after)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await server.serve_forever()
+        finally:
+            await server.stop()
+
+    needs_observer = not obs.get_observer().enabled
+    try:
+        if needs_observer:
+            with obs.observing():
+                asyncio.run(run())
+        else:
+            asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
 
 
 if __name__ == "__main__":

@@ -46,6 +46,10 @@ MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET"
 _BUDGET_SUFFIXES = {"kb": 1 << 10, "mb": 1 << 20, "gb": 1 << 30,
                     "k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
 
+#: Suffix -> seconds scale for :func:`parse_deadline`. Ordered so the
+#: longer suffix is tried first ("150ms" must not parse as "150m" + s).
+_DEADLINE_SUFFIXES = (("ms", 1e-3), ("s", 1.0))
+
 try:  # pragma: no cover - import guard for non-POSIX platforms
     import resource as _resource
 except ImportError:  # pragma: no cover - Windows
@@ -82,6 +86,35 @@ def parse_memory_budget(text: str) -> int:
             f"invalid memory budget {text!r}: expected bytes with an "
             "optional kb/mb/gb suffix"
         ) from exc
+
+
+def parse_deadline(text: str) -> float:
+    """Parse a duration with an optional ``ms``/``s`` suffix into seconds.
+
+    Mirrors :func:`parse_memory_budget`: a bare number means seconds,
+    ``"150ms"`` means 0.15 and ``"2.5s"`` means 2.5. The serving layer
+    (:mod:`repro.net`) uses this for per-request deadline strings
+    (``?deadline=`` / ``X-Deadline``). Non-positive or non-finite
+    durations are rejected — a deadline of zero would shed every
+    request before it started.
+    """
+    value = text.strip().lower()
+    scale = 1.0
+    for suffix, multiplier in _DEADLINE_SUFFIXES:
+        if value.endswith(suffix):
+            value = value[: -len(suffix)].strip()
+            scale = multiplier
+            break
+    try:
+        seconds = float(value) * scale
+    except ValueError as exc:
+        raise ValueError(
+            f"invalid deadline {text!r}: expected seconds with an "
+            "optional ms/s suffix"
+        ) from exc
+    if not seconds > 0 or seconds != seconds or seconds == float("inf"):
+        raise ValueError(f"invalid deadline {text!r}: must be a positive, finite duration")
+    return seconds
 
 
 def resolve_memory_budget(memory_budget_bytes: Optional[int] = None) -> Optional[int]:
@@ -175,6 +208,21 @@ class ResourceGuard:
     def tripped(self) -> Optional[str]:
         """The latched trip reason, without re-checking the limits."""
         return self._tripped
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds left until the deadline (``None`` without one).
+
+        Clamped at ``0.0`` once the deadline has passed, so the value
+        can be handed straight to ``time_limit=`` parameters
+        (:func:`repro.core.parallel.enumerate_parallel`,
+        :meth:`repro.serve.SignedCliqueEngine.enumerate_with_stats`) —
+        this is how the network layer propagates a request deadline
+        into the search it admits: the compute inherits exactly the
+        budget its request has left, never more.
+        """
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self.clock())
 
     def check(self) -> Optional[str]:
         """Return the trip reason (``"deadline"`` / ``"memory"``) or ``None``.

@@ -1,0 +1,38 @@
+"""repro.net — the asyncio HTTP serving layer over the clique engine.
+
+The network front door for :class:`repro.serve.SignedCliqueEngine`:
+:class:`CliqueServer` hosts multiple named graphs (tenants), coalesces
+identical in-flight requests onto one computation
+(:class:`SingleFlight`), bounds admitted work with load shedding and
+``Retry-After`` guidance (:class:`AdmissionController`), enforces
+per-request deadlines end to end (parsed by
+:func:`repro.limits.parse_deadline`, propagated into the search via
+:meth:`repro.limits.ResourceGuard.remaining_time`), and turns every
+request-scoped failure into a structured JSON error while the process
+keeps serving. Built on stdlib ``asyncio`` + ``http`` semantics only —
+no third-party dependencies. Start it with ``signed-clique serve`` or
+programmatically via :class:`repro.testing.chaos.ServerHarness`.
+See docs/ALGORITHMS.md ("Serving over the network").
+"""
+
+from repro.net.admission import AdmissionController, Shed, Ticket
+from repro.net.coalesce import Flight, SingleFlight
+from repro.net.http import HttpError, Request
+from repro.net.server import CliqueServer, ServerConfig
+from repro.net.tenants import Tenant, TenantError, TenantRegistry, UnknownTenant
+
+__all__ = [
+    "AdmissionController",
+    "CliqueServer",
+    "Flight",
+    "HttpError",
+    "Request",
+    "ServerConfig",
+    "Shed",
+    "SingleFlight",
+    "Tenant",
+    "TenantError",
+    "TenantRegistry",
+    "Ticket",
+    "UnknownTenant",
+]

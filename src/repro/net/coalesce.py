@@ -1,0 +1,150 @@
+"""Single-flight request coalescing for the network serving layer.
+
+Identical queries tend to arrive together: a hot (graph, alpha, k)
+setting hit by many clients at once, a dashboard fanning the same grid
+point to every panel, a retry storm after a deploy. Running the search
+once per arrival wastes the engine (every duplicate serialises on the
+engine lock and burns an executor slot) and — worse — fills the
+admission queue with work that is already in progress, shedding
+*distinct* requests to make room for duplicates.
+
+:class:`SingleFlight` collapses the storm: the first arrival for a key
+becomes the **leader** and starts the computation as a shared
+``asyncio.Task``; every later arrival for the same key becomes a
+**waiter** on that task. One compute fans its result (or its exception
+— failures are coalesced too, a poisoned request poisons exactly its
+own flight) out to all of them.
+
+Keys must capture everything the answer depends on. The server keys by
+``(tenant, graph fingerprint, request kind, alpha, k, extra)`` — the
+fingerprint term is what makes coalescing safe across mutations: a
+write bumps the fingerprint, so new arrivals open a *new* flight while
+in-flight readers finish against the version they started on.
+
+Cancellation safety is the subtle part, pinned by
+``tests/test_net.py``: waiters await the task through
+``asyncio.shield``, so a waiter that disconnects (its handler task is
+cancelled) or times out (its deadline fires) detaches *itself* without
+cancelling the shared computation the remaining waiters are counting
+on. The flight is removed from the table only when its task completes,
+from the task's done callback — never by a departing waiter.
+
+This class is single-event-loop code (the server owns one loop); it
+needs no locks because all bookkeeping happens on loop callbacks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["Flight", "SingleFlight"]
+
+
+class Flight:
+    """One in-progress computation plus its waiter accounting."""
+
+    __slots__ = ("key", "task", "waiters", "peak_waiters", "served")
+
+    def __init__(self, key: Hashable, task: "asyncio.Task"):
+        self.key = key
+        self.task = task
+        #: Waiters currently blocked on the task (including the leader).
+        self.waiters = 0
+        #: High-water mark of concurrent waiters over the flight's life.
+        self.peak_waiters = 0
+        #: Total requests this flight has (or will have) answered.
+        self.served = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Flight(key={self.key!r}, waiters={self.waiters}, "
+            f"served={self.served}, done={self.task.done()})"
+        )
+
+
+class SingleFlight:
+    """Per-key single-flight table: one computation, many waiters.
+
+    >>> import asyncio
+    >>> flights = SingleFlight()
+    >>> async def demo():
+    ...     async def compute():
+    ...         await asyncio.sleep(0)
+    ...         return 42
+    ...     a = flights.join("k", compute)
+    ...     b = flights.join("k", compute)  # coalesces onto a's task
+    ...     return await asyncio.gather(flights.wait(a[0]), flights.wait(b[0]))
+    >>> asyncio.run(demo())
+    [42, 42]
+    """
+
+    def __init__(self):
+        self._flights: Dict[Hashable, Flight] = {}
+        #: Flights started (each one is a real computation).
+        self.started = 0
+        #: Requests that joined an existing flight instead of computing.
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def get(self, key: Hashable) -> Optional[Flight]:
+        """The in-progress flight for *key*, if any."""
+        return self._flights.get(key)
+
+    def join(
+        self, key: Hashable, factory: Callable[[], Awaitable]
+    ) -> Tuple[Flight, bool]:
+        """Join the flight for *key*, starting it when absent.
+
+        Returns ``(flight, leader)`` — ``leader`` is ``True`` for the
+        caller that actually started the computation (*factory* is only
+        awaited for that caller). The flight unregisters itself when
+        its task completes; its result stays readable by already-joined
+        waiters (a Task retains its result).
+        """
+        flight = self._flights.get(key)
+        if flight is not None:
+            self.coalesced += 1
+            flight.served += 1
+            return flight, False
+        task = asyncio.get_running_loop().create_task(factory())
+        flight = Flight(key, task)
+        self._flights[key] = flight
+        self.started += 1
+        flight.served += 1
+        def _finished(done_task: "asyncio.Task", _key: Hashable = key) -> None:
+            self._flights.pop(_key, None)
+            if not done_task.cancelled():
+                # Mark a failure retrieved even if every waiter detached
+                # (waiters that remain still re-raise through the shield).
+                done_task.exception()
+
+        task.add_done_callback(_finished)
+        return flight, True
+
+    async def wait(self, flight: Flight, timeout: Optional[float] = None):
+        """Await *flight*'s result as one (cancellable) waiter.
+
+        The shared task is shielded: cancelling this coroutine — client
+        disconnect, deadline — abandons only this waiter's seat.
+        Raises ``asyncio.TimeoutError`` when *timeout* elapses first,
+        and re-raises the computation's exception for every waiter.
+        """
+        flight.waiters += 1
+        flight.peak_waiters = max(flight.peak_waiters, flight.waiters)
+        try:
+            if timeout is not None:
+                return await asyncio.wait_for(asyncio.shield(flight.task), timeout)
+            return await asyncio.shield(flight.task)
+        finally:
+            flight.waiters -= 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: in-flight / started / coalesced."""
+        return {
+            "in_flight": len(self._flights),
+            "started": self.started,
+            "coalesced": self.coalesced,
+        }

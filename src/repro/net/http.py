@@ -1,0 +1,226 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (stdlib only).
+
+The serving layer needs exactly enough HTTP to be a robust front door:
+request-line + header parsing with hard limits, ``Content-Length``
+bodies, keep-alive, JSON responses, and — the robustness part —
+timeouts on every read and write so a slow or stalled client can never
+pin a connection handler:
+
+* **slow-loris reads** — the whole head (request line + headers) must
+  arrive within ``read_timeout``, and so must each body chunk; a client
+  dribbling one byte a second gets a 408 and its socket closed;
+* **oversized input** — heads are bounded by the stream limit, bodies
+  by ``max_body_bytes`` (413), so no request can balloon the heap;
+* **slow writes** — responses drain under ``write_timeout``; a client
+  that stops reading its response gets disconnected instead of filling
+  the kernel buffer and blocking the handler forever.
+
+Malformed input raises :class:`HttpError`, which carries the status and
+a machine-readable ``code`` — the server turns any of these into the
+structured JSON error envelope (see :mod:`repro.net.server`) without
+tearing down the listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "json_body",
+]
+
+#: Upper bound on the request head (request line + headers), bytes.
+MAX_HEAD_BYTES = 32 * 1024
+
+#: Default upper bound on request bodies, bytes (1 MiB).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: Reason phrases for the statuses the server emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request that must be answered with an error status.
+
+    ``code`` is the machine-readable error identifier clients dispatch
+    on (``"bad_request"``, ``"deadline_exceeded"``, ``"shed"`` ...);
+    ``retry_after`` (seconds) adds a ``Retry-After`` header when set.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class Request:
+    """One parsed request: method, split path, query, headers, body."""
+
+    __slots__ = ("method", "target", "path", "parts", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ):
+        self.method = method
+        self.target = target
+        split = urlsplit(target)
+        self.path = unquote(split.path)
+        #: Non-empty, percent-decoded path segments ("/v1/graphs/g" ->
+        #: ["v1", "graphs", "g"]).
+        self.parts = [unquote(part) for part in split.path.split("/") if part]
+        #: First-value-wins query mapping.
+        self.query: Dict[str, str] = {}
+        for key, value in parse_qsl(split.query, keep_blank_values=True):
+            self.query.setdefault(key, value)
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Query parameter, falling back to an ``X-<name>`` header."""
+        value = self.query.get(name)
+        if value is None:
+            value = self.headers.get("x-" + name.lower())
+        return value if value is not None else default
+
+    def wants_close(self) -> bool:
+        """Whether the client asked to close the connection after this."""
+        return self.headers.get("connection", "").lower() == "close"
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.target!r}, body={len(self.body)}B)"
+
+
+async def read_request(
+    reader: "asyncio.StreamReader",
+    read_timeout: float = 10.0,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Read one request, or ``None`` on clean EOF before any bytes.
+
+    Raises :class:`HttpError` for malformed, oversized or too-slow
+    input and ``asyncio.IncompleteReadError`` surfaces as a 400 — the
+    caller answers and closes. The head must arrive within
+    *read_timeout* as one budget (not per byte!), which is the
+    slow-loris defence.
+    """
+    try:
+        head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), read_timeout)
+    except asyncio.TimeoutError:
+        raise HttpError(408, "header_timeout", "request head not received in time")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "head_too_large", "request head exceeds the limit")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "truncated_head", "connection closed mid-head")
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(413, "head_too_large", "request head exceeds the limit")
+    try:
+        text = head.decode("latin-1")
+        request_line, _, header_block = text.partition("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "bad_request_line", "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "bad_version", f"unsupported protocol {version!r}")
+    headers: Dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "bad_header", f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, "bad_content_length", "non-integer Content-Length")
+        if length < 0:
+            raise HttpError(400, "bad_content_length", "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, "body_too_large", "request body exceeds the limit")
+        if length:
+            try:
+                body = await asyncio.wait_for(reader.readexactly(length), read_timeout)
+            except asyncio.TimeoutError:
+                raise HttpError(408, "body_timeout", "request body not received in time")
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated_body", "connection closed mid-body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "unsupported_encoding", "chunked bodies are not supported")
+    return Request(method.upper(), target, headers, body)
+
+
+def json_body(request: Request) -> object:
+    """Parse the request body as JSON (400 on anything else)."""
+    if not request.body:
+        raise HttpError(400, "missing_body", "a JSON request body is required")
+    try:
+        return json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HttpError(400, "bad_json", f"request body is not valid JSON: {exc}")
+
+
+def render_response(
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+    content_type: str = "application/json",
+) -> Tuple[bytes, bool]:
+    """Serialise one response; returns ``(bytes, keep_alive)``.
+
+    JSON payloads are rendered with sorted keys (deterministic bytes —
+    the differential tests compare whole bodies); ``str`` payloads pass
+    through for text endpoints like ``/metrics``.
+    """
+    if isinstance(payload, (bytes, str)):
+        body = payload.encode("utf-8") if isinstance(payload, str) else payload
+    else:
+        body = (json.dumps(payload, sort_keys=True, default=str) + "\n").encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: " + ("keep-alive" if keep_alive else "close"),
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body, keep_alive

@@ -53,6 +53,31 @@ def _label_block(labels: Optional[Dict[str, str]]) -> str:
     return "{" + ",".join(parts) + "}"
 
 
+def split_inline_labels(name: str) -> "tuple[str, Dict[str, str]]":
+    """Split an instrument name carrying inline labels.
+
+    The registry keys instruments by a flat string; multi-series metrics
+    (one counter per tenant, say) encode their labels *into* the name as
+    ``base|key=value[,key=value...]`` — e.g.
+    ``serve_lru_hits|tenant=acme``. The exporter peels the labels back
+    off so Prometheus sees one ``repro_serve_lru_hits_total`` family
+    with a proper ``tenant`` label instead of a metric name per tenant.
+    Names without a ``|`` (or with a malformed label part) pass through
+    unchanged — the registry itself never interprets the convention, so
+    merge/snapshot semantics are untouched.
+    """
+    if "|" not in name:
+        return name, {}
+    base, _, raw = name.partition("|")
+    labels: Dict[str, str] = {}
+    for part in raw.split(","):
+        key, sep, value = part.partition("=")
+        if not sep or not key:
+            return name, {}  # malformed: treat the whole name as literal
+        labels[key] = value
+    return base, labels
+
+
 def prometheus_text(
     registry: MetricsRegistry,
     namespace: str = "repro",
@@ -66,18 +91,40 @@ def prometheus_text(
     order so the export is deterministic. ``labels`` attaches constant
     labels to every sample — the CLI uses it to stamp the run's
     ``kernel_backend`` on the export.
+
+    Counter and gauge names may carry inline labels
+    (:func:`split_inline_labels`): every ``base|key=value`` series of
+    one base is emitted as a sample of the *same* metric family with
+    the inline labels merged over the constant ones, under a single
+    ``# TYPE`` line — this is how the per-tenant LRU counters of
+    :mod:`repro.serve.lru` reach Prometheus as one ``serve_lru_hits``
+    family with a ``tenant`` label.
     """
     prefix = _metric_name(namespace) + "_" if namespace else ""
     tags = _label_block(labels)
     lines: List[str] = []
-    for name in sorted(registry.counters):
-        metric = f"{prefix}{_metric_name(name)}_total"
+
+    def grouped(names):
+        families: Dict[str, List] = {}
+        for name in names:
+            base, inline = split_inline_labels(name)
+            merged = dict(labels or {})
+            merged.update(inline)
+            families.setdefault(base, []).append((_label_block(merged), name))
+        return families
+
+    counter_families = grouped(registry.counters)
+    for base in sorted(counter_families):
+        metric = f"{prefix}{_metric_name(base)}_total"
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric}{tags} {registry.counters[name].value}")
-    for name in sorted(registry.gauges):
-        metric = f"{prefix}{_metric_name(name)}"
+        for block, name in sorted(counter_families[base]):
+            lines.append(f"{metric}{block} {registry.counters[name].value}")
+    gauge_families = grouped(registry.gauges)
+    for base in sorted(gauge_families):
+        metric = f"{prefix}{_metric_name(base)}"
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric}{tags} {registry.gauges[name].value}")
+        for block, name in sorted(gauge_families[base]):
+            lines.append(f"{metric}{block} {registry.gauges[name].value}")
     for name in sorted(registry.histograms):
         histogram = registry.histograms[name]
         metric = f"{prefix}{_metric_name(name)}"

@@ -205,9 +205,13 @@ class SignedCliqueEngine:
         seed: int = 0,
         record_requests: bool = False,
         backend: Optional[str] = None,
+        tenant: Optional[str] = None,
     ):
         self._lock = threading.RLock()
         self._graph = graph.copy()
+        #: Optional tenant name (multi-graph serving); labels the memory
+        #: tier's per-tenant observer counters.
+        self.tenant = tenant
         self._compiled_graph: Optional[CompiledGraph] = None
         self._selection = selection
         self._reduction = reduction
@@ -218,7 +222,9 @@ class SignedCliqueEngine:
         #: (method, positive_threshold) -> survivor bitmask of the
         #: current compiled graph. Cleared on every mutation.
         self._reduction_masks: Dict[Tuple[str, int], int] = {}
-        self.memory = MemoryLRU(max_entries=cache_mem_entries, max_bytes=cache_mem_bytes)
+        self.memory = MemoryLRU(
+            max_entries=cache_mem_entries, max_bytes=cache_mem_bytes, tenant=tenant
+        )
         self.disk: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache_dir is not None else None
         )
@@ -422,7 +428,9 @@ class SignedCliqueEngine:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    def _full_result(self, params: AlphaK, started: float) -> EnumerationResult:
+    def _full_result(
+        self, params: AlphaK, started: float, time_limit: Optional[float] = None
+    ) -> EnumerationResult:
         """Stats-tier lookup-or-compute for one full enumeration."""
         hit = self._lookup(params, "all", need_stats=True)
         if hit is not None:
@@ -439,6 +447,7 @@ class SignedCliqueEngine:
             reduction=self._reduction,
             maxtest=self._maxtest,
             seed=self._seed,
+            time_limit=time_limit,
             reducer=self._reducer,
             backend=self._backend,
         )
@@ -448,7 +457,9 @@ class SignedCliqueEngine:
             self._seed_live(params, result.cliques)
         return result
 
-    def enumerate_with_stats(self, alpha: float, k: int) -> EnumerationResult:
+    def enumerate_with_stats(
+        self, alpha: float, k: int, time_limit: Optional[float] = None
+    ) -> EnumerationResult:
         """Full enumeration with bit-identical cliques *and* stats.
 
         Served from the stats-bearing tiers only: a hit replays the
@@ -456,6 +467,12 @@ class SignedCliqueEngine:
         and coring) and write-throughs both tiers. Equivalent to
         :func:`repro.core.api.enumerate_with_stats` on a fresh copy of
         the current graph, always.
+
+        ``time_limit`` caps the compute of a cache miss (hits are
+        unaffected); a timed-out partial result is returned flagged and
+        never cached — this is how the network layer propagates a
+        request deadline (:meth:`repro.limits.ResourceGuard.remaining_time`)
+        into the search without poisoning the tiers.
         """
         params = AlphaK(alpha, k)
         with self._lock:
@@ -463,7 +480,7 @@ class SignedCliqueEngine:
             started = time.perf_counter()
             with obs.span("serve_request", kind="all", alpha=params.alpha, k=params.k):
                 self._bump("requests")
-                return self._full_result(params, started)
+                return self._full_result(params, started, time_limit=time_limit)
 
     def enumerate(self, alpha: float, k: int) -> List[SignedClique]:
         """All maximal (alpha, k)-cliques, largest first (cliques tier).
@@ -485,7 +502,13 @@ class SignedCliqueEngine:
                     return list(hit[0])
                 return list(self._full_result(params, started).cliques)
 
-    def _topr_result(self, params: AlphaK, r: int, started: float) -> EnumerationResult:
+    def _topr_result(
+        self,
+        params: AlphaK,
+        r: int,
+        started: float,
+        time_limit: Optional[float] = None,
+    ) -> EnumerationResult:
         """Stats-tier lookup-or-compute for one top-r cutoff search."""
         kind = f"top{r}"
         hit = self._lookup(params, kind, need_stats=True)
@@ -501,6 +524,7 @@ class SignedCliqueEngine:
             reduction=self._reduction,
             maxtest=self._maxtest,
             seed=self._seed,
+            time_limit=time_limit,
             reducer=self._reducer,
             backend=self._backend,
         ).top_r(r)
@@ -532,8 +556,14 @@ class SignedCliqueEngine:
                     return list(full[0][: max(r, 0)])
                 return list(self._topr_result(params, r, started).cliques)
 
-    def top_r_with_stats(self, alpha: float, k: int, r: int) -> EnumerationResult:
-        """Top-r with the cutoff search's own bit-identical stats."""
+    def top_r_with_stats(
+        self, alpha: float, k: int, r: int, time_limit: Optional[float] = None
+    ) -> EnumerationResult:
+        """Top-r with the cutoff search's own bit-identical stats.
+
+        ``time_limit`` caps a cache miss's compute, as in
+        :meth:`enumerate_with_stats`.
+        """
         params = AlphaK(alpha, k)
         with self._lock:
             self._record("top_r_with_stats", alpha, k, r)
@@ -542,10 +572,14 @@ class SignedCliqueEngine:
                 "serve_request", kind=f"top{r}", alpha=params.alpha, k=params.k
             ):
                 self._bump("requests")
-                return self._topr_result(params, r, started)
+                return self._topr_result(params, r, started, time_limit=time_limit)
 
     def query_with_stats(
-        self, query: Iterable[Node], alpha: float, k: int
+        self,
+        query: Iterable[Node],
+        alpha: float,
+        k: int,
+        time_limit: Optional[float] = None,
     ) -> EnumerationResult:
         """Community search: maximal cliques containing every query node.
 
@@ -575,6 +609,7 @@ class SignedCliqueEngine:
                     k,
                     reduction=self._reduction,
                     maxtest=self._maxtest,
+                    time_limit=time_limit,
                     reducer=self._node_reducer,
                     search_graph=self._compiled(),
                     backend=self._backend,

@@ -21,6 +21,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import runtime as obs
+
 
 def approximate_size(value: Any) -> int:
     """Approximate deep size of *value* in bytes.
@@ -67,6 +69,14 @@ class MemoryLRU:
         unbounded. An entry whose lone size exceeds the bound is
         admitted and then immediately evicted (counted in
         :attr:`evictions`) — it simply never sticks.
+    tenant:
+        Optional tenant name. When set, every hit / miss / eviction is
+        mirrored to the ambient observer as a
+        ``serve_lru_<event>|tenant=<name>`` counter
+        (:func:`repro.obs.export.split_inline_labels`), so the
+        Prometheus export carries one ``serve_lru_hits`` (etc.) family
+        labelled per tenant — the multi-graph server relies on this to
+        tell which tenant's budget is thrashing.
 
     All operations take one internal lock, so readers never observe a
     torn entry; values are treated as immutable by convention (the
@@ -74,13 +84,20 @@ class MemoryLRU:
     place).
     """
 
-    def __init__(self, max_entries: int = 256, max_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_bytes: Optional[int] = None,
+        tenant: Optional[str] = None,
+    ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.tenant = tenant
+        self._label = f"|tenant={tenant}" if tenant is not None else None
         self._lock = threading.Lock()
         self._data: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
         self._bytes = 0
@@ -90,21 +107,30 @@ class MemoryLRU:
         self.evictions = 0
         self.puts = 0
 
+    def _observe(self, event: str, amount: int = 1) -> None:
+        """Mirror *event* to the ambient per-tenant counter (if named)."""
+        if self._label is not None and amount:
+            obs.counter("serve_lru_" + event + self._label).inc(amount)
+
     def get(self, key: str) -> Optional[Any]:
         """Return the cached value (marking it most-recent), or ``None``."""
         with self._lock:
             entry = self._data.get(key)
             if entry is None:
                 self.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
-            return entry[0]
+                missed = True
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+                missed = False
+        self._observe("misses" if missed else "hits")
+        return None if missed else entry[0]
 
     def put(self, key: str, value: Any, size: Optional[int] = None) -> None:
         """Store *value* under *key*, evicting LRU entries past the bounds."""
         if size is None:
             size = approximate_size(value)
+        evicted = 0
         with self._lock:
             old = self._data.pop(key, None)
             if old is not None:
@@ -118,6 +144,9 @@ class MemoryLRU:
                 _, (_, evicted_size) = self._data.popitem(last=False)
                 self._bytes -= evicted_size
                 self.evictions += 1
+                evicted += 1
+        self._observe("puts")
+        self._observe("evictions", evicted)
 
     def remove(self, key: str) -> bool:
         """Drop *key* if present; returns whether it was."""

@@ -1,0 +1,439 @@
+"""Chaos / load harness for the network serving layer (:mod:`repro.net`).
+
+The server's robustness claims — shed don't melt, deadlines hold,
+coalescing survives disconnects, one poisoned request never takes the
+process down — are only claims until something hostile exercises them.
+This module is that something, shared by ``tests/test_net.py`` and the
+``benchmarks/test_serve_http.py`` load benchmark:
+
+* :class:`ServerHarness` runs a real :class:`~repro.net.server.CliqueServer`
+  on its own event loop in a daemon thread (with an enabled observer so
+  ``/metrics`` has data), binds an ephemeral port, and exposes plain
+  synchronous helpers — tests stay ordinary blocking code;
+* :func:`http_request` is a minimal socket HTTP client (stdlib only)
+  returning status, headers and parsed JSON;
+* :func:`slow_loris` dribbles a partial request head to prove the
+  read-timeout defence disconnects stallers;
+* :func:`half_request` opens a request and abandons it mid-flight — the
+  client-disconnect scenario the coalescing cancellation test needs;
+* :func:`closed_loop` / :func:`open_loop` are the two canonical load
+  shapes: N clients back-to-back (throughput under saturation) and a
+  fixed arrival schedule (overload / shedding behaviour), both
+  returning a :class:`LoadReport` of status counts and latencies.
+
+Everything here is test scaffolding: deliberately synchronous, thread
+-per-client, and free of dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "HttpReply",
+    "LoadReport",
+    "ServerHarness",
+    "closed_loop",
+    "half_request",
+    "http_request",
+    "open_loop",
+    "slow_loris",
+]
+
+
+class HttpReply:
+    """One parsed HTTP reply: status, headers, body (+ JSON helper)."""
+
+    __slots__ = ("status", "headers", "body", "elapsed")
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes, elapsed: float):
+        self.status = status
+        self.headers = headers
+        self.body = body
+        self.elapsed = elapsed
+
+    def json(self) -> object:
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"HttpReply(status={self.status}, bytes={len(self.body)})"
+
+
+def _read_reply(sock: socket.socket, started: float) -> HttpReply:
+    handle = sock.makefile("rb")
+    try:
+        status_line = handle.readline().decode("latin-1")
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = handle.readline().decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = handle.read(length) if length else b""
+        return HttpReply(status, headers, body, time.perf_counter() - started)
+    finally:
+        handle.close()
+
+
+def http_request(
+    host: str,
+    port: int,
+    method: str = "GET",
+    path: str = "/healthz",
+    body: Optional[object] = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 30.0,
+) -> HttpReply:
+    """One blocking HTTP request over a fresh connection.
+
+    ``body`` may be bytes or any JSON-serialisable object. Raises
+    ``socket.timeout`` / ``ConnectionError`` on transport failure — the
+    caller decides whether that is a test failure or the point.
+    """
+    payload = b""
+    if body is not None:
+        payload = body if isinstance(body, bytes) else json.dumps(body).encode("utf-8")
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}:{port}",
+        "Connection: close",
+        f"Content-Length: {len(payload)}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    blob = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+    started = time.perf_counter()
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(blob)
+        return _read_reply(sock, started)
+
+
+def slow_loris(
+    host: str,
+    port: int,
+    drip: bytes = b"GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow:",
+    interval: float = 0.2,
+    max_seconds: float = 30.0,
+) -> float:
+    """Dribble a never-finishing request head; returns seconds until the
+    server hung up (raises ``TimeoutError`` if it never did)."""
+    started = time.perf_counter()
+    with socket.create_connection((host, port), timeout=max_seconds) as sock:
+        sock.settimeout(max_seconds)
+        sock.sendall(drip)
+        while time.perf_counter() - started < max_seconds:
+            try:
+                sock.sendall(b"x")  # one byte of a header that never ends
+            except (BrokenPipeError, ConnectionError, OSError):
+                return time.perf_counter() - started
+            try:
+                if sock.recv(4096) == b"":
+                    return time.perf_counter() - started
+                # Server answered (408) — wait for the close.
+                sock.settimeout(2.0)
+                while sock.recv(4096):
+                    pass
+                return time.perf_counter() - started
+            except socket.timeout:
+                pass
+            time.sleep(interval)
+    raise TimeoutError("server never disconnected the slow-loris client")
+
+
+def half_request(
+    host: str,
+    port: int,
+    path: str,
+    linger: float = 0.05,
+    headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Send a complete GET, then slam the connection shut after *linger*.
+
+    Models a client that issued a (possibly coalesced) query and
+    disconnected before the answer was ready.
+    """
+    lines = [f"GET {path} HTTP/1.1", f"Host: {host}:{port}", "Content-Length: 0"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    blob = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    sock = socket.create_connection((host, port), timeout=10.0)
+    try:
+        sock.sendall(blob)
+        time.sleep(linger)
+    finally:
+        # RST rather than FIN where supported: the abrupt version.
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, b"\x01\x00\x00\x00\x00\x00\x00\x00")
+        except OSError:
+            pass
+        sock.close()
+
+
+class ServerHarness:
+    """A live :class:`~repro.net.server.CliqueServer` on a background loop.
+
+    Usage::
+
+        harness = ServerHarness({"default": graph}, config=ServerConfig(port=0))
+        harness.start()
+        reply = harness.get("/v1/graphs/default/cliques?alpha=3&k=1")
+        ...
+        harness.stop()
+
+    The harness installs a fresh enabled observer on the loop thread's
+    ambient runtime before serving (unless ``observe=False``), so the
+    ``/metrics`` endpoint and journal events behave as in production.
+    Registry/server/config objects are exposed for white-box assertions
+    — mutate them only before :meth:`start` or via the loop.
+    """
+
+    def __init__(
+        self,
+        graphs: Dict[str, object],
+        config: Optional[object] = None,
+        registry: Optional[object] = None,
+        observe: bool = True,
+        journal_path: Optional[str] = None,
+        **registry_kwargs,
+    ):
+        from repro.net.server import CliqueServer, ServerConfig
+        from repro.net.tenants import TenantRegistry
+
+        self.config = config or ServerConfig(port=0)
+        self.registry = registry or TenantRegistry(**registry_kwargs)
+        for name, graph in graphs.items():
+            self.registry.create(name, graph)
+        self.server = CliqueServer(self.registry, self.config)
+        self.observe = observe
+        self.journal_path = journal_path
+        self.observer = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._loop = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Start loop + server on a daemon thread; returns (host, port)."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-harness", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("server did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self.host, self.port
+
+    def _run(self) -> None:
+        import asyncio
+
+        from repro.obs import runtime as obs
+
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        previous = None
+        if self.observe:
+            self.observer = obs.Observer.fresh(journal_path=self.journal_path)
+            previous = obs.install(self.observer)
+        try:
+            try:
+                self.host, self.port = loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            loop.run_until_complete(self._serve_until_stopped())
+        finally:
+            try:
+                loop.run_until_complete(self.server.stop())
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+            if self.observe:
+                obs.install(previous)
+                self.observer.journal.close()
+            loop.close()
+
+    async def _serve_until_stopped(self) -> None:
+        import asyncio
+
+        serve = asyncio.ensure_future(self.server.serve_forever())
+        while not self._stopped.is_set():
+            await asyncio.sleep(0.02)
+        serve.cancel()
+        try:
+            await serve
+        except asyncio.CancelledError:
+            pass
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the server and join the loop thread."""
+        self._stopped.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise TimeoutError("server thread did not stop in time")
+
+    def __enter__(self) -> "ServerHarness":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- convenience clients -------------------------------------------
+    def request(self, method: str, path: str, **kwargs) -> HttpReply:
+        return http_request(self.host, self.port, method, path, **kwargs)
+
+    def get(self, path: str, **kwargs) -> HttpReply:
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, body: object, **kwargs) -> HttpReply:
+        return self.request("POST", path, body=body, **kwargs)
+
+    def metrics(self) -> str:
+        return self.get("/metrics").body.decode("utf-8")
+
+
+class LoadReport:
+    """Outcome of one load run: status counts, latencies, wall time."""
+
+    def __init__(self):
+        self.statuses: Dict[int, int] = {}
+        self.latencies: List[float] = []
+        self.transport_errors = 0
+        self.wall_seconds = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, reply: Optional[HttpReply]) -> None:
+        with self._lock:
+            if reply is None:
+                self.transport_errors += 1
+                return
+            self.statuses[reply.status] = self.statuses.get(reply.status, 0) + 1
+            self.latencies.append(reply.elapsed)
+
+    @property
+    def total(self) -> int:
+        return sum(self.statuses.values()) + self.transport_errors
+
+    def count(self, status: int) -> int:
+        return self.statuses.get(status, 0)
+
+    @property
+    def ok(self) -> int:
+        return sum(count for status, count in self.statuses.items() if status < 300)
+
+    @property
+    def shed(self) -> int:
+        return self.count(503)
+
+    def goodput(self) -> float:
+        """Successful responses per second of wall time."""
+        return self.ok / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "ok": self.ok,
+            "shed": self.shed,
+            "transport_errors": self.transport_errors,
+            "total": self.total,
+            "wall_seconds": self.wall_seconds,
+            "goodput_rps": self.goodput(),
+            "p50_seconds": self.latency_quantile(0.5),
+            "p95_seconds": self.latency_quantile(0.95),
+        }
+
+
+def closed_loop(
+    request_fn: Callable[[int, int], Optional[HttpReply]],
+    clients: int,
+    requests_per_client: int,
+) -> LoadReport:
+    """N clients, each issuing its requests back-to-back (closed loop).
+
+    ``request_fn(client, index)`` performs one request and returns the
+    reply (or ``None`` after a transport error it already handled).
+    All clients start on a barrier so bursts really are concurrent.
+    """
+    report = LoadReport()
+    barrier = threading.Barrier(clients + 1)
+
+    def client_body(client: int) -> None:
+        barrier.wait()
+        for index in range(requests_per_client):
+            try:
+                report.record(request_fn(client, index))
+            except (OSError, ConnectionError, socket.timeout):
+                report.record(None)
+
+    threads = _spawn_indexed(client_body, clients)
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def open_loop(
+    request_fn: Callable[[int], Optional[HttpReply]],
+    arrivals: int,
+    interval: float,
+) -> LoadReport:
+    """Fixed arrival schedule: one request every *interval* seconds,
+    regardless of completions (open loop — the overload shape)."""
+    report = LoadReport()
+    threads: List[threading.Thread] = []
+    started = time.perf_counter()
+
+    def one(index: int) -> None:
+        try:
+            report.record(request_fn(index))
+        except (OSError, ConnectionError, socket.timeout):
+            report.record(None)
+
+    for index in range(arrivals):
+        thread = threading.Thread(target=one, args=(index,), daemon=True)
+        thread.start()
+        threads.append(thread)
+        time.sleep(interval)
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def _spawn_indexed(
+    body: Callable[[int], None], count: int
+) -> List[threading.Thread]:
+    threads = [
+        threading.Thread(target=body, args=(index,), daemon=True)
+        for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    return threads

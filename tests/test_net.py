@@ -1,0 +1,766 @@
+"""Chaos and contract tests for the network serving layer (``repro.net``).
+
+The server's promises, each pinned here against a live server driven by
+:mod:`repro.testing.chaos`:
+
+* **shed, never melt** — past capacity, requests get an immediate
+  structured 503 with ``Retry-After``; the listener stays up;
+* **deadlines hold** — no accepted request outlives its budget, and a
+  504 is a response, not a hang;
+* **coalescing is invisible** — duplicate in-flight requests share one
+  computation and every waiter receives the identical answer; a waiter
+  that disconnects or times out never cancels the shared flight;
+* **failures are request-scoped** — poisoned requests, worker-pool
+  collapse and cache-dir corruption produce structured errors or
+  degraded-but-correct answers while the server keeps serving;
+* **mutations are versioned** — in-flight readers finish against the
+  fingerprint they started on.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import MSCE, AlphaK
+from repro.generators import gnp_signed
+from repro.graphs import SignedGraph
+from repro.limits import ResourceGuard, parse_deadline
+from repro.net import (
+    AdmissionController,
+    ServerConfig,
+    Shed,
+    SingleFlight,
+)
+from repro.net.http import HttpError, Request
+from repro.testing import FaultPlan, injected
+from repro.testing.chaos import (
+    ServerHarness,
+    closed_loop,
+    half_request,
+    http_request,
+    slow_loris,
+)
+from tests.conftest import PAPER_EDGES
+
+
+@pytest.fixture
+def paper_graph():
+    return SignedGraph(PAPER_EDGES)
+
+
+@pytest.fixture
+def random_graph():
+    return gnp_signed(36, 0.3, negative_fraction=0.25, seed=11)
+
+
+def _result_core(payload):
+    """The deterministic part of a result payload (drops timings)."""
+    return {
+        key: value
+        for key, value in payload.items()
+        if key not in ("elapsed_ms", "coalesced")
+    }
+
+
+def _expected_cliques(graph, alpha, k):
+    result = MSCE(graph, AlphaK(alpha, k)).enumerate_all()
+    return sorted(frozenset(c.nodes) for c in result.cliques)
+
+
+def _payload_cliques(payload):
+    return sorted(frozenset(c["nodes"]) for c in payload["cliques"])
+
+
+# ---------------------------------------------------------------------------
+# Satellite: deadline parsing + guard propagation
+# ---------------------------------------------------------------------------
+class TestParseDeadline:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("30", 30.0),
+            ("2.5s", 2.5),
+            ("150ms", 0.15),
+            (" 500 ms ", 0.5),
+            ("1S", 1.0),
+        ],
+    )
+    def test_accepts_suffixes(self, text, expected):
+        assert parse_deadline(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "fast", "-1s", "0", "0ms", "inf", "nan", "1h"])
+    def test_rejects_bad_durations(self, text):
+        with pytest.raises(ValueError):
+            parse_deadline(text)
+
+    def test_remaining_time_counts_down(self):
+        clock = [100.0]
+        guard = ResourceGuard(deadline=103.0, clock=lambda: clock[0])
+        assert guard.remaining_time() == pytest.approx(3.0)
+        clock[0] = 102.5
+        assert guard.remaining_time() == pytest.approx(0.5)
+        clock[0] = 110.0
+        assert guard.remaining_time() == 0.0  # floored, never negative
+
+    def test_remaining_time_without_deadline(self):
+        assert ResourceGuard().remaining_time() is None
+
+
+# ---------------------------------------------------------------------------
+# Unit: single-flight coalescing (cancellation semantics live here)
+# ---------------------------------------------------------------------------
+class TestSingleFlight:
+    def test_duplicates_share_one_computation(self):
+        async def scenario():
+            flights = SingleFlight()
+            computes = []
+
+            async def compute():
+                computes.append(1)
+                await asyncio.sleep(0.01)
+                return "answer"
+
+            a, leader_a = flights.join("key", compute)
+            b, leader_b = flights.join("key", compute)
+            assert leader_a and not leader_b
+            assert a is b
+            results = await asyncio.gather(flights.wait(a), flights.wait(b))
+            assert results == ["answer", "answer"]
+            assert computes == [1]
+            assert len(flights) == 0  # unregistered on completion
+            assert flights.stats() == {"in_flight": 0, "started": 1, "coalesced": 1}
+
+        asyncio.run(scenario())
+
+    def test_waiter_cancellation_does_not_cancel_the_flight(self):
+        """The satellite regression test: a waiter disconnecting
+        mid-flight detaches only itself; the shared computation runs to
+        completion and the remaining waiters get the answer."""
+
+        async def scenario():
+            flights = SingleFlight()
+            finished = asyncio.Event()
+
+            async def compute():
+                await asyncio.sleep(0.05)
+                finished.set()
+                return 42
+
+            flight, _ = flights.join("key", compute)
+            doomed = asyncio.ensure_future(flights.wait(flight))
+            survivor = asyncio.ensure_future(flights.wait(flight))
+            await asyncio.sleep(0.01)
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            assert not flight.task.cancelled()
+            assert await survivor == 42
+            assert finished.is_set()
+            assert flight.peak_waiters == 2
+
+        asyncio.run(scenario())
+
+    def test_timed_out_waiter_leaves_the_flight_running(self):
+        async def scenario():
+            flights = SingleFlight()
+
+            async def compute():
+                await asyncio.sleep(0.05)
+                return "late"
+
+            flight, _ = flights.join("key", compute)
+            with pytest.raises(asyncio.TimeoutError):
+                await flights.wait(flight, timeout=0.005)
+            assert not flight.task.done()
+            assert await flights.wait(flight) == "late"
+
+        asyncio.run(scenario())
+
+    def test_failures_fan_out_to_every_waiter(self):
+        async def scenario():
+            flights = SingleFlight()
+
+            async def compute():
+                await asyncio.sleep(0)
+                raise RuntimeError("poisoned")
+
+            flight, _ = flights.join("key", compute)
+            waits = [flights.wait(flight) for _ in range(3)]
+            results = await asyncio.gather(*waits, return_exceptions=True)
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert len(flights) == 0
+
+        asyncio.run(scenario())
+
+    def test_new_flight_after_completion(self):
+        async def scenario():
+            flights = SingleFlight()
+
+            async def compute():
+                return "v"
+
+            first, leader = flights.join("key", compute)
+            assert await flights.wait(first) == "v"
+            second, leader_again = flights.join("key", compute)
+            assert leader and leader_again
+            assert second is not first
+            assert await flights.wait(second) == "v"
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Unit: admission control
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_sheds_past_capacity_with_retry_after(self):
+        gate = AdmissionController(max_concurrency=2, max_queue_depth=1)
+        tickets = [gate.admit() for _ in range(3)]
+        with pytest.raises(Shed) as shed:
+            gate.admit()
+        assert shed.value.reason == "queue_full"
+        assert 1.0 <= shed.value.retry_after <= 30.0
+        assert gate.shed["queue_full"] == 1
+        tickets[0].release()
+        gate.admit().release()  # capacity freed
+
+    def test_ticket_release_is_idempotent(self):
+        gate = AdmissionController(max_concurrency=1, max_queue_depth=0)
+        ticket = gate.admit()
+        ticket.release()
+        ticket.release()
+        assert gate.standing == 0
+        assert gate.completed == 1
+
+    def test_ticket_context_manager(self):
+        gate = AdmissionController(max_concurrency=1, max_queue_depth=0)
+        with gate.admit():
+            assert gate.standing == 1
+        assert gate.standing == 0
+
+    def test_retry_after_tracks_service_time(self):
+        clock = [0.0]
+        gate = AdmissionController(
+            max_concurrency=1, max_queue_depth=10, clock=lambda: clock[0]
+        )
+        for _ in range(6):  # six 10-second services drive the EMA up
+            ticket = gate.admit()
+            clock[0] += 10.0
+            ticket.release()
+        for _ in range(5):  # standing backlog of 5
+            gate.admit()
+        assert gate.retry_after() > 5.0
+        assert gate.retry_after() <= 30.0
+
+    def test_memory_budget_sheds_new_work(self, monkeypatch):
+        from repro.net import admission as admission_module
+
+        gate = AdmissionController(
+            max_concurrency=4, max_queue_depth=4, memory_budget_bytes=100
+        )
+        monkeypatch.setattr(admission_module, "rss_bytes", lambda: 101)
+        with pytest.raises(Shed) as shed:
+            gate.admit()
+        assert shed.value.reason == "memory"
+        monkeypatch.setattr(admission_module, "rss_bytes", lambda: 99)
+        gate.admit().release()
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)
+
+
+# ---------------------------------------------------------------------------
+# Unit: HTTP parsing limits
+# ---------------------------------------------------------------------------
+class TestHttpParsing:
+    def _parse(self, blob, **kwargs):
+        from repro.net.http import read_request
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(blob)
+            reader.feed_eof()
+            return await read_request(reader, **kwargs)
+
+        return asyncio.run(scenario())
+
+    def test_parses_request_with_body(self):
+        request = self._parse(
+            b"POST /v1/graphs/g/query?x=1&x=2 HTTP/1.1\r\n"
+            b"Host: h\r\nX-Deadline: 2s\r\nContent-Length: 2\r\n\r\n{}"
+        )
+        assert request.method == "POST"
+        assert request.parts == ["v1", "graphs", "g", "query"]
+        assert request.query == {"x": "1"}  # first value wins
+        assert request.param("deadline") == "2s"
+        assert request.body == b"{}"
+
+    def test_clean_eof_returns_none(self):
+        assert self._parse(b"") is None
+
+    @pytest.mark.parametrize(
+        "blob,code",
+        [
+            (b"NONSENSE\r\n\r\n", "bad_request_line"),
+            (b"GET / HTTP/2.0\r\n\r\n", "bad_version"),
+            (b"GET / HTTP/1.1\r\nbroken line\r\n\r\n", "bad_header"),
+            (b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n", "bad_content_length"),
+            (b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", "bad_content_length"),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", "unsupported_encoding"),
+            (b"GET / HTT", "truncated_head"),
+        ],
+    )
+    def test_malformed_requests_get_structured_errors(self, blob, code):
+        with pytest.raises(HttpError) as error:
+            self._parse(blob)
+        assert error.value.code == code
+
+    def test_oversized_body_rejected_before_reading(self):
+        with pytest.raises(HttpError) as error:
+            self._parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n" + b"x" * 999,
+                max_body_bytes=100,
+            )
+        assert error.value.status == 413
+
+    def test_request_helpers(self):
+        request = Request("GET", "/a/b?q=1", {"connection": "close"}, b"")
+        assert request.wants_close()
+        assert request.param("q") == "1"
+        assert request.param("missing", "d") == "d"
+
+
+# ---------------------------------------------------------------------------
+# Live server: basic serving contract
+# ---------------------------------------------------------------------------
+class TestServerBasics:
+    def test_round_trip_and_differential_answers(self, paper_graph):
+        with ServerHarness({"paper": paper_graph}, config=ServerConfig(port=0)) as h:
+            assert h.get("/healthz").json()["status"] == "ok"
+
+            reply = h.get("/v1/graphs/paper/cliques?alpha=3&k=1")
+            assert reply.status == 200
+            payload = reply.json()
+            assert payload["tenant"] == "paper"
+            assert not payload["partial"]
+            assert _payload_cliques(payload) == _expected_cliques(paper_graph, 3.0, 1)
+
+            # A repeat must produce a bit-identical result core.
+            again = h.get("/v1/graphs/paper/cliques?alpha=3&k=1").json()
+            assert _result_core(again) == _result_core(payload)
+
+            top = h.get("/v1/graphs/paper/cliques?alpha=3&k=1&mode=top&r=2").json()
+            assert top["count"] >= 1
+            assert top["params"]["mode"] == "top"
+
+            query = h.post(
+                "/v1/graphs/paper/query", {"nodes": [1, 2], "alpha": 3, "k": 1}
+            ).json()
+            assert all(
+                {1, 2} <= set(clique["nodes"]) for clique in query["cliques"]
+            )
+
+            stats = h.get("/v1/graphs/paper/stats").json()
+            assert stats["name"] == "paper"
+            assert "cache" in stats
+
+            described = h.get("/v1/server").json()
+            assert described["graphs"] == ["paper"]
+            assert described["counters"]["responses"] >= 5
+
+    def test_structured_errors_keep_the_connection_cheap(self, paper_graph):
+        with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
+            assert h.get("/nope").json()["error"]["code"] == "not_found"
+            assert h.get("/v1/graphs/ghost/cliques").status == 404
+            assert h.get("/v1/graphs/ghost/cliques").json()["error"]["code"] == "unknown_graph"
+            assert h.get("/v1/graphs/g/cliques?alpha=zap").json()["error"]["code"] == "bad_params"
+            assert h.get("/v1/graphs/g/cliques?mode=sideways").json()["error"]["code"] == "bad_params"
+            assert (
+                h.get("/v1/graphs/g/cliques?deadline=-1s").json()["error"]["code"]
+                == "bad_request"
+            )
+            reply = h.request("PATCH", "/v1/graphs/g")
+            assert reply.status == 405
+            bad_json = h.post("/v1/graphs/g/query", b"{not json")
+            assert bad_json.json()["error"]["code"] == "bad_json"
+            # After all that abuse, normal service continues.
+            assert h.get("/healthz").status == 200
+
+    def test_tenant_lifecycle_over_http(self, paper_graph):
+        with ServerHarness({"a": paper_graph}, config=ServerConfig(port=0)) as h:
+            created = h.request(
+                "PUT",
+                "/v1/graphs/b",
+                body={"edges": [[0, 1, 1], [1, 2, 1], [0, 2, 1]]},
+            )
+            assert created.status == 201
+            assert [g["name"] for g in h.get("/v1/graphs").json()["graphs"]] == ["a", "b"]
+            assert h.get("/v1/graphs/b/cliques?alpha=3&k=0").json()["count"] == 1
+            dupe = h.request("PUT", "/v1/graphs/b", body={"edges": [[0, 1, 1]]})
+            assert dupe.status == 400
+            bad_name = h.request("PUT", "/v1/graphs/-x", body={"edges": [[0, 1, 1]]})
+            assert bad_name.status == 400
+            assert h.request("DELETE", "/v1/graphs/b").status == 200
+            assert h.get("/v1/graphs/b").status == 404
+
+
+# ---------------------------------------------------------------------------
+# Live server: coalescing
+# ---------------------------------------------------------------------------
+class TestCoalescing:
+    def _slow_engine(self, harness, tenant, seconds):
+        """Wrap the tenant engine's grid entry point with a fixed delay."""
+        engine = harness.registry.get(tenant).engine
+        original = engine.run_grid
+
+        def slow(*args, **kwargs):
+            time.sleep(seconds)
+            return original(*args, **kwargs)
+
+        engine.run_grid = slow
+        return engine
+
+    def _await_flight(self, harness, timeout=5.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if len(harness.server.flights) > 0:
+                return
+            time.sleep(0.005)
+        raise TimeoutError("no flight appeared")
+
+    def test_identical_requests_share_one_compute(self, paper_graph):
+        with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
+            self._slow_engine(h, "g", 0.4)
+            path = "/v1/graphs/g/cliques?alpha=3&k=1"
+            replies = []
+            lock = threading.Lock()
+
+            def client():
+                reply = http_request(h.host, h.port, "GET", path, timeout=30)
+                with lock:
+                    replies.append(reply)
+
+            leader = threading.Thread(target=client)
+            leader.start()
+            self._await_flight(h)
+            followers = [threading.Thread(target=client) for _ in range(4)]
+            for thread in followers:
+                thread.start()
+            leader.join()
+            for thread in followers:
+                thread.join()
+
+            assert all(reply.status == 200 for reply in replies)
+            cores = [_result_core(reply.json()) for reply in replies]
+            assert all(core == cores[0] for core in cores)
+            assert h.server.counters["computes"] == 1
+            assert h.server.counters["coalesced"] == 4
+            assert sum(1 for r in replies if r.json()["coalesced"]) == 4
+
+    def test_waiter_disconnect_mid_flight_keeps_the_flight(self, paper_graph):
+        """Satellite: a client that vanishes mid-flight must not cancel
+        the shared computation other clients are waiting on."""
+        with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
+            self._slow_engine(h, "g", 0.5)
+            path = "/v1/graphs/g/cliques?alpha=3&k=1"
+            survivor_reply = []
+
+            def survivor():
+                survivor_reply.append(
+                    http_request(h.host, h.port, "GET", path, timeout=30)
+                )
+
+            leader = threading.Thread(target=survivor)
+            leader.start()
+            self._await_flight(h)
+            # Two clients join the flight and abandon it immediately.
+            half_request(h.host, h.port, path)
+            half_request(h.host, h.port, path)
+            leader.join()
+
+            assert survivor_reply[0].status == 200
+            payload = survivor_reply[0].json()
+            assert _payload_cliques(payload) == _expected_cliques(paper_graph, 3.0, 1)
+            assert h.server.counters["computes"] == 1
+            # And the server is still healthy afterwards.
+            assert h.get("/healthz").status == 200
+
+    def test_no_coalesce_mode_computes_every_request(self, paper_graph):
+        config = ServerConfig(port=0, coalesce=False)
+        with ServerHarness({"g": paper_graph}, config=config) as h:
+            path = "/v1/graphs/g/cliques?alpha=3&k=1"
+            for _ in range(3):
+                assert h.get(path).status == 200
+            assert h.server.counters["computes"] == 3
+            assert h.server.counters["coalesced"] == 0
+
+    def test_edits_version_the_coalescing_keys(self, paper_graph):
+        """In-flight readers finish on their fingerprint; post-edit
+        requests see the new one."""
+        with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
+            self._slow_engine(h, "g", 0.5)
+            path = "/v1/graphs/g/cliques?alpha=3&k=1"
+            reader_reply = []
+
+            def reader():
+                reader_reply.append(
+                    http_request(h.host, h.port, "GET", path, timeout=30)
+                )
+
+            before = h.get("/v1/graphs/g").json()["fingerprint"]
+            thread = threading.Thread(target=reader)
+            thread.start()
+            self._await_flight(h)
+            edited = h.post(
+                "/v1/graphs/g/edits", {"edits": [["add", 1, 100, 1]]}
+            ).json()
+            thread.join()
+
+            assert edited["fingerprint_before"] == before
+            assert edited["fingerprint_after"] != before
+            # The in-flight reader answered against its own version.
+            assert reader_reply[0].json()["fingerprint"] == before
+            after = h.get(path).json()
+            assert after["fingerprint"] == edited["fingerprint_after"]
+
+
+# ---------------------------------------------------------------------------
+# Live server: overload, deadlines, slow clients
+# ---------------------------------------------------------------------------
+class TestOverload:
+    def test_sheds_with_retry_after_past_capacity(self, paper_graph):
+        config = ServerConfig(port=0, max_concurrency=1, max_queue_depth=0)
+        with ServerHarness({"g": paper_graph}, config=config) as h:
+            engine = h.registry.get("g").engine
+            original = engine.run_grid
+
+            def slow(*args, **kwargs):
+                time.sleep(0.6)
+                return original(*args, **kwargs)
+
+            engine.run_grid = slow
+            occupier = threading.Thread(
+                target=http_request,
+                args=(h.host, h.port, "GET", "/v1/graphs/g/cliques?alpha=3&k=1"),
+                kwargs={"timeout": 30},
+            )
+            occupier.start()
+            deadline = time.time() + 5
+            shed_reply = None
+            while time.time() < deadline:
+                if len(h.server.flights) > 0:
+                    # Distinct key -> needs a fresh ticket -> shed.
+                    shed_reply = h.get("/v1/graphs/g/cliques?alpha=2&k=1")
+                    break
+                time.sleep(0.005)
+            occupier.join()
+            assert shed_reply is not None and shed_reply.status == 503
+            body = shed_reply.json()
+            assert body["error"]["code"] == "shed_queue_full"
+            assert int(shed_reply.headers["retry-after"]) >= 1
+            assert h.server.counters["shed"] == 1
+            # The shed was cheap and the server still answers.
+            assert h.get("/healthz").status == 200
+
+    def test_deadline_exceeded_is_a_504_not_a_hang(self, paper_graph):
+        with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
+            engine = h.registry.get("g").engine
+            original = engine.run_grid
+
+            def slow(*args, **kwargs):
+                time.sleep(1.5)
+                return original(*args, **kwargs)
+
+            engine.run_grid = slow
+            started = time.perf_counter()
+            reply = h.get("/v1/graphs/g/cliques?alpha=3&k=1&deadline=100ms", timeout=30)
+            elapsed = time.perf_counter() - started
+            assert reply.status == 504
+            assert reply.json()["error"]["code"] == "deadline_exceeded"
+            assert elapsed < 1.0  # answered at the deadline, not after the compute
+            assert h.server.counters["deadline_exceeded"] == 1
+
+    def test_slow_loris_clients_are_disconnected(self, paper_graph):
+        config = ServerConfig(port=0, read_timeout=0.4)
+        with ServerHarness({"g": paper_graph}, config=config) as h:
+            elapsed = slow_loris(h.host, h.port, max_seconds=10.0)
+            assert elapsed < 5.0
+            deadline = time.time() + 2
+            while time.time() < deadline and h.server.counters["slow_client_drops"] == 0:
+                time.sleep(0.01)
+            assert h.server.counters["slow_client_drops"] >= 1
+            assert h.get("/healthz").status == 200
+
+    def test_deadline_longer_than_cap_is_clamped(self, paper_graph):
+        config = ServerConfig(port=0, max_deadline=0.2)
+        with ServerHarness({"g": paper_graph}, config=config) as h:
+            engine = h.registry.get("g").engine
+            original = engine.run_grid
+
+            def slow(*args, **kwargs):
+                time.sleep(1.0)
+                return original(*args, **kwargs)
+
+            engine.run_grid = slow
+            started = time.perf_counter()
+            reply = h.get("/v1/graphs/g/cliques?alpha=3&k=1&deadline=300s", timeout=30)
+            assert reply.status == 504
+            assert time.perf_counter() - started < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Live server: graceful degradation
+# ---------------------------------------------------------------------------
+class TestDegradation:
+    def test_poisoned_request_is_a_500_and_the_server_survives(self, paper_graph):
+        with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
+            engine = h.registry.get("g").engine
+
+            def poisoned(*args, **kwargs):
+                raise RuntimeError("engine poisoned")
+
+            engine.query_with_stats = poisoned
+            reply = h.post("/v1/graphs/g/query", {"nodes": [1], "alpha": 3, "k": 1})
+            assert reply.status == 500
+            assert reply.json()["error"]["code"] == "internal"
+            # Other endpoints (and other tenants' code paths) still work.
+            assert h.get("/v1/graphs/g/cliques?alpha=3&k=1").status == 200
+            assert h.get("/healthz").status == 200
+            assert h.observer.journal.of_kind("net_error")
+
+    def test_worker_pool_collapse_degrades_to_a_correct_answer(self, random_graph):
+        expected = _expected_cliques(random_graph, 2.0, 1)
+        with ServerHarness(
+            {"g": random_graph}, config=ServerConfig(port=0), workers=2
+        ) as h:
+            with injected(FaultPlan(fail_worker_spawn=True)):
+                reply = h.get("/v1/graphs/g/cliques?alpha=2&k=1", timeout=60)
+            assert reply.status == 200
+            payload = reply.json()
+            assert not payload["partial"]
+            assert _payload_cliques(payload) == expected
+            assert h.get("/healthz").status == 200
+
+    def test_cache_dir_corruption_is_survived(self, paper_graph, tmp_path):
+        expected = _expected_cliques(paper_graph, 3.0, 1)
+        with ServerHarness(
+            {"g": paper_graph}, config=ServerConfig(port=0), cache_dir=tmp_path
+        ) as h:
+            first = h.get("/v1/graphs/g/cliques?alpha=3&k=1")
+            assert first.status == 200
+            # Corrupt every cache artifact on disk, then force disk reads.
+            corrupted = 0
+            for path in (tmp_path / "g").rglob("*"):
+                if path.is_file():
+                    path.write_bytes(b"\x00garbage\xff")
+                    corrupted += 1
+            assert corrupted > 0
+            h.registry.get("g").engine.memory.clear()
+            second = h.get("/v1/graphs/g/cliques?alpha=3&k=1")
+            assert second.status == 200
+            assert _payload_cliques(second.json()) == expected
+
+
+# ---------------------------------------------------------------------------
+# Live server: observability
+# ---------------------------------------------------------------------------
+class TestMetricsExposure:
+    def test_per_tenant_lru_series_and_net_counters(self, paper_graph):
+        other = SignedGraph([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        with ServerHarness(
+            {"acme": paper_graph, "beta": other}, config=ServerConfig(port=0)
+        ) as h:
+            for _ in range(2):  # second pass hits the memory tier
+                h.get("/v1/graphs/acme/cliques?alpha=3&k=1")
+                h.get("/v1/graphs/beta/cliques?alpha=3&k=0")
+            text = h.metrics()
+            assert 'repro_serve_lru_hits_total{tenant="acme"}' in text
+            assert 'repro_serve_lru_hits_total{tenant="beta"}' in text
+            assert "# TYPE repro_serve_lru_hits_total counter" in text
+            assert "repro_net_requests_total" in text
+            assert "repro_net_computes_total" in text
+            reply = h.get("/metrics")
+            assert reply.headers["content-type"].startswith("text/plain")
+
+    def test_shed_and_journal_events_are_recorded(self, paper_graph):
+        config = ServerConfig(port=0, max_concurrency=1, max_queue_depth=0)
+        with ServerHarness({"g": paper_graph}, config=config) as h:
+            engine = h.registry.get("g").engine
+            original = engine.run_grid
+
+            def slow(*args, **kwargs):
+                time.sleep(0.4)
+                return original(*args, **kwargs)
+
+            engine.run_grid = slow
+            blocker = threading.Thread(
+                target=http_request,
+                args=(h.host, h.port, "GET", "/v1/graphs/g/cliques?alpha=3&k=1"),
+                kwargs={"timeout": 30},
+            )
+            blocker.start()
+            deadline = time.time() + 5
+            while time.time() < deadline and len(h.server.flights) == 0:
+                time.sleep(0.005)
+            h.get("/v1/graphs/g/cliques?alpha=2&k=2")  # shed
+            blocker.join()
+            assert "repro_net_shed_total 1" in h.metrics()
+            assert h.observer.journal.of_kind("net_shed")
+
+
+# ---------------------------------------------------------------------------
+# Load shape sanity (the benchmark gates the ratio; this pins behaviour)
+# ---------------------------------------------------------------------------
+class TestLoadShapes:
+    def test_duplicate_burst_all_served_under_tiny_capacity(self, paper_graph):
+        config = ServerConfig(port=0, max_concurrency=1, max_queue_depth=0)
+        with ServerHarness({"g": paper_graph}, config=config) as h:
+            engine = h.registry.get("g").engine
+            original = engine.run_grid
+
+            def slow(*args, **kwargs):
+                time.sleep(0.3)
+                return original(*args, **kwargs)
+
+            engine.run_grid = slow
+            path = "/v1/graphs/g/cliques?alpha=3&k=1"
+            report = closed_loop(
+                lambda client, index: http_request(
+                    h.host, h.port, "GET", path, timeout=30
+                ),
+                clients=8,
+                requests_per_client=1,
+            )
+            # Capacity is ONE compute; coalescing serves all eight.
+            assert report.ok == 8
+            assert report.shed == 0
+            assert h.server.counters["computes"] <= 2
+
+    def test_cli_serve_smoke(self, paper_graph, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.io import write_signed_edgelist
+
+        path = tmp_path / "g.sg"
+        write_signed_edgelist(paper_graph, path)
+        code = cli_main(
+            [
+                "serve",
+                f"demo={path}",
+                "--port",
+                "0",
+                "--exit-after",
+                "0.3",
+                "--default-deadline",
+                "5s",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving demo on http://" in out
