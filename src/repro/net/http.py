@@ -62,7 +62,10 @@ class HttpError(Exception):
 
     ``code`` is the machine-readable error identifier clients dispatch
     on (``"bad_request"``, ``"deadline_exceeded"``, ``"shed"`` ...);
-    ``retry_after`` (seconds) adds a ``Retry-After`` header when set.
+    ``retry_after`` (seconds) adds a ``Retry-After`` header when set;
+    ``detail`` (a JSON-ready mapping) rides in the error envelope under
+    ``error.detail`` — e.g. an edit that timed out reports the pre-edit
+    fingerprint there so clients can tell whether it landed.
     """
 
     def __init__(
@@ -71,12 +74,14 @@ class HttpError(Exception):
         code: str,
         message: str,
         retry_after: Optional[float] = None,
+        detail: Optional[Dict[str, object]] = None,
     ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
         self.retry_after = retry_after
+        self.detail = detail
 
 
 class Request:

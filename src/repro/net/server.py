@@ -9,7 +9,9 @@ work. Per request the server:
 1. **parses** under hard limits and timeouts (:mod:`repro.net.http` —
    a slow-loris client gets a 408, an oversized body a 413);
 2. **resolves the tenant** (:mod:`repro.net.tenants`) and its current
-   graph-version fingerprint;
+   graph-version fingerprint — a lock-free read: the event loop never
+   takes an engine lock, so a slow search cannot stall the loop (and
+   with it every tenant, ``/healthz`` and the timeouts);
 3. **derives a deadline** from ``?deadline=`` / ``X-Deadline``
    (:func:`repro.limits.parse_deadline`, capped by the server maximum)
    and builds a :class:`~repro.limits.ResourceGuard` whose
@@ -18,7 +20,11 @@ work. Per request the server:
 4. **coalesces** onto an in-flight identical computation when one
    exists — the single-flight key is ``(tenant, fingerprint, kind,
    params)``, so mutations (which bump the fingerprint) start new
-   flights while in-flight readers finish against their version;
+   flights. A flight's compute holds the engine lock and re-reads the
+   fingerprint inside it, and the response carries that
+   computed-against fingerprint; if a write slipped in between keying
+   and compute, the response is flagged ``version_changed`` rather
+   than mislabelled;
 5. otherwise **admits** the new computation through the
    :class:`~repro.net.admission.AdmissionController` — or sheds it
    with a 503 + ``Retry-After`` *before* it costs a search;
@@ -39,6 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
@@ -276,6 +283,8 @@ class CliqueServer:
                 "status": error.status,
             }
         }
+        if error.detail:
+            payload["error"]["detail"] = error.detail
         extra = {}
         if error.retry_after is not None:
             extra["Retry-After"] = str(max(1, int(round(error.retry_after))))
@@ -361,6 +370,8 @@ class CliqueServer:
                 "status": error.status,
             }
         }
+        if error.detail:
+            payload["error"]["detail"] = error.detail
         extra: Dict[str, str] = {}
         if error.retry_after is not None:
             extra["Retry-After"] = str(max(1, int(round(error.retry_after))))
@@ -372,7 +383,7 @@ class CliqueServer:
             return 200, {"status": "ok", "uptime_seconds": time.time() - self._started_at}, {}
         if request.path == "/metrics" and request.method == "GET":
             return 200, prometheus_text(obs.get_observer().registry), {}
-        if parts[:2] == ["v1", "server"] and request.method == "GET":
+        if parts == ["v1", "server"] and request.method == "GET":
             return 200, self.describe(), {}
         if parts[:2] == ["v1", "graphs"]:
             if len(parts) == 2 and request.method == "GET":
@@ -508,20 +519,31 @@ class CliqueServer:
         engine = tenant.engine
         started = time.perf_counter()
 
+        # Each compute pins the engine lock, re-reads the fingerprint
+        # inside it and returns (fingerprint, result): the response is
+        # labelled with the version it was actually computed against,
+        # even if an edit slipped in after `fingerprint` was keyed.
         if mode == "all":
             def compute():
-                grid = engine.run_grid([alpha], [k], time_limit=guard.remaining_time())
-                return grid[(alpha, k)]
+                with engine.pinned():
+                    computed_on = engine.fingerprint
+                    grid = engine.run_grid(
+                        [alpha], [k], time_limit=guard.remaining_time()
+                    )
+                    return computed_on, grid[(alpha, k)]
         else:
             def compute(r=r):
-                return engine.top_r_with_stats(
-                    alpha, k, r, time_limit=guard.remaining_time()
-                )
+                with engine.pinned():
+                    computed_on = engine.fingerprint
+                    return computed_on, engine.top_r_with_stats(
+                        alpha, k, r, time_limit=guard.remaining_time()
+                    )
 
         key = (tenant.name, fingerprint, mode, alpha, k, r)
-        result, coalesced = await self._run_flight(tenant, key, guard, compute)
+        flight_result, coalesced = await self._run_flight(tenant, key, guard, compute)
+        computed_on, result = flight_result
         return self._result_payload(
-            tenant, fingerprint, result,
+            tenant, fingerprint, computed_on, result,
             {"alpha": alpha, "k": k, "mode": mode, "r": r},
             coalesced, started,
         )
@@ -544,14 +566,17 @@ class CliqueServer:
         started = time.perf_counter()
 
         def compute():
-            return engine.query_with_stats(
-                nodes, alpha, k, time_limit=guard.remaining_time()
-            )
+            with engine.pinned():
+                computed_on = engine.fingerprint
+                return computed_on, engine.query_with_stats(
+                    nodes, alpha, k, time_limit=guard.remaining_time()
+                )
 
         key = (tenant.name, fingerprint, "query", alpha, k, _nodes_digest(nodes))
-        result, coalesced = await self._run_flight(tenant, key, guard, compute)
+        flight_result, coalesced = await self._run_flight(tenant, key, guard, compute)
+        computed_on, result = flight_result
         return self._result_payload(
-            tenant, fingerprint, result,
+            tenant, fingerprint, computed_on, result,
             {"alpha": alpha, "k": k, "mode": "query", "nodes": sorted(nodes, key=repr)},
             coalesced, started,
         )
@@ -582,18 +607,56 @@ class CliqueServer:
         before = tenant.fingerprint
         ticket = self.admission.admit()
         loop = asyncio.get_running_loop()
+        deadline_fired = threading.Event()
 
         def apply():
-            engine.apply_edits(edits)
-            return engine.fingerprint
+            # Pinned so the returned fingerprint is exactly this edit's
+            # resulting version, not a later write's.
+            with engine.pinned():
+                engine.apply_edits(edits)
+                return engine.fingerprint
 
+        future = self._executor.submit(apply)
+
+        def settle(done, _loop=loop):
+            # Runs when the executor thread actually finishes. Only now
+            # is the admission slot truly free: `wait_for` cannot cancel
+            # a running thread, so releasing from the await path on a
+            # deadline would hand out capacity the edit still occupies.
+            try:
+                _loop.call_soon_threadsafe(ticket.release)
+            except RuntimeError:  # loop already closed (server stopping)
+                ticket.release()
+            if deadline_fired.is_set():
+                # The 504 already went out; journal how the ambiguous
+                # edit actually settled so operators can reconcile.
+                error = None if done.cancelled() else done.exception()
+                obs.journal_event(
+                    "net_edit_after_deadline",
+                    tenant=tenant.name,
+                    edits=len(edits),
+                    applied=not done.cancelled() and error is None,
+                    error=type(error).__name__ if error is not None else None,
+                )
+
+        future.add_done_callback(settle)
         try:
             after = await asyncio.wait_for(
-                loop.run_in_executor(self._executor, apply),
-                guard.remaining_time(),
+                asyncio.wrap_future(future), guard.remaining_time()
             )
-        finally:
-            ticket.release()
+        except asyncio.TimeoutError:
+            deadline_fired.set()
+            self._bump("deadline_exceeded")
+            obs.journal_event("net_deadline", path=request.path, kind="edit")
+            # The mutation may still land after this response: tell the
+            # client which fingerprint it *had*, so a follow-up GET of
+            # the graph reveals whether the edit applied.
+            raise HttpError(
+                504,
+                "deadline_exceeded",
+                "edit deadline elapsed; the mutation may still apply",
+                detail={"fingerprint_before": before, "edit_outcome": "unknown"},
+            )
         self._bump("edits")
         obs.journal_event(
             "net_edit", tenant=tenant.name, edits=len(edits),
@@ -609,7 +672,8 @@ class CliqueServer:
     def _result_payload(
         self,
         tenant: Tenant,
-        fingerprint: str,
+        requested: str,
+        computed_on: str,
         result,
         params: Dict[str, object],
         coalesced: bool,
@@ -625,7 +689,12 @@ class CliqueServer:
         )
         payload = {
             "tenant": tenant.name,
-            "fingerprint": fingerprint,
+            # The version the result was computed against vs. the one
+            # the request was keyed under; they differ only when a
+            # write landed between keying and compute.
+            "fingerprint": computed_on,
+            "fingerprint_requested": requested,
+            "version_changed": computed_on != requested,
             "params": params,
             "count": len(cliques),
             "cliques": [_clique_payload(clique) for clique in shown],

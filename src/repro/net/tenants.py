@@ -14,8 +14,11 @@ LRU traffic reaches Prometheus as ``serve_lru_*{tenant="..."}`` series
 Mutations route through the engine's versioned-snapshot machinery: the
 graph fingerprint (memoised behind ``SignedGraph._version``) changes on
 every write, request-coalescing keys embed the fingerprint, and cache
-entries are fingerprint-keyed — so in-flight readers finish against the
-version they started on while new arrivals see the new one.
+entries are fingerprint-keyed. A flight's compute pins the engine lock
+and re-reads the fingerprint inside it, so every response is labelled
+with the exact version it was computed against; when a write slips in
+between a request's keying and its compute, the response says so
+(``version_changed``) instead of mislabelling the result.
 
 Tenant names double as path components (cache directories) and label
 values (Prometheus), so they are restricted to a conservative character
@@ -69,11 +72,20 @@ class Tenant:
 
     @property
     def fingerprint(self) -> str:
-        """Current graph-version fingerprint (changes on every write)."""
+        """Current graph-version fingerprint (changes on every write).
+
+        A lock-free read (the engine maintains a fingerprint mirror
+        outside its search lock), so the server's event loop can key
+        coalescing and answer listing endpoints while a long search
+        holds the engine lock.
+        """
         return self.engine.fingerprint
 
     def describe(self) -> Dict[str, object]:
-        """JSON-ready summary for the listing / stats endpoints."""
+        """JSON-ready summary for the listing / stats endpoints.
+
+        Safe on the event loop: no read here takes the engine lock.
+        """
         graph = self.engine.graph
         return {
             "name": self.name,

@@ -24,6 +24,7 @@ no-op call when observability is off.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default histogram bucket upper bounds (generic latency/size scale).
@@ -39,18 +40,30 @@ class Counter:
     ``value`` is a plain attribute on purpose: hot loops (the MSCE
     search counters) read and write it directly with native attribute
     speed, and :class:`~repro.core.bbe.SearchStats` exposes its fields
-    as views over these attributes.
+    as views over these attributes. Those direct writes are inherently
+    single-threaded (one search, one registry). :meth:`inc`, by
+    contrast, is reachable concurrently from the serving layer's
+    executor threads — several tenant engines mirror into the same
+    ambient counters — so it serialises on a shared lock; a plain
+    ``value += amount`` there can lose increments between the load and
+    the store.
     """
 
     __slots__ = ("name", "value")
+
+    #: One process-wide lock for every counter: `inc` sits on request
+    #: (not search) granularity, so contention is negligible, and a
+    #: shared lock keeps Counter slot-only and picklable.
+    _inc_lock = threading.Lock()
 
     def __init__(self, name: str, value: int = 0):
         self.name = name
         self.value = value
 
     def inc(self, amount: int = 1) -> None:
-        """Add *amount* (default 1) to the counter."""
-        self.value += amount
+        """Atomically add *amount* (default 1) to the counter."""
+        with Counter._inc_lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value!r})"

@@ -52,6 +52,7 @@ import hashlib
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
@@ -209,6 +210,11 @@ class SignedCliqueEngine:
     ):
         self._lock = threading.RLock()
         self._graph = graph.copy()
+        #: Lock-free fingerprint mirror: written under the lock at
+        #: construction and at the end of every mutation, read without
+        #: it (see :attr:`fingerprint`) so the network layer's event
+        #: loop never blocks behind a search that holds the lock.
+        self._fingerprint = graph_fingerprint(self._graph)
         #: Optional tenant name (multi-graph serving); labels the memory
         #: tier's per-tenant observer counters.
         self.tenant = tenant
@@ -263,9 +269,27 @@ class SignedCliqueEngine:
 
     @property
     def fingerprint(self) -> str:
-        """Content fingerprint of the current graph (memoised)."""
+        """Content fingerprint of the current graph.
+
+        A lock-free read of a mirror maintained under the engine lock
+        (updated as the last step of every mutation), so callers on the
+        serving event loop can read it while a long search holds the
+        lock. To pin the fingerprint to a computation, read it inside
+        :meth:`pinned` instead.
+        """
+        return self._fingerprint
+
+    @contextmanager
+    def pinned(self):
+        """Hold the engine lock across several calls as one critical section.
+
+        No mutation can interleave inside the block, so the
+        :attr:`fingerprint` observed first is exactly the graph version
+        every call in the block computes against. The lock is
+        reentrant: the engine's public methods compose freely inside.
+        """
         with self._lock:
-            return graph_fingerprint(self._graph)
+            yield self
 
     def _compiled(self) -> CompiledGraph:
         if self._compiled_graph is None:
@@ -817,7 +841,8 @@ class SignedCliqueEngine:
             self._compiled_graph = None
             self._storage_attached = False
             self._reduction_masks.clear()
-            fingerprint_prefix = graph_fingerprint(self._graph)[:32]
+            self._fingerprint = graph_fingerprint(self._graph)
+            fingerprint_prefix = self._fingerprint[:32]
             stale_keys = [
                 key for key in self.memory.keys() if not key.startswith(fingerprint_prefix)
             ]
@@ -850,30 +875,38 @@ class SignedCliqueEngine:
     # Introspection
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, object]:
-        """Snapshot of both tiers, the storage tier and the engine counters."""
-        with self._lock:
-            storage_dir = (
-                self.disk._dir / "graphs" if self.disk is not None else None
-            )
-            artifacts = (
-                sorted(p.name for p in storage_dir.glob("graph-*.graph"))
-                if storage_dir is not None and storage_dir.is_dir()
-                else []
-            )
-            return {
-                "memory": self.memory.stats(),
-                "disk": str(self.disk._dir) if self.disk is not None else None,
-                "backend": self._backend,
-                "counters": dict(self.counters),
-                "sharing_ratio": self.sharing_ratio,
-                "live_settings": len(self._live),
-                "reduction_memo": len(self._reduction_masks),
-                "storage": {
-                    "dir": str(storage_dir) if storage_dir is not None else None,
-                    "artifacts": artifacts,
-                    "attached": self._storage_attached,
-                },
-            }
+        """Snapshot of both tiers, the storage tier and the engine counters.
+
+        Deliberately taken *without* the engine lock: introspection
+        (the network layer's ``/stats`` endpoint runs this on its event
+        loop) must never block behind a search that holds the lock for
+        its whole compute. Each constituent read is individually
+        consistent (the memory tier snapshots under its own lock, dict
+        sizes and counter reads are atomic), but counters mid-request
+        may be one step apart — best effort, by design.
+        """
+        storage_dir = (
+            self.disk._dir / "graphs" if self.disk is not None else None
+        )
+        artifacts = (
+            sorted(p.name for p in storage_dir.glob("graph-*.graph"))
+            if storage_dir is not None and storage_dir.is_dir()
+            else []
+        )
+        return {
+            "memory": self.memory.stats(),
+            "disk": str(self.disk._dir) if self.disk is not None else None,
+            "backend": self._backend,
+            "counters": dict(self.counters),
+            "sharing_ratio": self.sharing_ratio,
+            "live_settings": len(self._live),
+            "reduction_memo": len(self._reduction_masks),
+            "storage": {
+                "dir": str(storage_dir) if storage_dir is not None else None,
+                "artifacts": artifacts,
+                "attached": self._storage_attached,
+            },
+        }
 
     def __repr__(self) -> str:
         return (

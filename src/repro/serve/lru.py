@@ -108,7 +108,13 @@ class MemoryLRU:
         self.puts = 0
 
     def _observe(self, event: str, amount: int = 1) -> None:
-        """Mirror *event* to the ambient per-tenant counter (if named)."""
+        """Mirror *event* to the ambient per-tenant counter (if named).
+
+        Called outside :attr:`_lock` on purpose (the observer is not
+        part of the cache's critical section); concurrent mirrors from
+        executor threads are safe because
+        :meth:`repro.obs.metrics.Counter.inc` is atomic.
+        """
         if self._label is not None and amount:
             obs.counter("serve_lru_" + event + self._label).inc(amount)
 

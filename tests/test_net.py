@@ -393,7 +393,53 @@ class TestServerBasics:
             # After all that abuse, normal service continues.
             assert h.get("/healthz").status == 200
 
-    def test_tenant_lifecycle_over_http(self, paper_graph):
+    def test_server_route_is_exact(self, paper_graph):
+        with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
+            assert h.get("/v1/server").status == 200
+            assert h.get("/v1/server/anything").status == 404
+            assert h.get("/v1/server/anything/else").status == 404
+
+    def test_loop_stays_responsive_while_search_holds_engine_lock(self, paper_graph):
+        """Regression: fingerprint/describe/stats reads must never take
+        the engine lock on the event loop. A slow search used to stall
+        /healthz, listings, and every other tenant for its duration."""
+        other = SignedGraph([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        with ServerHarness(
+            {"g": paper_graph, "other": other}, config=ServerConfig(port=0)
+        ) as h:
+            engine = h.registry.get("g").engine
+            original = engine.run_grid
+            entered = threading.Event()
+
+            def slow(*args, **kwargs):
+                entered.set()  # engine lock is held from here on
+                time.sleep(2.5)
+                return original(*args, **kwargs)
+
+            engine.run_grid = slow
+            blocker = threading.Thread(
+                target=http_request,
+                args=(h.host, h.port, "GET", "/v1/graphs/g/cliques?alpha=3&k=1"),
+                kwargs={"timeout": 30},
+            )
+            blocker.start()
+            assert entered.wait(5.0)
+            # Every loop-served read — including the blocked tenant's
+            # own stats and a *different* tenant's query — answers
+            # promptly while the lock is held for 2.5s.
+            for path in (
+                "/healthz",
+                "/v1/server",
+                "/v1/graphs",
+                "/v1/graphs/g",
+                "/v1/graphs/g/stats",
+                "/metrics",
+                "/v1/graphs/other/cliques?alpha=3&k=0",
+            ):
+                reply = h.get(path, timeout=10)
+                assert reply.status == 200, path
+                assert reply.elapsed < 1.0, path
+            blocker.join()
         with ServerHarness({"a": paper_graph}, config=ServerConfig(port=0)) as h:
             created = h.request(
                 "PUT",
@@ -502,10 +548,20 @@ class TestCoalescing:
             assert h.server.counters["coalesced"] == 0
 
     def test_edits_version_the_coalescing_keys(self, paper_graph):
-        """In-flight readers finish on their fingerprint; post-edit
-        requests see the new one."""
+        """An in-flight reader whose compute already holds the engine
+        lock finishes on its fingerprint (the edit waits its turn);
+        post-edit requests see the new one."""
         with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
-            self._slow_engine(h, "g", 0.5)
+            engine = h.registry.get("g").engine
+            original = engine.run_grid
+            entered = threading.Event()
+
+            def slow(*args, **kwargs):
+                entered.set()  # the compute holds the engine lock here
+                time.sleep(0.5)
+                return original(*args, **kwargs)
+
+            engine.run_grid = slow
             path = "/v1/graphs/g/cliques?alpha=3&k=1"
             reader_reply = []
 
@@ -517,7 +573,7 @@ class TestCoalescing:
             before = h.get("/v1/graphs/g").json()["fingerprint"]
             thread = threading.Thread(target=reader)
             thread.start()
-            self._await_flight(h)
+            assert entered.wait(5.0)  # reader's compute owns the lock
             edited = h.post(
                 "/v1/graphs/g/edits", {"edits": [["add", 1, 100, 1]]}
             ).json()
@@ -525,10 +581,69 @@ class TestCoalescing:
 
             assert edited["fingerprint_before"] == before
             assert edited["fingerprint_after"] != before
-            # The in-flight reader answered against its own version.
-            assert reader_reply[0].json()["fingerprint"] == before
+            # The in-flight reader answered against its own version,
+            # and the payload says so exactly.
+            payload = reader_reply[0].json()
+            assert payload["fingerprint"] == before
+            assert payload["fingerprint_requested"] == before
+            assert not payload["version_changed"]
             after = h.get(path).json()
             assert after["fingerprint"] == edited["fingerprint_after"]
+
+    def test_version_skew_is_labelled_not_mislabelled(self, paper_graph):
+        """When an edit wins the race between a request's keying and
+        its compute, the response carries the fingerprint the result
+        was *computed* against and flags ``version_changed`` — it is
+        never returned silently mislabelled with the stale key."""
+        config = ServerConfig(port=0, max_concurrency=1, max_queue_depth=4)
+        with ServerHarness({"g": paper_graph}, config=config) as h:
+            engine = h.registry.get("g").engine
+            original = engine.run_grid
+            entered = threading.Event()
+
+            def slow_once(*args, **kwargs):
+                if not entered.is_set():
+                    entered.set()
+                    time.sleep(0.8)
+                return original(*args, **kwargs)
+
+            engine.run_grid = slow_once
+            before = h.get("/v1/graphs/g").json()["fingerprint"]
+            replies = {}
+
+            def client(name, method, path, body=None):
+                replies[name] = http_request(
+                    h.host, h.port, method, path, body=body, timeout=30
+                )
+
+            # One slow occupier pins the single executor thread; the
+            # edit queues behind it; the reader keys under `before` but
+            # its compute queues behind the edit.
+            occupier = threading.Thread(
+                target=client, args=("occupier", "GET", "/v1/graphs/g/cliques?alpha=3&k=1")
+            )
+            occupier.start()
+            assert entered.wait(5.0)
+            editor = threading.Thread(
+                target=client,
+                args=("edit", "POST", "/v1/graphs/g/edits"),
+                kwargs={"body": {"edits": [["add", 1, 100, 1]]}},
+            )
+            editor.start()
+            time.sleep(0.2)  # edit's apply is queued before the reader's compute
+            reader = threading.Thread(
+                target=client, args=("reader", "GET", "/v1/graphs/g/cliques?alpha=2&k=1")
+            )
+            reader.start()
+            for thread in (occupier, editor, reader):
+                thread.join()
+
+            after = replies["edit"].json()["fingerprint_after"]
+            assert after != before
+            payload = replies["reader"].json()
+            assert payload["fingerprint_requested"] == before
+            assert payload["fingerprint"] == after
+            assert payload["version_changed"]
 
 
 # ---------------------------------------------------------------------------
@@ -587,7 +702,51 @@ class TestOverload:
             assert elapsed < 1.0  # answered at the deadline, not after the compute
             assert h.server.counters["deadline_exceeded"] == 1
 
-    def test_slow_loris_clients_are_disconnected(self, paper_graph):
+    def test_edit_deadline_reports_ambiguity_and_keeps_the_slot(self, paper_graph):
+        """An edit that outlives its deadline answers 504 carrying the
+        pre-edit fingerprint (so clients can tell whether it landed),
+        keeps its admission slot until the executor thread actually
+        finishes, and journals how the ambiguous edit settled."""
+        with ServerHarness({"g": paper_graph}, config=ServerConfig(port=0)) as h:
+            engine = h.registry.get("g").engine
+            original = engine.apply_edits
+            release = threading.Event()
+
+            def stalled(edits):
+                release.wait(10.0)
+                return original(edits)
+
+            engine.apply_edits = stalled
+            before = h.get("/v1/graphs/g").json()["fingerprint"]
+            reply = h.post(
+                "/v1/graphs/g/edits?deadline=100ms",
+                {"edits": [["add", 1, 100, 1]]},
+            )
+            assert reply.status == 504
+            error = reply.json()["error"]
+            assert error["code"] == "deadline_exceeded"
+            assert error["detail"]["fingerprint_before"] == before
+            assert error["detail"]["edit_outcome"] == "unknown"
+            assert h.server.counters["deadline_exceeded"] == 1
+            # The 504 went out but the edit still occupies a worker:
+            # its admission slot must not be handed back yet.
+            assert h.server.admission.standing == 1
+            release.set()
+            deadline = time.time() + 5
+            while time.time() < deadline and h.server.admission.standing:
+                time.sleep(0.01)
+            assert h.server.admission.standing == 0
+            # The mutation landed after the deadline — fingerprint
+            # moved, and the journal recorded the late settlement.
+            deadline = time.time() + 5
+            while (
+                time.time() < deadline
+                and h.get("/v1/graphs/g").json()["fingerprint"] == before
+            ):
+                time.sleep(0.01)
+            assert h.get("/v1/graphs/g").json()["fingerprint"] != before
+            settled = h.observer.journal.of_kind("net_edit_after_deadline")
+            assert settled and settled[-1]["applied"] is True
         config = ServerConfig(port=0, read_timeout=0.4)
         with ServerHarness({"g": paper_graph}, config=config) as h:
             elapsed = slow_loris(h.host, h.port, max_seconds=10.0)

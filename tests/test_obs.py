@@ -126,6 +126,31 @@ class TestMetrics:
         with pytest.raises(ValueError, match="bounds mismatch"):
             registry.merge_snapshot(bad)
 
+    def test_counter_inc_is_atomic_across_threads(self):
+        """`inc` is reachable concurrently from the serving layer's
+        executor threads (several tenant engines mirror into the same
+        ambient counter); a torn read-modify-write would lose counts."""
+        import sys
+        import threading
+
+        counter = MetricsRegistry().counter("hammered")
+        threads, per_thread = 4, 10_000
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force frequent preemption
+        try:
+            def worker():
+                for _ in range(per_thread):
+                    counter.inc()
+
+            pool = [threading.Thread(target=worker) for _ in range(threads)]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert counter.value == threads * per_thread
+
     def test_null_registry_discards_everything(self):
         NULL_REGISTRY.counter("x").inc(100)
         NULL_REGISTRY.gauge("y").set(1)
