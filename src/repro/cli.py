@@ -73,6 +73,17 @@ def _add_graph_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("graph", help="path to a signed edge-list file (src dst sign)")
 
 
+def _add_model(parser: argparse.ArgumentParser) -> None:
+    from repro.models import available_models
+
+    parser.add_argument(
+        "--model",
+        choices=available_models(),
+        default=None,
+        help="signed-cohesion model (default: REPRO_MODEL env or msce)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -129,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_argument(enumerate_cmd)
     _add_alpha_k(enumerate_cmd)
     enumerate_cmd.add_argument("--selection", choices=("greedy", "random", "first"), default="greedy")
+    _add_model(enumerate_cmd)
     enumerate_cmd.add_argument("--time-limit", type=float, default=None, help="seconds cap")
     enumerate_cmd.add_argument("--json", action="store_true", help="emit JSON instead of text")
     enumerate_cmd.add_argument(
@@ -150,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_argument(top)
     _add_alpha_k(top)
     top.add_argument("-r", type=int, default=30, help="how many cliques (default 30)")
+    _add_model(top)
     top.add_argument("--time-limit", type=float, default=None, help="seconds cap")
     top.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
@@ -226,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["python", "vectorized", "native"],
         help="kernel tier (default: REPRO_BACKEND or auto-detect)",
     )
+    _add_model(serve_grid)
     serve_grid.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     serve = sub.add_parser(
@@ -365,11 +379,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 write_trace_json(observer.tracer, args.trace_out)
             if args.metrics_out:
                 from repro.fastpath.backend import resolve_backend
+                from repro.models import resolve_model
 
                 write_prometheus(
                     observer.registry,
                     args.metrics_out,
-                    labels={"kernel_backend": resolve_backend(getattr(args, "backend", None))},
+                    labels={
+                        "kernel_backend": resolve_backend(getattr(args, "backend", None)),
+                        "model": resolve_model(getattr(args, "model", None)),
+                    },
                 )
             return code
         return _dispatch(args)
@@ -437,10 +455,15 @@ def _dispatch(args: argparse.Namespace) -> int:
                 selection=args.selection,
                 time_limit=args.time_limit,
                 memory_budget_bytes=budget,
+                model=args.model,
             )
         else:
             result = MSCE(
-                graph, params, selection=args.selection, time_limit=args.time_limit
+                graph,
+                params,
+                selection=args.selection,
+                time_limit=args.time_limit,
+                model=args.model,
             ).enumerate_all()
         _print_cliques(result.cliques, args.json)
         if result.timed_out:
@@ -450,7 +473,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "top":
         graph = _load_graph(args.graph)
         params = AlphaK(args.alpha, args.k)
-        result = MSCE(graph, params, time_limit=args.time_limit).top_r(args.r)
+        result = MSCE(
+            graph, params, time_limit=args.time_limit, model=args.model
+        ).top_r(args.r)
         _print_cliques(result.cliques, args.json)
         if result.timed_out:
             print("warning: time limit hit; results are partial", file=sys.stderr)
@@ -555,6 +580,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             cache_mem_bytes=args.cache_mem_bytes,
             workers=args.workers,
             backend=args.backend,
+            model=args.model,
         )
         grid = engine.run_grid(
             args.alphas, args.ks, workers=args.workers, time_limit=args.time_limit

@@ -35,6 +35,7 @@ def enumerate_signed_cliques(
     min_size: Optional[int] = None,
     reducer: Optional[Callable] = None,
     backend: Optional[str] = None,
+    model: Optional[str] = None,
 ) -> List[SignedClique]:
     """Return all maximal (alpha, k)-cliques, largest first.
 
@@ -55,6 +56,7 @@ def enumerate_signed_cliques(
         min_size=min_size,
         reducer=reducer,
         backend=backend,
+        model=model,
     ).cliques
 
 
@@ -71,15 +73,17 @@ def enumerate_with_stats(
     min_size: Optional[int] = None,
     reducer: Optional[Callable] = None,
     backend: Optional[str] = None,
+    model: Optional[str] = None,
 ) -> EnumerationResult:
-    """Run MSCE and return the full :class:`EnumerationResult`.
+    """Run the enumerator and return the full :class:`EnumerationResult`.
 
     ``reducer`` optionally replaces the coring pass on the compiled
     fastpath (see :class:`~repro.core.bbe.MSCE`); the serving engine
     uses it to share reduction work across an (alpha, k) grid.
     ``backend`` selects the kernel tier
     (:data:`repro.fastpath.backend.BACKENDS`); results are bit-identical
-    across tiers.
+    across tiers. ``model`` selects the signed-cohesion constraint
+    (:data:`repro.models.MODELS`, default the paper's ``"msce"``).
     """
     params = AlphaK(alpha=alpha, k=k)
     searcher = MSCE(
@@ -94,6 +98,7 @@ def enumerate_with_stats(
         min_size=min_size,
         reducer=reducer,
         backend=backend,
+        model=model,
     )
     return searcher.enumerate_all()
 
@@ -110,6 +115,7 @@ def top_r_signed_cliques(
     time_limit: Optional[float] = None,
     reducer: Optional[Callable] = None,
     backend: Optional[str] = None,
+    model: Optional[str] = None,
 ) -> List[SignedClique]:
     """Return the ``r`` largest maximal (alpha, k)-cliques.
 
@@ -128,6 +134,7 @@ def top_r_signed_cliques(
         time_limit=time_limit,
         reducer=reducer,
         backend=backend,
+        model=model,
     )
     return searcher.top_r(r).cliques
 

@@ -46,9 +46,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.algorithms.kcore import icore_tracked
 from repro.core.cliques import SignedClique, sort_cliques
-from repro.core.maxtest import make_maxtest
 from repro.core.params import AlphaK
 from repro.core.reduction import reduction_components
 from repro.exceptions import ParameterError
@@ -56,6 +54,7 @@ from repro.fastpath.backend import resolve_backend
 from repro.fastpath.compiled import as_compiled, source_graph
 from repro.graphs.signed_graph import Node, SignedGraph
 from repro.limits import ResourceGuard, make_guard
+from repro.models import make_constraint, resolve_model
 from repro.obs import runtime as obs
 from repro.obs.metrics import MetricsRegistry
 
@@ -104,7 +103,9 @@ class SearchStats:
 
     FIELDS = _STAT_FIELDS
 
-    __slots__ = ("registry", "backend") + tuple("_c_" + name for name in _STAT_FIELDS)
+    __slots__ = ("registry", "backend", "model") + tuple(
+        "_c_" + name for name in _STAT_FIELDS
+    )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         #: Backing registry; private to this run unless one was injected.
@@ -113,6 +114,9 @@ class SearchStats:
         #: deliberately excluded from :meth:`as_dict` and ``==`` so stats
         #: from different tiers compare equal — the bit-identity contract).
         self.backend: Optional[str] = None
+        #: Resolved constraint model the producing run used (metadata,
+        #: excluded from :meth:`as_dict` and ``==`` like ``backend``).
+        self.model: Optional[str] = None
         for name in _STAT_FIELDS:
             setattr(self, "_c_" + name, self.registry.counter(STAT_METRIC_PREFIX + name))
 
@@ -219,7 +223,15 @@ class MSCE:
         ``"positive-core"`` or ``"none"`` (ablation).
     maxtest:
         ``"exact"`` (Definition-2 maximality, default) or ``"paper"``
-        (the single-extension heuristic of Algorithm 4).
+        (the single-extension heuristic of Algorithm 4). Models without
+        a heuristic variant run their exact test for both kinds.
+    model:
+        The signed-constraint model to enumerate under: ``"msce"``
+        (the paper's (alpha, k)-cliques, default) or ``"balanced"``
+        (maximal balanced cliques, ``k`` read as the minimum side
+        size). Resolution follows
+        :func:`repro.models.resolve_model`: explicit argument >
+        ``REPRO_MODEL`` environment variable > ``"msce"``.
     core_pruning:
         Disable only for the pruning-rule ablation benchmark.
     compile:
@@ -277,6 +289,7 @@ class MSCE:
         max_memory_bytes: Optional[int] = None,
         reducer: Optional[Callable[[object, AlphaK, str], int]] = None,
         backend: Optional[str] = None,
+        model: Optional[str] = None,
     ):
         #: Compiled fastpath representation, when one was handed in (and
         #: not disabled); the search then runs on bitset kernels.
@@ -323,8 +336,18 @@ class MSCE:
         #: Resolved once here so a run can never mix tiers mid-flight,
         #: and so parent processes can ship the concrete name to workers.
         self.backend = resolve_backend(backend)
+        #: Resolved constraint model (see :func:`repro.models.resolve_model`)
+        #: and its instantiated rules. Resolved once for the same reason
+        #: as the backend: one run, one model, workers included.
+        self.model = resolve_model(model)
+        self.constraint = make_constraint(self.model, params)
+        #: Effective subspace size floor: the user's ``min_size`` folded
+        #: with any model-implied bound. Pruning only — emission gating
+        #: stays with ``min_size`` and the constraint's reportable().
+        self._search_min_size = self.constraint.search_min_size(self.min_size)
         self._rng = random.Random(seed)
-        self._maxtest = make_maxtest(maxtest)
+        self._maxtest = self.constraint.make_maxtest(maxtest)
+        self._graph_ops = self.constraint.bind_graph(self)
         self._select = self._make_selector(selection)
 
     # ------------------------------------------------------------------
@@ -360,6 +383,7 @@ class MSCE:
         """
         stats = SearchStats()
         stats.backend = self.backend
+        stats.model = self.model
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
         started = time.perf_counter()
@@ -451,6 +475,7 @@ class MSCE:
             )
         stats = SearchStats()
         stats.backend = self.backend
+        stats.model = self.model
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
         started = time.perf_counter()
@@ -478,22 +503,17 @@ class MSCE:
     # Internals
     # ------------------------------------------------------------------
     def _make_selector(self, selection: str):
-        graph = self.graph
+        ops = self._graph_ops
 
         def greedy(candidates, included, degrees):
-            # MSCE-G: minimum positive degree within the candidate set,
-            # ties broken by repr for determinism. The degree map is the
-            # one maintained by the tracked core pruning, so no degrees
-            # are recomputed here; it is only absent in ablation modes.
+            # Minimum model degree within the candidate set (MSCE-G:
+            # tracked positive degree; balanced: sign-blind degree),
+            # ties broken by repr for determinism.
             free = candidates - included
             best_degree = None
             ties = []
             for node in free:
-                degree = (
-                    degrees[node]
-                    if degrees is not None
-                    else len(graph.positive_neighbors(node) & candidates)
-                )
+                degree = ops.branch_degree(node, candidates, degrees)
                 if best_degree is None or degree < best_degree:
                     best_degree = degree
                     ties = [node]
@@ -526,6 +546,7 @@ class MSCE:
     def _run(self, top_r: Optional[int]) -> EnumerationResult:
         stats = SearchStats()
         stats.backend = self.backend
+        stats.model = self.model
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []  # min-heap of the top-r sizes
         started = time.perf_counter()
@@ -535,15 +556,20 @@ class MSCE:
         interrupted_reason: Optional[str] = None
         incomplete = 0
 
+        # The model maps the requested reduction to one sound for it
+        # (non-MSCE models degrade to "none": the (alpha, k) cores
+        # would drop their valid members).
+        reduction = self.constraint.reduction_rule(self.reduction)
         with obs.span(
             "msce",
             alpha=self.params.alpha,
             k=self.params.k,
             selection=self.selection,
-            reduction=self.reduction,
+            reduction=reduction,
             compiled=self.compiled is not None,
             top_r=top_r,
             backend=self.backend,
+            model=self.model,
         ):
             try:
                 if self.compiled is not None:
@@ -552,13 +578,13 @@ class MSCE:
 
                     if self.reducer is not None:
                         survivor_mask = self.reducer(
-                            self.compiled, self.params, self.reduction
+                            self.compiled, self.params, reduction
                         )
                     else:
                         survivor_mask = reduce_mask(
                             self.compiled,
                             self.params,
-                            method=self.reduction,
+                            method=reduction,
                             backend=self.backend,
                         )
                     with obs.span("enumerate"):
@@ -578,7 +604,7 @@ class MSCE:
                     # "reduce" span nests under "enumerate" here.
                     with obs.span("enumerate"):
                         for component in reduction_components(
-                            self.graph, self.params, method=self.reduction
+                            self.graph, self.params, method=reduction
                         ):
                             stats.components += 1
                             self._search_component(
@@ -625,44 +651,15 @@ class MSCE:
     ) -> None:
         graph = self.graph
         params = self.params
-        threshold = params.positive_threshold
-        budget = params.k
+        ops = self._graph_ops
+        min_size = self._search_min_size
 
-        def is_valid_clique(members: Set[Node], degrees: Optional[Dict[Node, int]]) -> bool:
-            # Inline Definition-1 check, run once per recursion. With the
-            # tracked positive-degree map (exact within-`members` counts
-            # maintained by the core pruning), node validity reduces to
-            # integer tests plus ONE negative intersection: a member is
-            # adjacent to all others iff its positive degree p and its
-            # internal negative count n satisfy p + n == |members| - 1,
-            # and the constraints demand p >= threshold, n <= k.
-            if not members:
-                return False
-            need = len(members) - 1
-            if degrees is not None:
-                for node in members:
-                    positive = degrees[node]
-                    if positive < threshold:
-                        return False
-                    expected_negative = need - positive
-                    if expected_negative < 0 or expected_negative > budget:
-                        return False
-                    if len(graph.negative_neighbors(node) & members) != expected_negative:
-                        return False
-                return True
-            for node in members:
-                if len(graph.neighbor_keys(node) & members) < need:
-                    return False
-                if len(graph.negative_neighbors(node) & members) > budget:
-                    return False
-                if threshold and len(graph.positive_neighbors(node) & members) < threshold:
-                    return False
-            return True
         # Each frame carries (candidates, included, degrees) where
-        # `degrees` is the within-candidates positive degree map used by
-        # both the core pruning and the greedy selector; it is threaded
-        # through child frames with decremental updates so the core
-        # pruning costs O(changes) per recursion instead of O(|R|).
+        # `degrees` is the model's threaded per-frame state (MSCE: the
+        # within-candidates positive degree map used by both the core
+        # pruning and the greedy selector, threaded with decremental
+        # updates so the core pruning costs O(changes) per recursion
+        # instead of O(|R|); models without tracked state thread None).
         # Include branch is pushed last so it is explored first (DFS),
         # matching the paper's recursion order and helping top-r find
         # large cliques quickly.
@@ -680,22 +677,19 @@ class MSCE:
             candidates, included, degrees = stack.pop()
             stats.recursions += 1
 
-            if self.core_pruning:
-                flag, candidates, degrees = icore_tracked(
-                    graph, included, threshold, candidates, degrees, sign="positive"
-                )
-                if not flag:
-                    stats.core_prunes += 1
-                    continue
+            flag, candidates, degrees = ops.prune_bound(candidates, included, degrees)
+            if not flag:
+                stats.core_prunes += 1
+                continue
 
-            if self.min_size is not None and len(candidates) < self.min_size:
+            if min_size is not None and len(candidates) < min_size:
                 stats.topr_prunes += 1
                 continue
             if top_r is not None and len(size_heap) >= top_r and len(candidates) < size_heap[0]:
                 stats.topr_prunes += 1
                 continue
 
-            if is_valid_clique(candidates, degrees):
+            if ops.feasible(candidates, degrees):
                 stats.early_terminations += 1
                 stats.maxtests += 1
                 if self._maxtest(graph, candidates, params):
@@ -704,58 +698,29 @@ class MSCE:
 
             free = candidates - included
             if not free:
-                # Unreachable when core pruning is on (R == I implies R is
-                # an (alpha, k)-clique); defensive for ablation modes.
+                # Unreachable while the model's invariants hold (R == I
+                # implies the feasibility check fired); defensive for
+                # ablation modes.
                 continue
             branch_node = self._select(candidates, included, degrees)
             new_included = included | {branch_node}
 
-            keep: Set[Node] = set(new_included)
-            adjacency = graph.neighbor_keys(branch_node)
-            negative_inside = {
-                node: len(graph.negative_neighbors(node) & new_included)
-                for node in new_included
-            }
-            for node in candidates:
-                if node in new_included:
-                    continue
-                if self.clique_pruning and node not in adjacency:
-                    stats.clique_pruned_candidates += 1
-                    continue
-                if self.negative_pruning:
-                    negatives = graph.negative_neighbors(node) & new_included
-                    if len(negatives) > budget or any(
-                        negative_inside[member] + 1 > budget for member in negatives
-                    ):
-                        stats.negative_pruned_candidates += 1
-                        continue
-                keep.add(node)
+            keep, clique_pruned, negative_pruned = ops.update_budgets(
+                candidates, included, new_included, branch_node
+            )
+            stats.clique_pruned_candidates += clique_pruned
+            stats.negative_pruned_candidates += negative_pruned
 
             # Exclude branch: candidates lose one node.
             exclude_candidates = set(candidates)
             exclude_candidates.discard(branch_node)
-            if degrees is not None:
-                exclude_degrees: Optional[Dict[Node, int]] = dict(degrees)
-                exclude_degrees.pop(branch_node, None)
-                for neighbor in graph.positive_neighbors(branch_node) & exclude_candidates:
-                    exclude_degrees[neighbor] -= 1
-            else:
-                exclude_degrees = None
+            exclude_degrees = ops.exclude_degrees(
+                branch_node, exclude_candidates, degrees
+            )
             stack.append((exclude_candidates, included, exclude_degrees))
 
-            # Include branch: candidates shrink to `keep`. Update the
-            # degree map decrementally when few nodes were pruned;
-            # otherwise let the child recompute from scratch (cheaper).
-            include_degrees: Optional[Dict[Node, int]] = None
-            if degrees is not None:
-                removed = candidates - keep
-                if 3 * len(removed) <= len(keep):
-                    include_degrees = dict(degrees)
-                    for node in removed:
-                        include_degrees.pop(node, None)
-                    for node in removed:
-                        for neighbor in graph.positive_neighbors(node) & keep:
-                            include_degrees[neighbor] -= 1
+            # Include branch: candidates shrink to `keep`.
+            include_degrees = ops.include_degrees(candidates, keep, degrees)
             stack.append((keep, new_included, include_degrees))
 
     def _emit(
@@ -769,13 +734,18 @@ class MSCE:
         if self.min_size is not None and len(members) < self.min_size:
             return
         key = frozenset(members)
+        if not self.constraint.reportable(self.graph, key):
+            # A true search leaf that fails a superset-monotone reporting
+            # threshold (the balanced model's minimum side size): not an
+            # answer, but pruning it earlier would have broken maximality.
+            return
         if key in found:
             if self.audit:
                 raise AssertionError(f"duplicate maximal clique emitted: {sorted(map(repr, key))}")
             return
         clique = SignedClique.from_nodes(self.graph, key, self.params)
         if self.audit:
-            clique.verify(self.graph)
+            self.constraint.audit_check(self.graph, clique)
         found[key] = clique
         if top_r is not None:
             heappush(size_heap, clique.size)

@@ -57,6 +57,42 @@ def brute_force_maximal(
     )
 
 
+def brute_force_constraint(
+    graph: SignedGraph, constraint, node_limit: int = 20
+) -> List[SignedClique]:
+    """Ground-truth maximal cliques of *any* signed-cohesion constraint.
+
+    The model-generic twin of :func:`brute_force_maximal`: sweep every
+    node subset through the constraint's
+    :meth:`~repro.models.SignedConstraint.feasible` predicate (which
+    includes reporting thresholds) and keep those its exact maximality
+    test accepts. Maximality is judged by the constraint's own maxtest
+    rather than containment among feasible sets, because models with
+    reporting thresholds (the balanced model's minimum side size) define
+    maximality against *all* model-valid cliques, not just the
+    reportable ones. Exponential in ``n``; raises
+    :class:`ParameterError` past *node_limit* nodes.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    if len(nodes) > node_limit:
+        raise ParameterError(
+            f"brute force limited to {node_limit} nodes, graph has {len(nodes)}"
+        )
+    maxtest = constraint.make_maxtest("exact")
+    params = constraint.params
+    found: List[FrozenSet[Node]] = []
+    for size in range(1, len(nodes) + 1):
+        for subset in combinations(nodes, size):
+            subset_set = set(subset)
+            if constraint.feasible(graph, subset_set) and maxtest(
+                graph, subset_set, params
+            ):
+                found.append(frozenset(subset_set))
+    return sort_cliques(
+        SignedClique.from_nodes(graph, members, params) for members in found
+    )
+
+
 def _alpha_k_subsets(
     graph: SignedGraph, clique: FrozenSet[Node], params: AlphaK, size_limit: int
 ) -> List[FrozenSet[Node]]:

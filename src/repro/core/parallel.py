@@ -88,6 +88,7 @@ from repro.fastpath.shared import SharedCompiledGraph, resolve_transport
 from repro.fastpath.storage import SpillFrontier
 from repro.graphs.signed_graph import Node, SignedGraph
 from repro.limits import make_guard, resolve_memory_budget
+from repro.models import make_constraint, resolve_model
 from repro.obs import runtime as obs
 from repro.obs.progress import ProgressEvent, ProgressReporter
 
@@ -151,6 +152,7 @@ def enumerate_parallel(
     drain_timeout: float = RESULT_DRAIN_TIMEOUT,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     backend: Optional[str] = None,
+    model: Optional[str] = None,
     memory_budget_bytes: Optional[int] = None,
     spill_dir: Optional[str] = None,
     transport: Optional[str] = None,
@@ -221,6 +223,14 @@ def enumerate_parallel(
         run uses one consistent tier; recorded in
         ``result.parallel["backend"]``. Results are bit-identical
         across tiers.
+    model:
+        Signed-cohesion model (:data:`repro.models.MODELS`). Resolved
+        once (explicit > ``REPRO_MODEL`` env > ``"msce"``) and shipped
+        to every worker, so the whole run applies one consistent
+        constraint; recorded in ``result.parallel["model"]`` and on the
+        result's stats. The requested ``reduction`` is mapped through
+        the model's :meth:`~repro.models.SignedConstraint.reduction_rule`
+        (non-MSCE models degrade it to ``"none"``).
     memory_budget_bytes:
         *Soft* peak-RSS target in bytes enabling the out-of-core
         execution plan (explicit argument wins over the
@@ -266,6 +276,11 @@ def enumerate_parallel(
     # Resolve once up front: workers inherit the concrete tier name, so
     # a native->vectorized degradation in the parent applies everywhere.
     backend = resolve_backend(backend)
+    model = resolve_model(model)
+    # The parent reduces before any MSCE exists, so map the requested
+    # reduction through the model's soundness rule here (balanced ->
+    # "none"); the same effective method is recorded on the span.
+    reduction = make_constraint(model, params).reduction_rule(reduction)
     transport = resolve_transport(transport)
     memory_budget_bytes = resolve_memory_budget(memory_budget_bytes)
     started = time.perf_counter()
@@ -280,6 +295,7 @@ def enumerate_parallel(
         selection=selection,
         reduction=reduction,
         backend=backend,
+        model=model,
     ):
         # The deadline is an absolute time.monotonic timestamp so the parent
         # and forked workers (same clock) agree on when time is up.
@@ -311,10 +327,12 @@ def enumerate_parallel(
             seed=seed,
             frame_rng=True,
             backend=backend,
+            model=model,
         )
 
         stats = SearchStats()
         stats.backend = backend
+        stats.model = model
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
 
@@ -357,6 +375,7 @@ def enumerate_parallel(
         report: Dict[str, object] = {
             "workers": workers,
             "backend": backend,
+            "model": model,
             "transport": transport,
             "tasks_seeded": len(tasks),
             "inline_components": len(inline_frames),
@@ -485,6 +504,7 @@ def enumerate_parallel(
                             drain_timeout=drain_timeout,
                             progress=reporter.update if reporter is not None else None,
                             backend=backend,
+                            model=model,
                         )
                         rows, worker_metrics, leftover = scheduler.run(
                             tasks, local_work=lambda: run_inline(inline_frames)
@@ -592,6 +612,7 @@ def enumerate_grid(
     drain_timeout: float = RESULT_DRAIN_TIMEOUT,
     reducer: Optional[Callable] = None,
     backend: Optional[str] = None,
+    model: Optional[str] = None,
     transport: Optional[str] = None,
     spill_dir: Optional[str] = None,
 ) -> Dict[AlphaK, EnumerationResult]:
@@ -623,10 +644,11 @@ def enumerate_grid(
     guard marks the *affected* settings interrupted (their results are
     partial); settings that already completed stay exact.
 
-    ``backend`` selects the kernel tier and ``transport`` the graph
-    transport exactly as in :func:`enumerate_parallel`: resolved once,
-    shipped to every worker, recorded in each result's
-    ``parallel["backend"]`` / ``parallel["transport"]``; ``spill_dir``
+    ``backend`` selects the kernel tier, ``model`` the signed-cohesion
+    constraint, and ``transport`` the graph transport exactly as in
+    :func:`enumerate_parallel`: resolved once, shipped to every worker,
+    recorded in each result's ``parallel["backend"]`` /
+    ``parallel["model"]`` / ``parallel["transport"]``; ``spill_dir``
     locates any mmap-transport artifact.
     """
     _require_positive_int("workers", workers)
@@ -637,6 +659,10 @@ def enumerate_grid(
         return {}
 
     backend = resolve_backend(backend)
+    model = resolve_model(model)
+    # One model covers the grid, so one soundness mapping covers every
+    # point's reduction (the rule reads the model, not the params).
+    reduction = make_constraint(model, param_list[0]).reduction_rule(reduction)
     transport = resolve_transport(transport)
     started = time.perf_counter()
     with obs.span(
@@ -646,6 +672,7 @@ def enumerate_grid(
         selection=selection,
         reduction=reduction,
         backend=backend,
+        model=model,
     ):
         deadline_ts = time.monotonic() + time_limit if time_limit is not None else None
         guard = make_guard(deadline_ts, max_memory_bytes)
@@ -658,6 +685,7 @@ def enumerate_grid(
         report: Dict[str, object] = {
             "workers": workers,
             "backend": backend,
+            "model": model,
             "transport": transport,
             "grid_points": len(param_list),
             "shared_graph_bytes": 0,
@@ -682,9 +710,11 @@ def enumerate_grid(
                     seed=seed,
                     frame_rng=True,
                     backend=backend,
+                    model=model,
                 ),
             )
             group.stats.backend = backend
+            group.stats.model = model
             groups.append(group)
             for mask in component_masks(compiled, survivor_mask):
                 group.stats.components += 1
@@ -807,6 +837,7 @@ def enumerate_grid(
                             strict=strict,
                             drain_timeout=drain_timeout,
                             backend=backend,
+                            model=model,
                         )
                         rows_by_group, metrics_by_group, leftover = scheduler.run_grouped(
                             tasks, local_work=lambda: run_inline(inline_frames)

@@ -202,7 +202,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
     """Worker loop: attach the shared graph once, then drain frames.
 
     *config* is ``(param_groups, selection, maxtest, seed, task_budget,
-    max_offload, deadline, max_memory_bytes, backend)`` where
+    max_offload, deadline, max_memory_bytes, backend, model)`` where
     ``param_groups`` is
     a tuple of :class:`~repro.core.params.AlphaK` settings; each task
     names its group and the worker keeps one lazily-built
@@ -236,6 +236,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
         deadline,
         max_memory_bytes,
         backend,
+        model,
     ) = config
     tick = faults.worker_tick(slot, epoch, result_queue)
     view = None
@@ -246,9 +247,10 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
         # one-off reconstruction cost lands here, once per process; the
         # per-group searchers below all share this compiled view.
         compiled = view.graph
-        # The parent ships the *resolved* backend name, so every worker
-        # runs the same kernel tier no matter what its own environment
-        # says (a worker missing numba still degrades safely).
+        # The parent ships the *resolved* backend and model names, so
+        # every worker runs the same kernel tier and constraint no
+        # matter what its own environment says (a worker missing numba
+        # still degrades safely).
         searchers[0] = MSCE(
             compiled,
             param_groups[0],
@@ -258,6 +260,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
             seed=seed,
             frame_rng=True,
             backend=backend,
+            model=model,
         )
     except BaseException:
         result_queue.put(("fatal", slot, epoch, traceback.format_exc()))
@@ -281,6 +284,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
                     seed=seed,
                     frame_rng=True,
                     backend=backend,
+                    model=model,
                 )
                 searchers[group] = searcher
             spawn_index = 0
@@ -393,6 +397,10 @@ class WorkStealingScheduler:
         Kernel tier request; resolved once here (see
         :func:`repro.fastpath.backend.resolve_backend`) and shipped to
         every worker, so one run always uses one consistent tier.
+    model:
+        Signed-cohesion model request; resolved once here (see
+        :func:`repro.models.resolve_model`) and shipped to every
+        worker, so one run always applies one consistent constraint.
     """
 
     def __init__(
@@ -414,6 +422,7 @@ class WorkStealingScheduler:
         drain_timeout: float = RESULT_DRAIN_TIMEOUT,
         progress: Optional[Callable[[int, int], None]] = None,
         backend: Optional[str] = None,
+        model: Optional[str] = None,
     ):
         self.shared = shared
         self.workers = max(1, workers)
@@ -424,10 +433,13 @@ class WorkStealingScheduler:
             if not self.param_groups:
                 raise ValueError("params must name at least one (alpha, k) setting")
         from repro.fastpath.backend import resolve_backend
+        from repro.models import resolve_model
 
         #: Resolved kernel tier shipped to every worker, so parent and
         #: workers can never disagree on the tier mid-run.
         self.backend = resolve_backend(backend)
+        #: Resolved model name shipped alongside, for the same reason.
+        self.model = resolve_model(model)
         self.config = (
             self.param_groups,
             selection,
@@ -438,6 +450,7 @@ class WorkStealingScheduler:
             deadline,
             max_memory_bytes,
             self.backend,
+            self.model,
         )
         self.deadline = deadline
         self.max_memory_bytes = max_memory_bytes

@@ -1,15 +1,23 @@
-"""Bitset port of MSCE's branch-and-bound component search.
+"""Bitset port of the generic branch-and-bound component search.
 
 :class:`FrameSearch` mirrors
 :meth:`repro.core.bbe.MSCE._search_component` frame for frame: the same
-pruning rules in the same order, the same tracked-degree threading, and
+pruning rules in the same order, the same threaded per-frame state, and
 byte-identical branch selection (ties broken through the compiled
 ``repr``-rank permutation, the random strategy drawing from the same
 sorted candidate list so the RNG stream matches). The only difference is
 the data layout — candidate sets and included sets are integer bitmasks
-over compiled node indices, so the clique- and negative-constraint
-pruning loops intersect with one C-level AND per candidate instead of a
-hashed set intersection.
+over compiled node indices, so the model's pruning rules intersect with
+one C-level AND per candidate instead of a hashed set intersection.
+
+The *rules* themselves are pluggable: the enumerator's
+:class:`~repro.models.base.SignedConstraint` supplies a mask-space
+:class:`~repro.models.base.FrameOps` binding (prune bound, early
+termination feasibility, include-branch budget update, per-frame state
+threading), so the skeleton here is model-neutral — MSCE's (alpha, k)
+rules live in :mod:`repro.models.alpha_k`, the balanced-clique rules in
+:mod:`repro.models.balanced`, and both inherit the resumable frames,
+offload/spill driving loops, and guard handling below unchanged.
 
 The search is *resumable*: a frame ``(candidates, included, degrees)``
 is a self-contained subproblem, :meth:`FrameSearch.expand` processes
@@ -28,7 +36,7 @@ distribution of frames over workers.
 independent frames along the exclude spine: repeatedly process the root
 frame, ship the include branch ``(keep, {v_i})`` as a task, and continue
 on the exclude branch ``R \\ {v_i}``. With the default greedy selector
-(minimum positive degree inside ``R``) the branch vertices ``v_1, v_2,
+(minimum model degree inside ``R``) the branch vertices ``v_1, v_2,
 ...`` follow a degeneracy-style peel order, so task ``i`` is exactly the
 classic degeneracy-ordered root branch: ``v_i`` plus its candidates
 among later-ordered vertices, with all earlier branch vertices excluded.
@@ -47,13 +55,12 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ParameterError
 from repro.fastpath.bitset import bit_count, iter_bits
-from repro.fastpath.kernels import icore_tracked_fast
 from repro.limits import ResourceGuard
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.bbe import MSCE, SearchStats
 
-#: A search frame: (candidates mask, included mask, tracked degree map).
+#: A search frame: (candidates mask, included mask, threaded state map).
 Frame = Tuple[int, int, Optional[Dict[int, int]]]
 
 #: How many bottom-of-stack frames one budget overrun may offload.
@@ -63,11 +70,11 @@ MAX_OFFLOAD = 16
 class FrameSearch:
     """A configured BBE frame processor over one compiled graph.
 
-    Binds the enumerator's knobs (pruning flags, selector, maxtest) and
-    the run's accumulators (``stats``, ``found``, ``size_heap``) once,
-    then processes frames through :meth:`expand` / :meth:`run`. All
-    state a frame needs travels *in* the frame, which is what makes the
-    search resumable and re-splittable across processes.
+    Binds the enumerator's knobs (constraint model, selector, maxtest)
+    and the run's accumulators (``stats``, ``found``, ``size_heap``)
+    once, then processes frames through :meth:`expand` / :meth:`run`.
+    All state a frame needs travels *in* the frame, which is what makes
+    the search resumable and re-splittable across processes.
     """
 
     __slots__ = (
@@ -81,16 +88,9 @@ class FrameSearch:
         "interrupted",
         "incomplete",
         "compiled",
-        "threshold",
-        "neg_budget",
-        "pos_masks",
-        "neg_masks",
-        "adj_masks",
+        "min_size",
+        "ops",
         "select",
-        "native",
-        "packed_neg",
-        "packed_adj",
-        "scratch",
     )
 
     def __init__(
@@ -121,63 +121,17 @@ class FrameSearch:
         self.interrupted: Optional[str] = None
         #: Unexpanded ``(candidates, included)`` frames dropped on a trip.
         self.incomplete: List[Tuple[int, int]] = []
-        compiled = msce.compiled
-        self.compiled = compiled
-        self.threshold = msce.params.positive_threshold
-        self.neg_budget = msce.params.k
-        self.pos_masks = compiled.masks("positive")
-        self.neg_masks = compiled.masks("negative")
-        self.adj_masks = compiled.masks("all")
-        self.select = _make_selector(msce, self.pos_masks)
-        #: Native tier: run the include-branch candidate filter through
-        #: the jitted kernel (bit-identical keep set and counter deltas;
-        #: see :mod:`repro.fastpath.native`). The enumerator's resolved
-        #: backend is already downgraded when numba is unusable.
-        self.native = getattr(msce, "backend", None) == "native"
-        if self.native:
-            import numpy as _np
-
-            self.packed_neg = compiled.packed("negative")
-            self.packed_adj = compiled.packed("all")
-            self.scratch = _np.zeros(self.packed_adj.shape[1] << 6, dtype=_np.int64)
-        else:
-            self.packed_neg = None
-            self.packed_adj = None
-            self.scratch = None
+        self.compiled = msce.compiled
+        #: Effective subspace size floor (user min_size folded with the
+        #: model's own bound, see SignedConstraint.search_min_size).
+        self.min_size = msce._search_min_size
+        #: The model's mask-space frame operations.
+        self.ops = msce.constraint.bind_masks(self)
+        self.select = _make_selector(msce, self.ops)
 
     # ------------------------------------------------------------------
     # Frame processing
     # ------------------------------------------------------------------
-    def _is_valid_clique(self, members: int, degrees: Optional[Dict[int, int]]) -> bool:
-        # Mirror of the pure inline Definition-1 check (see bbe.py).
-        if not members:
-            return False
-        neg_masks = self.neg_masks
-        need = bit_count(members) - 1
-        budget = self.neg_budget
-        threshold = self.threshold
-        if degrees is not None:
-            for i in iter_bits(members):
-                positive = degrees[i]
-                if positive < threshold:
-                    return False
-                expected_negative = need - positive
-                if expected_negative < 0 or expected_negative > budget:
-                    return False
-                if bit_count(neg_masks[i] & members) != expected_negative:
-                    return False
-            return True
-        pos_masks = self.pos_masks
-        adj_masks = self.adj_masks
-        for i in iter_bits(members):
-            if bit_count(adj_masks[i] & members) < need:
-                return False
-            if bit_count(neg_masks[i] & members) > budget:
-                return False
-            if threshold and bit_count(pos_masks[i] & members) < threshold:
-                return False
-        return True
-
     def expand(self, frame: Frame) -> Optional[Tuple[Frame, Frame]]:
         """Process one frame; return its ``(include, exclude)`` children.
 
@@ -191,21 +145,17 @@ class FrameSearch:
         """
         msce = self.msce
         stats = self.stats
-        compiled = self.compiled
-        budget = self.neg_budget
+        ops = self.ops
         candidates, included, degrees = frame
         stats.recursions += 1
 
-        if msce.core_pruning:
-            flag, candidates, degrees = icore_tracked_fast(
-                compiled, included, self.threshold, candidates, degrees, sign="positive"
-            )
-            if not flag:
-                stats.core_prunes += 1
-                return None
+        flag, candidates, degrees = ops.prune_bound(candidates, included, degrees)
+        if not flag:
+            stats.core_prunes += 1
+            return None
 
         size = bit_count(candidates)
-        if msce.min_size is not None and size < msce.min_size:
+        if self.min_size is not None and size < self.min_size:
             stats.topr_prunes += 1
             return None
         top_r = self.top_r
@@ -213,81 +163,34 @@ class FrameSearch:
             stats.topr_prunes += 1
             return None
 
-        if self._is_valid_clique(candidates, degrees):
+        if ops.feasible(candidates, degrees):
             stats.early_terminations += 1
             stats.maxtests += 1
-            members = compiled.nodes_from_mask(candidates)
+            members = self.compiled.nodes_from_mask(candidates)
             if msce._maxtest(msce.graph, members, msce.params):
                 msce._emit(members, self.found, self.size_heap, top_r, stats)
             return None
 
         free = candidates & ~included
         if not free:
-            # Unreachable with core pruning on; defensive for ablations.
+            # Unreachable while the model's invariants hold (R == I
+            # implies the feasibility check fired); defensive for
+            # ablation modes.
             return None
         branch = self.select(candidates, included, degrees)
         branch_bit = 1 << branch
         new_included = included | branch_bit
 
-        neg_masks = self.neg_masks
-        pos_masks = self.pos_masks
-        if self.native:
-            from repro.fastpath import native, packed as packed_mod
-
-            n = compiled.n
-            keep, clique_pruned, negative_pruned = native.branch_keep(
-                self.packed_neg,
-                self.packed_adj[branch],
-                packed_mod.pack_mask(candidates, n),
-                packed_mod.pack_mask(new_included, n),
-                budget,
-                msce.clique_pruning,
-                msce.negative_pruning,
-                self.scratch,
-            )
-            stats.clique_pruned_candidates += clique_pruned
-            stats.negative_pruned_candidates += negative_pruned
-        else:
-            keep = new_included
-            adjacency = self.adj_masks[branch]
-            negative_inside = {
-                i: bit_count(neg_masks[i] & new_included) for i in iter_bits(new_included)
-            }
-            for i in iter_bits(candidates & ~new_included):
-                if msce.clique_pruning and not (adjacency >> i) & 1:
-                    stats.clique_pruned_candidates += 1
-                    continue
-                if msce.negative_pruning:
-                    negatives = neg_masks[i] & new_included
-                    if bit_count(negatives) > budget or any(
-                        negative_inside[member] + 1 > budget for member in iter_bits(negatives)
-                    ):
-                        stats.negative_pruned_candidates += 1
-                        continue
-                keep |= 1 << i
+        keep, clique_pruned, negative_pruned = ops.update_budgets(
+            candidates, included, new_included, branch
+        )
+        stats.clique_pruned_candidates += clique_pruned
+        stats.negative_pruned_candidates += negative_pruned
 
         # Exclude branch: candidates lose the branch node.
         exclude_candidates = candidates & ~branch_bit
-        if degrees is not None:
-            exclude_degrees: Optional[Dict[int, int]] = dict(degrees)
-            exclude_degrees.pop(branch, None)
-            for i in iter_bits(pos_masks[branch] & exclude_candidates):
-                exclude_degrees[i] -= 1
-        else:
-            exclude_degrees = None
-
-        # Include branch: same decremental-vs-recompute policy as the
-        # pure search (recompute when more than a third was pruned).
-        include_degrees: Optional[Dict[int, int]] = None
-        if degrees is not None:
-            removed = candidates & ~keep
-            if 3 * bit_count(removed) <= bit_count(keep):
-                include_degrees = dict(degrees)
-                for i in iter_bits(removed):
-                    include_degrees.pop(i, None)
-                for i in iter_bits(removed):
-                    for j in iter_bits(pos_masks[i] & keep):
-                        include_degrees[j] -= 1
+        exclude_degrees = ops.exclude_degrees(branch, exclude_candidates, degrees)
+        include_degrees = ops.include_degrees(candidates, keep, degrees)
         return (
             (keep, new_included, include_degrees),
             (exclude_candidates, included, exclude_degrees),
@@ -309,13 +212,13 @@ class FrameSearch:
         With a *budget*, every ``budget`` processed frames up to
         *max_offload* frames are taken **from the bottom of the stack**
         (the largest unexplored subtrees) and passed to *offload* as
-        plain ``(candidates, included)`` pairs — tracked degrees are
-        dropped, which changes nothing observable: the receiving frame
-        recomputes them, producing identical results and counters. The
-        offload points depend only on the processed-frame count, never
-        on wall-clock, so the set of frames a task spawns is a pure
-        function of the task itself — the foundation of the parallel
-        enumerator's determinism guarantee.
+        plain ``(candidates, included)`` pairs — threaded degree state
+        is dropped, which changes nothing observable: the receiving
+        frame recomputes it, producing identical results and counters.
+        The offload points depend only on the processed-frame count,
+        never on wall-clock, so the set of frames a task spawns is a
+        pure function of the task itself — the foundation of the
+        parallel enumerator's determinism guarantee.
 
         With a *frontier* (a
         :class:`~repro.fastpath.storage.SpillFrontier`), the stack is
@@ -449,7 +352,7 @@ def decompose_root(
     land in the caller's *stats*/*found*), appends the include branch
     ``(keep, included | {v_i})`` to the task list, and continues on the
     exclude branch. The spine's branch vertices follow the selector's
-    order — a degeneracy-style min-positive-degree peel for the default
+    order — a degeneracy-style minimum-degree peel for the default
     greedy strategy — so each task is the root branch of one vertex:
     the vertex itself plus its surviving later-ordered neighbours, with
     every earlier branch vertex excluded. The subtree sets are disjoint
@@ -481,9 +384,12 @@ def decompose_root(
     return tasks
 
 
-def _make_selector(msce: "MSCE", pos_masks: List[int]):
+def _make_selector(msce: "MSCE", ops):
     """Index-space ports of the branch-node selectors in bbe.py.
 
+    The greedy score comes from the model's
+    :meth:`~repro.models.base.FrameOps.branch_degree` (MSCE: tracked
+    positive degree inside ``R``; balanced: sign-blind degree).
     Tie-breaking goes through the compiled ``repr``-rank permutation so
     the chosen node is exactly the one the pure selector would pick.
     With ``frame_rng`` the random strategy hashes the frame's free
@@ -497,8 +403,7 @@ def _make_selector(msce: "MSCE", pos_masks: List[int]):
         best = -1
         best_key: Optional[Tuple[int, int]] = None
         for i in iter_bits(candidates & ~included):
-            degree = degrees[i] if degrees is not None else bit_count(pos_masks[i] & candidates)
-            key = (degree, repr_rank[i])
+            key = (ops.branch_degree(i, candidates, degrees), repr_rank[i])
             if best_key is None or key < best_key:
                 best_key = key
                 best = i

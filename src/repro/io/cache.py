@@ -36,7 +36,10 @@ PathLike = Union[str, Path]
 #: filenames carry the old revision) instead of being misparsed.
 #: v2: entries may carry a ``stats`` dict (the SearchStats counters of
 #: the run that produced them) next to the cliques.
-CACHE_SCHEMA_VERSION = 2
+#: v3: keys carry the signed-cohesion model segment, so answers produced
+#: under one constraint (e.g. ``balanced``) can never be served for
+#: another (``msce``) sharing the same graph and (alpha, k).
+CACHE_SCHEMA_VERSION = 3
 
 
 def graph_fingerprint(graph: SignedGraph) -> str:
@@ -78,8 +81,10 @@ def graph_fingerprint(graph: SignedGraph) -> str:
     return fingerprint
 
 
-def entry_key(fingerprint: str, params: AlphaK, kind: str) -> str:
-    """The canonical cache key for (graph fingerprint, params, kind).
+def entry_key(
+    fingerprint: str, params: AlphaK, kind: str, model: str = "msce"
+) -> str:
+    """The canonical cache key for (graph fingerprint, model, params, kind).
 
     Shared by the disk tier (as the filename stem) and the serving
     engine's in-memory LRU, so a result can move between tiers without
@@ -88,11 +93,17 @@ def entry_key(fingerprint: str, params: AlphaK, kind: str) -> str:
     version next to the graph fingerprint, so entries written by an
     older layout (or an older release with different enumeration
     semantics) are simply never found rather than deserialised into
-    wrong results.
+    wrong results. The ``model`` segment keeps constraints apart: a
+    balanced-clique answer can never be served for an MSCE request on
+    the same graph and parameters (or vice versa).
     """
     safe_kind = "".join(ch for ch in kind if ch.isalnum() or ch in "-_")
+    safe_model = "".join(ch for ch in model if ch.isalnum() or ch in "-_")
     version_tag = f"s{CACHE_SCHEMA_VERSION}-v{repro.__version__}"
-    return f"{fingerprint[:32]}-{version_tag}-a{params.alpha:g}-k{params.k}-{safe_kind}"
+    return (
+        f"{fingerprint[:32]}-{version_tag}-m{safe_model}"
+        f"-a{params.alpha:g}-k{params.k}-{safe_kind}"
+    )
 
 
 def storage_artifact_path(directory: PathLike, fingerprint: str) -> Path:
@@ -125,18 +136,20 @@ class ResultCache:
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
 
-    def _path(self, fingerprint: str, params: AlphaK, kind: str) -> Path:
-        return self._dir / (entry_key(fingerprint, params, kind) + ".json")
+    def _path(
+        self, fingerprint: str, params: AlphaK, kind: str, model: str = "msce"
+    ) -> Path:
+        return self._dir / (entry_key(fingerprint, params, kind, model=model) + ".json")
 
     def get(
-        self, graph: SignedGraph, params: AlphaK, kind: str = "all"
+        self, graph: SignedGraph, params: AlphaK, kind: str = "all", model: str = "msce"
     ) -> Optional[List[SignedClique]]:
         """Return the cached cliques, or ``None`` on a miss/corrupt entry."""
-        entry = self.get_entry(graph, params, kind)
+        entry = self.get_entry(graph, params, kind, model=model)
         return None if entry is None else entry[0]
 
     def get_entry(
-        self, graph: SignedGraph, params: AlphaK, kind: str = "all"
+        self, graph: SignedGraph, params: AlphaK, kind: str = "all", model: str = "msce"
     ) -> Optional[Tuple[List[SignedClique], Optional[Dict[str, int]]]]:
         """Return ``(cliques, stats-or-None)``, or ``None`` on a miss.
 
@@ -146,7 +159,7 @@ class ResultCache:
         pins the exact graph content and code version, replaying those
         counters on a hit is indistinguishable from recomputing.
         """
-        path = self._path(graph_fingerprint(graph), params, kind)
+        path = self._path(graph_fingerprint(graph), params, kind, model=model)
         if not path.exists():
             return None
         try:
@@ -174,6 +187,7 @@ class ResultCache:
         cliques: List[SignedClique],
         kind: str = "all",
         stats: Optional[Dict[str, int]] = None,
+        model: str = "msce",
     ) -> None:
         """Store *cliques* (and optionally their run's stats counters)."""
         for clique in cliques:
@@ -196,7 +210,7 @@ class ResultCache:
         }
         if stats is not None:
             payload["stats"] = dict(stats)
-        path = self._path(graph_fingerprint(graph), params, kind)
+        path = self._path(graph_fingerprint(graph), params, kind, model=model)
         path.write_text(json.dumps(payload), encoding="utf-8")
 
     def clear(self) -> int:
@@ -219,13 +233,18 @@ def cached_enumerate(
 
     Results produced under a ``time_limit``/``max_results`` cap are
     *not* cached (they are partial); pass no caps for cacheable runs.
+    A ``model=`` option participates in the cache key, so constraints
+    never share entries.
     """
+    from repro.models import resolve_model
+
     params = AlphaK(alpha, k)
+    model = resolve_model(msce_options.get("model"))
     cache = ResultCache(cache_dir)
-    hit = cache.get(graph, params)
+    hit = cache.get(graph, params, model=model)
     if hit is not None:
         return hit
     result = MSCE(graph, params, **msce_options).enumerate_all()
     if not (result.timed_out or result.truncated):
-        cache.put(graph, params, result.cliques)
+        cache.put(graph, params, result.cliques, model=model)
     return result.cliques

@@ -1,0 +1,44 @@
+"""Pluggable signed-constraint models for the BBE search skeleton.
+
+Importing this package registers the built-in models:
+
+* ``"msce"`` — the paper's maximal (alpha, k)-cliques
+  (:class:`~repro.models.alpha_k.AlphaKConstraint`, the default);
+* ``"balanced"`` — maximal balanced cliques per Chen et al.
+  (:class:`~repro.models.balanced.BalancedConstraint`).
+
+See :mod:`repro.models.base` for the :class:`SignedConstraint`
+interface and how to add a model.
+"""
+
+from repro.models.alpha_k import AlphaKConstraint
+from repro.models.balanced import BalancedConstraint, balanced_sides, is_balanced_clique
+from repro.models.base import (
+    DEFAULT_MODEL,
+    MODEL_ENV,
+    MODELS,
+    FrameOps,
+    SignedConstraint,
+    available_models,
+    get_model,
+    make_constraint,
+    register_model,
+    resolve_model,
+)
+
+__all__ = [
+    "AlphaKConstraint",
+    "BalancedConstraint",
+    "DEFAULT_MODEL",
+    "FrameOps",
+    "MODEL_ENV",
+    "MODELS",
+    "SignedConstraint",
+    "available_models",
+    "balanced_sides",
+    "get_model",
+    "is_balanced_clique",
+    "make_constraint",
+    "register_model",
+    "resolve_model",
+]

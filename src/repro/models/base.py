@@ -1,0 +1,240 @@
+"""The signed-constraint framework: pluggable cohesion models for BBE.
+
+The branch-and-bound skeleton this repo builds for MSCE — degeneracy
+ordered root branching over reduced components, resumable two-integer
+frames, work stealing, fault tolerance, observability, serving caches —
+is shared by a family of signed-cohesion models (ROADMAP item 2).
+What actually differs between models is a small set of rules:
+
+* **feasibility** — is a member set a valid clique under the model?
+* **budget updates** — after including a branch node, which candidates
+  survive into the child frame (the model's pruning rules)?
+* **prune bound** — can a whole subspace be discarded up front?
+* **reduction rule** — which pre-search graph reduction is sound?
+* **maximality test** — is a found clique maximal in the whole graph?
+
+:class:`SignedConstraint` packages those rules. The generic searches
+(:class:`repro.fastpath.search.FrameSearch` on the compiled bitset path,
+:meth:`repro.core.bbe.MSCE._search_component` on the pure path) call
+through it, so one new module — a :class:`SignedConstraint` subclass
+registered with :func:`register_model` — inherits the CompiledGraph CSR,
+the work-stealing scheduler, fault tolerance, ``repro.obs``, the serve
+cache and the HTTP layer for free.
+
+Because the search runs in two data layouts, a constraint binds its
+rules twice: :meth:`SignedConstraint.bind_masks` returns the frame
+operations over integer bitmasks (compiled node indices) and
+:meth:`SignedConstraint.bind_graph` the same operations over node sets.
+Both bindings must implement the :class:`FrameOps` contract and must
+agree exactly — the cross-space differential tests enforce it.
+
+Model selection flows through one resolver, :func:`resolve_model`,
+mirroring :func:`repro.fastpath.backend.resolve_backend`: an explicit
+``model=`` argument wins over the ``REPRO_MODEL`` environment variable,
+which wins over the default (``"msce"``). The resolved name is part of
+the serve-cache entry key and is shipped to scheduler workers, so a
+parallel run always applies one consistent model.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Optional, Type
+
+from repro.core.params import AlphaK
+from repro.exceptions import ParameterError
+from repro.graphs.signed_graph import Node, SignedGraph
+
+#: Environment variable naming the default model for the process.
+MODEL_ENV = "REPRO_MODEL"
+
+#: The default model: the paper's maximal (alpha, k)-clique enumeration.
+DEFAULT_MODEL = "msce"
+
+#: Registry of model name -> constraint class (see :func:`register_model`).
+MODELS: Dict[str, Type["SignedConstraint"]] = {}
+
+
+class FrameOps:
+    """Per-run frame operations of one constraint in one data layout.
+
+    A binding holds everything the hot loop needs (masks, budgets,
+    flags) resolved once, then processes frames through these methods.
+    ``candidates`` / ``included`` / ``members`` are bitmasks over
+    compiled node indices in the mask-space binding and node sets in
+    the graph-space binding; ``degrees`` is the model's per-frame
+    threaded state (``None`` when the model threads nothing).
+
+    The contract every binding must honour:
+
+    ``prune_bound(candidates, included, degrees)``
+        Returns ``(flag, candidates, degrees)``. ``flag=False`` prunes
+        the whole subspace (counted as a core prune); otherwise the
+        possibly-shrunk candidates/degrees replace the frame's.
+    ``feasible(members, degrees)``
+        ``True`` iff *members* is a valid clique of the model —
+        the early-termination check, run once per frame on the full
+        candidate set. Excludes reporting thresholds that supersets
+        inherit (see :meth:`SignedConstraint.reportable`).
+    ``update_budgets(candidates, included, new_included, branch)``
+        The include-branch candidate filter. Returns
+        ``(keep, clique_pruned, negative_pruned)``: the surviving
+        candidate set (a superset of ``new_included``) plus the two
+        pruning-counter deltas.
+    ``exclude_degrees(branch, exclude_candidates, degrees)``
+        Threaded state for the exclude child ``(candidates - branch)``.
+    ``include_degrees(candidates, keep, degrees)``
+        Threaded state for the include child, or ``None`` to make the
+        child recompute from scratch.
+    ``branch_degree(node, candidates, degrees)``
+        The greedy selector's score for *node* (minimum wins; ties are
+        broken by node ``repr`` rank in the generic selectors).
+    """
+
+    __slots__ = ()
+
+
+class SignedConstraint:
+    """One signed-cohesion model: the rules the generic BBE search calls.
+
+    Subclasses set :attr:`name`, implement the graph-level predicates
+    (:meth:`feasible`, :meth:`make_maxtest`) and return their
+    :class:`FrameOps` bindings from :meth:`bind_masks` /
+    :meth:`bind_graph`. Everything else has model-neutral defaults.
+
+    Parameters are the repo-wide :class:`~repro.core.params.AlphaK`
+    pair; each model documents its own interpretation (MSCE reads both,
+    the balanced model reads ``k`` as the minimum side size).
+    """
+
+    #: Registry name; also the cache-key segment and the span attribute.
+    name: str = ""
+
+    #: Whether frames thread a tracked-degree map (MSCE's positive
+    #: degrees). Models that thread nothing skip the bookkeeping.
+    tracks_degrees: bool = True
+
+    #: Whether the query-driven community search (:mod:`repro.core.query`)
+    #: understands this model's seeded subspaces.
+    supports_queries: bool = False
+
+    def __init__(self, params: AlphaK):
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Graph-level predicates (oracle, audit, maximality)
+    # ------------------------------------------------------------------
+    def feasible(self, graph: SignedGraph, members: Iterable[Node]) -> bool:
+        """``True`` iff *members* is a valid, reportable clique of the model.
+
+        This is the differential-testing predicate: the brute-force
+        oracle (:func:`repro.core.naive.brute_force_constraint`) sweeps
+        it over every subset, so it must include *all* of the model's
+        requirements — including reporting thresholds the in-search
+        :meth:`FrameOps.feasible` omits.
+        """
+        raise NotImplementedError
+
+    def reportable(self, graph: SignedGraph, members: Iterable[Node]) -> bool:
+        """Emission gate: thresholds every superset inherits.
+
+        The search may discover maximal cliques that fail a reporting
+        threshold (the balanced model's minimum side size); they are
+        still search leaves but are not emitted. Sound exactly when the
+        threshold is superset-monotone, so maximality is unaffected.
+        """
+        return True
+
+    def make_maxtest(self, kind: str) -> Callable:
+        """Return the maximality predicate ``f(graph, members, params)``.
+
+        *kind* is the enumerator's ``maxtest`` knob (``"exact"`` /
+        ``"paper"``); models without a heuristic variant may map both
+        kinds to the exact test.
+        """
+        raise NotImplementedError
+
+    def audit_check(self, graph: SignedGraph, clique) -> None:
+        """Raise unless *clique* satisfies the model (``audit=True`` hook)."""
+        if not self.feasible(graph, clique.nodes):
+            raise AssertionError(
+                f"{self.name} audit: emitted clique violates the model: "
+                f"{sorted(map(repr, clique.nodes))}"
+            )
+
+    # ------------------------------------------------------------------
+    # Search configuration
+    # ------------------------------------------------------------------
+    def reduction_rule(self, method: str) -> str:
+        """Map the user's reduction *method* to one sound for this model.
+
+        MSCE accepts the paper's ladder unchanged; models whose cliques
+        are not (alpha, k)-cliques must degrade to ``"none"`` (the
+        survivor set would otherwise drop valid members).
+        """
+        return method
+
+    def search_min_size(self, min_size: Optional[int]) -> Optional[int]:
+        """The effective subspace size floor (``None`` = no floor).
+
+        Combines the user's ``min_size`` with any model-implied bound
+        (a reportable balanced clique has at least ``2 * tau`` members).
+        Used for subspace pruning only; emission gating stays with the
+        user's ``min_size`` and :meth:`reportable`.
+        """
+        return min_size
+
+    # ------------------------------------------------------------------
+    # Frame-operation bindings
+    # ------------------------------------------------------------------
+    def bind_masks(self, search) -> FrameOps:
+        """Bind the mask-space (compiled bitset) frame operations.
+
+        *search* is the :class:`repro.fastpath.search.FrameSearch`
+        driving the run; the binding may read its compiled graph and
+        the enumerator's knobs.
+        """
+        raise NotImplementedError
+
+    def bind_graph(self, msce) -> FrameOps:
+        """Bind the graph-space (pure Python set) frame operations."""
+        raise NotImplementedError
+
+
+def register_model(cls: Type[SignedConstraint]) -> Type[SignedConstraint]:
+    """Class decorator: add *cls* to the :data:`MODELS` registry."""
+    if not cls.name:
+        raise ParameterError(f"model class {cls.__name__} must set a name")
+    MODELS[cls.name] = cls
+    return cls
+
+
+def available_models() -> tuple:
+    """The registered model names, sorted."""
+    return tuple(sorted(MODELS))
+
+
+def resolve_model(model: Optional[str] = None) -> str:
+    """Resolve a model request to the registered name that will run.
+
+    Precedence: explicit *model* argument > ``REPRO_MODEL`` env >
+    :data:`DEFAULT_MODEL`. Unknown names raise
+    :class:`~repro.exceptions.ParameterError`.
+    """
+    if model is None:
+        model = os.environ.get(MODEL_ENV, "").strip() or DEFAULT_MODEL
+    if model not in MODELS:
+        raise ParameterError(
+            f"unknown model {model!r}; expected one of {list(available_models())}"
+        )
+    return model
+
+
+def get_model(name: str) -> Type[SignedConstraint]:
+    """Return the constraint class registered under *name*."""
+    return MODELS[resolve_model(name)]
+
+
+def make_constraint(model: Optional[str], params: AlphaK) -> SignedConstraint:
+    """Instantiate the resolved constraint for *params*."""
+    return MODELS[resolve_model(model)](params)

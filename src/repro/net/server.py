@@ -54,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError
 from repro.limits import ResourceGuard, parse_deadline
+from repro.models import resolve_model
 from repro.net.admission import AdmissionController, Shed
 from repro.net.coalesce import SingleFlight
 from repro.net.http import (
@@ -506,6 +507,10 @@ class CliqueServer:
         mode = request.param("mode", "all")
         if mode not in ("all", "top"):
             raise HttpError(400, "bad_params", f"unknown mode {mode!r} (all / top)")
+        try:
+            model = resolve_model(request.param("model"))
+        except ReproError as error:
+            raise HttpError(400, "bad_params", str(error))
         r = None
         if mode == "top":
             try:
@@ -528,7 +533,7 @@ class CliqueServer:
                 with engine.pinned():
                     computed_on = engine.fingerprint
                     grid = engine.run_grid(
-                        [alpha], [k], time_limit=guard.remaining_time()
+                        [alpha], [k], time_limit=guard.remaining_time(), model=model
                     )
                     return computed_on, grid[(alpha, k)]
         else:
@@ -536,15 +541,15 @@ class CliqueServer:
                 with engine.pinned():
                     computed_on = engine.fingerprint
                     return computed_on, engine.top_r_with_stats(
-                        alpha, k, r, time_limit=guard.remaining_time()
+                        alpha, k, r, time_limit=guard.remaining_time(), model=model
                     )
 
-        key = (tenant.name, fingerprint, mode, alpha, k, r)
+        key = (tenant.name, fingerprint, mode, alpha, k, r, model)
         flight_result, coalesced = await self._run_flight(tenant, key, guard, compute)
         computed_on, result = flight_result
         return self._result_payload(
             tenant, fingerprint, computed_on, result,
-            {"alpha": alpha, "k": k, "mode": mode, "r": r},
+            {"alpha": alpha, "k": k, "mode": mode, "r": r, "model": model},
             coalesced, started,
         )
 

@@ -63,7 +63,7 @@ from repro.core.dynamic import closed_neighborhood, refresh_region
 from repro.core.params import AlphaK
 from repro.core.parallel import enumerate_grid
 from repro.core.query import query_search
-from repro.exceptions import GraphError, StorageError
+from repro.exceptions import GraphError, ParameterError, StorageError
 from repro.fastpath.backend import resolve_backend
 from repro.fastpath.compiled import CompiledGraph, compile_graph
 from repro.fastpath.kernels import reduce_mask
@@ -74,6 +74,7 @@ from repro.io.cache import (
     graph_fingerprint,
     storage_artifact_path,
 )
+from repro.models import get_model, resolve_model
 from repro.obs import runtime as obs
 from repro.serve.lru import MemoryLRU, approximate_size
 
@@ -182,6 +183,11 @@ class SignedCliqueEngine:
         (:data:`repro.fastpath.backend.BACKENDS`); resolved once at
         construction, so cache keys and results are identical across
         tiers — only the wall clock changes.
+    model:
+        Default signed-cohesion model (:data:`repro.models.MODELS`);
+        resolved once at construction. Enumeration requests may
+        override it per call with ``model=``; the model name is part of
+        every cache key, so constraints never share entries.
     record_requests:
         When ``True``, the engine appends every served request and
         update to :attr:`request_log` in serialisation order (the order
@@ -206,6 +212,7 @@ class SignedCliqueEngine:
         seed: int = 0,
         record_requests: bool = False,
         backend: Optional[str] = None,
+        model: Optional[str] = None,
         tenant: Optional[str] = None,
     ):
         self._lock = threading.RLock()
@@ -224,6 +231,7 @@ class SignedCliqueEngine:
         self._maxtest = maxtest
         self._seed = seed
         self._backend = resolve_backend(backend)
+        self._model = resolve_model(model)
         self._workers = max(1, workers)
         #: (method, positive_threshold) -> survivor bitmask of the
         #: current compiled graph. Cleared on every mutation.
@@ -389,8 +397,17 @@ class SignedCliqueEngine:
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
-    def _key(self, params: AlphaK, kind: str) -> str:
-        return entry_key(graph_fingerprint(self._graph), params, kind)
+    def _resolve_model(self, model: Optional[str]) -> str:
+        """Per-request model override; the engine default when absent."""
+        return self._model if model is None else resolve_model(model)
+
+    def _key(self, params: AlphaK, kind: str, model: Optional[str] = None) -> str:
+        return entry_key(
+            graph_fingerprint(self._graph),
+            params,
+            kind,
+            model=model or self._model,
+        )
 
     def _store(
         self,
@@ -398,20 +415,28 @@ class SignedCliqueEngine:
         kind: str,
         cliques: List[SignedClique],
         stats: Optional[SearchStats],
+        model: Optional[str] = None,
     ) -> None:
         """Write-through store into both tiers (stats may be absent)."""
+        model = model or self._model
         stats_dict = stats.as_dict() if stats is not None else None
         value = {"cliques": list(cliques), "stats": stats_dict}
-        self.memory.put(self._key(params, kind), value)
+        self.memory.put(self._key(params, kind, model=model), value)
         self._note_evictions()
         if self.disk is not None:
             try:
-                self.disk.put(self._graph, params, cliques, kind=kind, stats=stats_dict)
+                self.disk.put(
+                    self._graph, params, cliques, kind=kind, stats=stats_dict, model=model
+                )
             except TypeError:
                 pass  # non-JSON-serialisable labels: memory tier only
 
     def _lookup(
-        self, params: AlphaK, kind: str, need_stats: bool
+        self,
+        params: AlphaK,
+        kind: str,
+        need_stats: bool,
+        model: Optional[str] = None,
     ) -> Optional[Tuple[List[SignedClique], Optional[Dict[str, int]], str]]:
         """Probe memory then disk; promote disk hits into memory.
 
@@ -419,13 +444,14 @@ class SignedCliqueEngine:
         ``need_stats`` skips cliques-only entries (the repaired ones a
         stats-bearing request must not serve).
         """
-        key = self._key(params, kind)
+        model = model or self._model
+        key = self._key(params, kind, model=model)
         value = self.memory.get(key)
         if value is not None and (value["stats"] is not None or not need_stats):
             self._bump("memory_hits")
             return value["cliques"], value["stats"], "memory"
         if self.disk is not None:
-            entry = self.disk.get_entry(self._graph, params, kind=kind)
+            entry = self.disk.get_entry(self._graph, params, kind=kind, model=model)
             if entry is not None and (entry[1] is not None or not need_stats):
                 cliques, stats_dict = entry
                 self.memory.put(key, {"cliques": cliques, "stats": stats_dict})
@@ -453,13 +479,20 @@ class SignedCliqueEngine:
     # Requests
     # ------------------------------------------------------------------
     def _full_result(
-        self, params: AlphaK, started: float, time_limit: Optional[float] = None
+        self,
+        params: AlphaK,
+        started: float,
+        time_limit: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> EnumerationResult:
         """Stats-tier lookup-or-compute for one full enumeration."""
-        hit = self._lookup(params, "all", need_stats=True)
+        model = model or self._model
+        live = model == "msce"  # locality repair understands MSCE only
+        hit = self._lookup(params, "all", need_stats=True, model=model)
         if hit is not None:
             cliques, stats_dict, _ = hit
-            self._seed_live(params, cliques)
+            if live:
+                self._seed_live(params, cliques)
             return self._result_from_entry(
                 cliques, stats_dict, time.perf_counter() - started
             )
@@ -472,17 +505,25 @@ class SignedCliqueEngine:
             maxtest=self._maxtest,
             seed=self._seed,
             time_limit=time_limit,
-            reducer=self._reducer,
+            # The ceiling memo reduces by the (alpha, k) positive
+            # threshold — only sound for the MSCE constraint.
+            reducer=self._reducer if live else None,
             backend=self._backend,
+            model=model,
         )
         self._bump("computes")
         if not (result.timed_out or result.truncated or result.interrupted):
-            self._store(params, "all", result.cliques, result.stats)
-            self._seed_live(params, result.cliques)
+            self._store(params, "all", result.cliques, result.stats, model=model)
+            if live:
+                self._seed_live(params, result.cliques)
         return result
 
     def enumerate_with_stats(
-        self, alpha: float, k: int, time_limit: Optional[float] = None
+        self,
+        alpha: float,
+        k: int,
+        time_limit: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> EnumerationResult:
         """Full enumeration with bit-identical cliques *and* stats.
 
@@ -497,16 +538,26 @@ class SignedCliqueEngine:
         never cached — this is how the network layer propagates a
         request deadline (:meth:`repro.limits.ResourceGuard.remaining_time`)
         into the search without poisoning the tiers.
+
+        ``model`` overrides the engine's default constraint for this
+        request (resolved through :func:`repro.models.resolve_model`).
         """
         params = AlphaK(alpha, k)
+        model = self._resolve_model(model)
         with self._lock:
-            self._record("enumerate_with_stats", alpha, k)
+            self._record("enumerate_with_stats", alpha, k, model)
             started = time.perf_counter()
-            with obs.span("serve_request", kind="all", alpha=params.alpha, k=params.k):
+            with obs.span(
+                "serve_request", kind="all", alpha=params.alpha, k=params.k, model=model
+            ):
                 self._bump("requests")
-                return self._full_result(params, started, time_limit=time_limit)
+                return self._full_result(
+                    params, started, time_limit=time_limit, model=model
+                )
 
-    def enumerate(self, alpha: float, k: int) -> List[SignedClique]:
+    def enumerate(
+        self, alpha: float, k: int, model: Optional[str] = None
+    ) -> List[SignedClique]:
         """All maximal (alpha, k)-cliques, largest first (cliques tier).
 
         Unlike :meth:`enumerate_with_stats` this may serve entries that
@@ -515,16 +566,20 @@ class SignedCliqueEngine:
         stats.
         """
         params = AlphaK(alpha, k)
+        model = self._resolve_model(model)
         with self._lock:
-            self._record("enumerate", alpha, k)
+            self._record("enumerate", alpha, k, model)
             started = time.perf_counter()
-            with obs.span("serve_request", kind="all", alpha=params.alpha, k=params.k):
+            with obs.span(
+                "serve_request", kind="all", alpha=params.alpha, k=params.k, model=model
+            ):
                 self._bump("requests")
-                hit = self._lookup(params, "all", need_stats=False)
+                hit = self._lookup(params, "all", need_stats=False, model=model)
                 if hit is not None:
-                    self._seed_live(params, hit[0])
+                    if model == "msce":
+                        self._seed_live(params, hit[0])
                     return list(hit[0])
-                return list(self._full_result(params, started).cliques)
+                return list(self._full_result(params, started, model=model).cliques)
 
     def _topr_result(
         self,
@@ -532,10 +587,12 @@ class SignedCliqueEngine:
         r: int,
         started: float,
         time_limit: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> EnumerationResult:
         """Stats-tier lookup-or-compute for one top-r cutoff search."""
+        model = model or self._model
         kind = f"top{r}"
-        hit = self._lookup(params, kind, need_stats=True)
+        hit = self._lookup(params, kind, need_stats=True, model=model)
         if hit is not None:
             cliques, stats_dict, _ = hit
             return self._result_from_entry(
@@ -549,15 +606,18 @@ class SignedCliqueEngine:
             maxtest=self._maxtest,
             seed=self._seed,
             time_limit=time_limit,
-            reducer=self._reducer,
+            reducer=self._reducer if model == "msce" else None,
             backend=self._backend,
+            model=model,
         ).top_r(r)
         self._bump("computes")
         if not (result.timed_out or result.truncated or result.interrupted):
-            self._store(params, kind, result.cliques, result.stats)
+            self._store(params, kind, result.cliques, result.stats, model=model)
         return result
 
-    def top_r(self, alpha: float, k: int, r: int) -> List[SignedClique]:
+    def top_r(
+        self, alpha: float, k: int, r: int, model: Optional[str] = None
+    ) -> List[SignedClique]:
         """The ``r`` largest maximal (alpha, k)-cliques.
 
         Derives from a cached full enumeration when one is present (the
@@ -567,36 +627,54 @@ class SignedCliqueEngine:
         paper's cutoff search.
         """
         params = AlphaK(alpha, k)
+        model = self._resolve_model(model)
         with self._lock:
-            self._record("top_r", alpha, k, r)
+            self._record("top_r", alpha, k, r, model)
             started = time.perf_counter()
             with obs.span(
-                "serve_request", kind=f"top{r}", alpha=params.alpha, k=params.k
+                "serve_request",
+                kind=f"top{r}",
+                alpha=params.alpha,
+                k=params.k,
+                model=model,
             ):
                 self._bump("requests")
-                full = self._lookup(params, "all", need_stats=False)
+                full = self._lookup(params, "all", need_stats=False, model=model)
                 if full is not None:
                     self._bump("derived_hits")
                     return list(full[0][: max(r, 0)])
-                return list(self._topr_result(params, r, started).cliques)
+                return list(self._topr_result(params, r, started, model=model).cliques)
 
     def top_r_with_stats(
-        self, alpha: float, k: int, r: int, time_limit: Optional[float] = None
+        self,
+        alpha: float,
+        k: int,
+        r: int,
+        time_limit: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> EnumerationResult:
         """Top-r with the cutoff search's own bit-identical stats.
 
         ``time_limit`` caps a cache miss's compute, as in
-        :meth:`enumerate_with_stats`.
+        :meth:`enumerate_with_stats`; ``model`` overrides the engine's
+        default constraint for this request.
         """
         params = AlphaK(alpha, k)
+        model = self._resolve_model(model)
         with self._lock:
-            self._record("top_r_with_stats", alpha, k, r)
+            self._record("top_r_with_stats", alpha, k, r, model)
             started = time.perf_counter()
             with obs.span(
-                "serve_request", kind=f"top{r}", alpha=params.alpha, k=params.k
+                "serve_request",
+                kind=f"top{r}",
+                alpha=params.alpha,
+                k=params.k,
+                model=model,
             ):
                 self._bump("requests")
-                return self._topr_result(params, r, started, time_limit=time_limit)
+                return self._topr_result(
+                    params, r, started, time_limit=time_limit, model=model
+                )
 
     def query_with_stats(
         self,
@@ -613,6 +691,10 @@ class SignedCliqueEngine:
         the entry).
         """
         params = AlphaK(alpha, k)
+        if not get_model(self._model).supports_queries:
+            raise ParameterError(
+                f"community search is not supported by the {self._model!r} model"
+            )
         query_set = set(query)
         kind = _query_kind(query_set)
         with self._lock:
@@ -676,6 +758,7 @@ class SignedCliqueEngine:
         ks: Iterable[int],
         workers: Optional[int] = None,
         time_limit: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> GridResult:
         """Enumerate the whole ``alphas × ks`` grid in one batch.
 
@@ -693,24 +776,33 @@ class SignedCliqueEngine:
         """
         grid = [AlphaK(alpha, k) for alpha in alphas for k in ks]
         points = list(dict.fromkeys(grid))
+        model = self._resolve_model(model)
+        live = model == "msce"
         with self._lock:
             self._record(
                 "run_grid",
                 tuple((p.alpha, p.k) for p in points),
                 workers,
                 time_limit,
+                model,
             )
             started = time.perf_counter()
-            with obs.span("serve_grid", points=len(points), workers=workers or self._workers):
+            with obs.span(
+                "serve_grid",
+                points=len(points),
+                workers=workers or self._workers,
+                model=model,
+            ):
                 self._bump("requests")
                 self._bump("grid_points", len(points))
                 results: "OrderedDict[AlphaK, EnumerationResult]" = OrderedDict()
                 missing: List[AlphaK] = []
                 for params in points:
-                    hit = self._lookup(params, "all", need_stats=True)
+                    hit = self._lookup(params, "all", need_stats=True, model=model)
                     if hit is not None:
                         cliques, stats_dict, _ = hit
-                        self._seed_live(params, cliques)
+                        if live:
+                            self._seed_live(params, cliques)
                         results[params] = self._result_from_entry(
                             cliques, stats_dict, 0.0
                         )
@@ -728,8 +820,9 @@ class SignedCliqueEngine:
                         maxtest=self._maxtest,
                         seed=self._seed,
                         time_limit=time_limit,
-                        reducer=self._reducer,
+                        reducer=self._reducer if live else None,
                         backend=self._backend,
+                        model=model,
                     )
                     self._bump("grid_computed", len(missing))
                     self._bump("computes", len(missing))
@@ -738,14 +831,18 @@ class SignedCliqueEngine:
                         if not (
                             result.timed_out or result.truncated or result.interrupted
                         ):
-                            self._store(params, "all", result.cliques, result.stats)
-                            self._seed_live(params, result.cliques)
+                            self._store(
+                                params, "all", result.cliques, result.stats, model=model
+                            )
+                            if live:
+                                self._seed_live(params, result.cliques)
                 report = {
                     "points": len(points),
                     "served_from_cache": len(points) - len(missing),
                     "computed": len(missing),
                     "workers": workers or self._workers,
                     "backend": self._backend,
+                    "model": model,
                     "sharing_ratio": self.sharing_ratio,
                     "elapsed_seconds": time.perf_counter() - started,
                 }
@@ -861,7 +958,12 @@ class SignedCliqueEngine:
                         maxtest=self._maxtest,
                         search_graph=compiled,
                     )
-                    self._store(params, "all", sort_cliques(cliques.values()), None)
+                    # Live sets are only ever seeded by MSCE requests
+                    # (the locality rule is (alpha, k)-specific), so the
+                    # repaired entries republish under that model.
+                    self._store(
+                        params, "all", sort_cliques(cliques.values()), None, model="msce"
+                    )
             self.counters["cliques_invalidated"] += invalidated - extra_invalidated
             obs.counter("serve_cliques_invalidated").inc(invalidated)
             obs.journal_event(
@@ -897,6 +999,7 @@ class SignedCliqueEngine:
             "memory": self.memory.stats(),
             "disk": str(self.disk._dir) if self.disk is not None else None,
             "backend": self._backend,
+            "model": self._model,
             "counters": dict(self.counters),
             "sharing_ratio": self.sharing_ratio,
             "live_settings": len(self._live),

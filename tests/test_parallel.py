@@ -57,15 +57,18 @@ class TestParallelEnumeration:
         parallel = {c.nodes for c in enumerate_parallel(graph, 2, 1, workers=2)}
         assert parallel == sequential
 
+    # Tests asserting absolute MSCE answers pin model="msce" so the
+    # suite stays meaningful under a REPRO_MODEL=balanced environment
+    # (the relative parallel-vs-sequential contracts are model-generic).
     def test_small_graph_runs_inline(self, paper_graph):
-        result = enumerate_parallel(paper_graph, 3, 1, workers=4)
+        result = enumerate_parallel(paper_graph, 3, 1, workers=4, model="msce")
         assert [sorted(c.nodes) for c in result] == [[1, 2, 3, 4, 5]]
         # Below SMALL_COMPONENT nothing ships to a worker process.
         assert result.parallel["tasks_seeded"] == 0
         assert result.parallel["inline_components"] == result.stats.components
 
     def test_workers_one_is_sequential(self, paper_graph):
-        cliques = enumerate_parallel(paper_graph, 3, 1, workers=1)
+        cliques = enumerate_parallel(paper_graph, 3, 1, workers=1, model="msce")
         assert len(cliques) == 1
 
     def test_results_sorted_and_counted(self):
@@ -104,7 +107,7 @@ class TestParallelEnumeration:
 
     def test_fully_reduced_graph(self):
         graph = _multi_component_graph(seed=5)
-        result = enumerate_parallel(graph, 0.99, 50, workers=2)
+        result = enumerate_parallel(graph, 0.99, 50, workers=2, model="msce")
         assert len(result) == 0
         assert result.stats.components == 0
 
