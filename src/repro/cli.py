@@ -55,6 +55,7 @@ from repro.exceptions import ReproError
 from repro.fastpath.compiled import source_graph
 from repro.generators import DATASET_BUILDERS, load_dataset
 from repro.graphs import graph_stats
+from repro.heuristics import WARM_START_STRATEGIES
 from repro.io import read_signed_edgelist, write_signed_edgelist
 from repro.metrics import (
     balanced_partition,
@@ -164,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("-r", type=int, default=30, help="how many cliques (default 30)")
     _add_model(top)
     top.add_argument("--time-limit", type=float, default=None, help="seconds cap")
+    top.add_argument(
+        "--warm-start",
+        choices=WARM_START_STRATEGIES,
+        default=None,
+        help="seed the top-r cutoff with heuristic incumbents (same answer, earlier pruning)",
+    )
     top.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     conductance = sub.add_parser("conductance", help="signed conductance of the top-r cliques")
@@ -475,7 +482,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         params = AlphaK(args.alpha, args.k)
         result = MSCE(
             graph, params, time_limit=args.time_limit, model=args.model
-        ).top_r(args.r)
+        ).top_r(args.r, warm_start=args.warm_start)
         _print_cliques(result.cliques, args.json)
         if result.timed_out:
             print("warning: time limit hit; results are partial", file=sys.stderr)

@@ -24,6 +24,7 @@ the paper workloads.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Set
 
 from repro.core.cliques import SignedClique, is_alpha_k_clique, sort_cliques
@@ -79,6 +80,8 @@ def greedy_signed_cliques(
     max_seeds: Optional[int] = None,
     reduction: str = "mcnew",
     certify: bool = True,
+    within: Optional[Iterable[Node]] = None,
+    deadline: Optional[float] = None,
 ) -> List[SignedClique]:
     """Greedily find maximal (alpha, k)-cliques (approximate, scalable).
 
@@ -98,6 +101,15 @@ def greedy_signed_cliques(
         exact Definition-2 maximality test; uncertified mode keeps
         cliques maximal under single-node extension only (faster, can
         rarely include a non-maximal clique).
+    within:
+        Restrict growth to this node region (intersected with the
+        reduced member set). Maximality is still certified against the
+        *whole* graph, so region-restricted growth leans on the certify
+        step: a set maximal inside the region may be extensible — even
+        only by a multi-node lift — outside it.
+    deadline:
+        Absolute :func:`time.perf_counter` deadline; seed processing
+        stops (returning what was found so far) once it passes.
 
     Returns
     -------
@@ -106,6 +118,8 @@ def greedy_signed_cliques(
     """
     params = AlphaK(alpha, k)
     members = reduce_graph(graph, params, method=reduction)
+    if within is not None:
+        members = members & set(within)
     if not members:
         return []
     if seeds is None:
@@ -120,6 +134,8 @@ def greedy_signed_cliques(
 
     found = {}
     for seed in ordered:
+        if deadline is not None and time.perf_counter() >= deadline:
+            break
         grown = _grow_clique(graph, seed, members, params)
         key = frozenset(grown)
         if key in found or not is_alpha_k_clique(graph, grown, params):

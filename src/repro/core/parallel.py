@@ -68,7 +68,7 @@ import time
 from collections import deque
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro.core.bbe import MSCE, EnumerationResult, SearchStats
+from repro.core.bbe import MSCE, EnumerationResult, SearchStats, seed_topr_state
 from repro.core.cliques import SignedClique, sort_cliques
 from repro.core.params import AlphaK
 from repro.core.scheduler import (
@@ -87,6 +87,7 @@ from repro.fastpath.search import FrameSearch, decompose_root
 from repro.fastpath.shared import SharedCompiledGraph, resolve_transport
 from repro.fastpath.storage import SpillFrontier
 from repro.graphs.signed_graph import Node, SignedGraph
+from repro.heuristics import prepare_warm_start
 from repro.limits import make_guard, resolve_memory_budget
 from repro.models import make_constraint, resolve_model
 from repro.obs import runtime as obs
@@ -156,6 +157,8 @@ def enumerate_parallel(
     memory_budget_bytes: Optional[int] = None,
     spill_dir: Optional[str] = None,
     transport: Optional[str] = None,
+    top_r: Optional[int] = None,
+    warm_start=None,
 ) -> EnumerationResult:
     """Enumerate all maximal (alpha, k)-cliques using *workers* processes.
 
@@ -255,6 +258,28 @@ def enumerate_parallel(
         a memory budget). Resolved once (explicit > ``REPRO_TRANSPORT``
         env > shm) and recorded in ``result.parallel["transport"]``;
         results are bit-identical across transports.
+    top_r:
+        Return only the ``r`` largest maximal cliques, with the
+        paper's size-based subspace cutoff active in the parent *and*
+        every worker task (per-task size heaps hold only genuine
+        answer sizes, so each local cutoff under-estimates the true
+        r-th-largest size and no top-r clique is ever pruned). The
+        returned cliques are bit-identical to the sequential
+        ``MSCE.top_r`` answer at any worker count; search *counters*
+        under top-r depend on the worker count (each task prunes
+        against its own heap), unlike full enumeration.
+    warm_start:
+        Seed every size heap with incumbent cliques before any frame
+        runs (requires ``top_r``): a strategy name from
+        :data:`repro.heuristics.WARM_START_STRATEGIES` runs the
+        seeding portfolio against the source graph, an iterable of
+        cliques is validated strictly (every incumbent must be a
+        distinct maximal clique of the active model, else
+        :class:`~repro.exceptions.ParameterError`). Incumbent rows
+        ship to workers through the scheduler config so the seeded
+        bound prunes from frame one; the portfolio's report lands in
+        ``result.parallel["seeded"]``. Answers are unchanged — seeded
+        and unseeded runs return the identical clique set.
 
     Raises
     ------
@@ -271,6 +296,14 @@ def enumerate_parallel(
         isinstance(max_respawns, bool) or not isinstance(max_respawns, int) or max_respawns < 0
     ):
         raise ValueError(f"max_respawns must be a non-negative integer or None, got {max_respawns!r}")
+    if top_r is not None and top_r <= 0:
+        from repro.exceptions import ParameterError
+
+        raise ParameterError(f"top_r must be positive, got {top_r}")
+    if warm_start is not None and top_r is None:
+        from repro.exceptions import ParameterError
+
+        raise ParameterError("warm_start requires top_r")
 
     params = AlphaK(alpha, k)
     # Resolve once up front: workers inherit the concrete tier name, so
@@ -336,6 +369,29 @@ def enumerate_parallel(
         found: Dict[FrozenSet[Node], SignedClique] = {}
         size_heap: List[int] = []
 
+        # Warm-start seeding happens before any frame exists, so the
+        # decompose spine walk, the inline searches and every worker
+        # task all prune against the seeded bound from their first
+        # frame. Incumbents are validated maximal cliques of the model
+        # (the portfolio certifies its own output; explicit lists are
+        # strictly checked), which is what keeps seeding answer-neutral.
+        warm = None
+        incumbent_rows: Tuple[Tuple[FrozenSet[Node], int, int], ...] = ()
+        if warm_start is not None:
+            warm = prepare_warm_start(
+                searcher.graph,
+                params,
+                top_r,
+                warm_start,
+                model=model,
+                reduction=reduction,
+            )
+            seed_topr_state(found, size_heap, warm.cliques, top_r)
+            searcher._seeded_keys = frozenset(c.nodes for c in warm.cliques)
+            incumbent_rows = tuple(
+                (c.nodes, c.positive_edges, c.negative_edges) for c in warm.cliques
+            )
+
         inline_frames: List[Tuple[int, int]] = []
         tasks: List[Tuple[int, int]] = []
         presplit_cap = presplit if presplit is not None else max(4 * workers, 4)
@@ -351,7 +407,14 @@ def enumerate_parallel(
                 split_components += 1
                 tasks.extend(
                     decompose_root(
-                        searcher, mask, stats, found, size_heap, presplit_cap, guard=guard
+                        searcher,
+                        mask,
+                        stats,
+                        found,
+                        size_heap,
+                        presplit_cap,
+                        guard=guard,
+                        top_r=top_r,
                     )
                 )
         if memory_budget_bytes is not None:
@@ -415,7 +478,7 @@ def enumerate_parallel(
                         frame[1],
                     ),
                 )
-            frame_search = FrameSearch(searcher, stats, found, size_heap, None, guard)
+            frame_search = FrameSearch(searcher, stats, found, size_heap, top_r, guard)
             reason = frame_search.run(
                 [(candidates, included, None) for candidates, included in frames],
                 frontier=frontier,
@@ -448,7 +511,7 @@ def enumerate_parallel(
                         _fresh.append(child)
                     index += 1
 
-                frame_search = FrameSearch(searcher, stats, found, size_heap, None, guard)
+                frame_search = FrameSearch(searcher, stats, found, size_heap, top_r, guard)
                 reason = frame_search.run(
                     [(candidates, included, None)],
                     budget=task_budget,
@@ -505,6 +568,8 @@ def enumerate_parallel(
                             progress=reporter.update if reporter is not None else None,
                             backend=backend,
                             model=model,
+                            top_r=top_r,
+                            incumbents=incumbent_rows,
                         )
                         rows, worker_metrics, leftover = scheduler.run(
                             tasks, local_work=lambda: run_inline(inline_frames)
@@ -556,7 +621,12 @@ def enumerate_parallel(
 
         with obs.span("merge"):
             cliques = sort_cliques(found.values())
+            if top_r is not None:
+                cliques = cliques[:top_r]
             stats.maximal_found = len(cliques)
+            report["top_r"] = top_r
+            if warm is not None:
+                report["seeded"] = warm.report
             report["metrics"] = stats.registry.snapshot()
             # Surface the aggregated run metrics in the ambient registry
             # before the root span closes, so the "msce_parallel" span's

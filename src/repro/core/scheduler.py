@@ -202,13 +202,18 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
     """Worker loop: attach the shared graph once, then drain frames.
 
     *config* is ``(param_groups, selection, maxtest, seed, task_budget,
-    max_offload, deadline, max_memory_bytes, backend, model)`` where
-    ``param_groups`` is
+    max_offload, deadline, max_memory_bytes, backend, model, top_r,
+    incumbent_rows)`` where ``param_groups`` is
     a tuple of :class:`~repro.core.params.AlphaK` settings; each task
     names its group and the worker keeps one lazily-built
     :class:`~repro.core.bbe.MSCE` per group, all sharing the attached
     graph (single-setting runs have exactly one group, so this is the
-    old behaviour). Each task is searched with
+    old behaviour). ``top_r`` (single-group runs only) turns on the
+    size-based subspace cutoff inside every task, and
+    ``incumbent_rows`` — :data:`CliqueRow` tuples of the parent's
+    warm-start incumbents — preload each task's size heap so the
+    cutoff binds from the task's first frame; both default to
+    ``None`` / empty for full enumeration. Each task is searched with
     :meth:`~repro.core.bbe.MSCE.run_frames`; branches shed by the
     node budget go back as indexed ``spawn`` messages *before* the
     task's terminal message, keeping the parent's pending count
@@ -224,6 +229,7 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
     worker-level failure (e.g. the shared graph cannot be attached).
     """
     from repro.core.bbe import MSCE
+    from repro.core.cliques import SignedClique
     from repro.fastpath.shared import SharedCompiledGraph
 
     (
@@ -237,7 +243,21 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
         max_memory_bytes,
         backend,
         model,
+        top_r,
+        incumbent_rows,
     ) = config
+    # Warm-start incumbents are single-group by construction (the
+    # scheduler rejects top_r with multiple parameter groups), so the
+    # rows rebuild against the sole setting.
+    incumbents = [
+        SignedClique(
+            nodes=nodes,
+            params=param_groups[0],
+            positive_edges=positive,
+            negative_edges=negative,
+        )
+        for nodes, positive, negative in incumbent_rows
+    ]
     tick = faults.worker_tick(slot, epoch, result_queue)
     view = None
     searchers: Dict[int, MSCE] = {}
@@ -305,6 +325,8 @@ def _worker_main(slot, epoch, task_queue, result_queue, shared_meta, config) -> 
                     deadline=deadline,
                     max_memory_bytes=max_memory_bytes,
                     tick=tick,
+                    top_r=top_r,
+                    incumbents=incumbents if top_r is not None else None,
                 )
                 rows: List[CliqueRow] = [
                     (clique.nodes, clique.positive_edges, clique.negative_edges)
@@ -401,6 +423,18 @@ class WorkStealingScheduler:
         Signed-cohesion model request; resolved once here (see
         :func:`repro.models.resolve_model`) and shipped to every
         worker, so one run always applies one consistent constraint.
+    top_r:
+        Enable the top-r subspace cutoff inside every worker task.
+        Requires exactly one parameter group (the cutoff is a property
+        of one search, not a grid). Per-task cutoffs are sound because
+        each task's heap holds only sizes of genuine maximal cliques
+        (its own emissions plus *incumbents*), so it under-estimates
+        the global r-th-largest size at every point.
+    incumbents:
+        Warm-start incumbent rows (:data:`CliqueRow` tuples of
+        already-validated maximal cliques) shipped to every worker and
+        preloaded into each task's size heap. Only meaningful with
+        ``top_r``; rejected otherwise.
     """
 
     def __init__(
@@ -423,6 +457,8 @@ class WorkStealingScheduler:
         progress: Optional[Callable[[int, int], None]] = None,
         backend: Optional[str] = None,
         model: Optional[str] = None,
+        top_r: Optional[int] = None,
+        incumbents: Sequence[CliqueRow] = (),
     ):
         self.shared = shared
         self.workers = max(1, workers)
@@ -440,6 +476,13 @@ class WorkStealingScheduler:
         self.backend = resolve_backend(backend)
         #: Resolved model name shipped alongside, for the same reason.
         self.model = resolve_model(model)
+        if top_r is not None and len(self.param_groups) != 1:
+            raise ValueError(
+                f"top_r requires exactly one parameter group, "
+                f"got {len(self.param_groups)}"
+            )
+        if incumbents and top_r is None:
+            raise ValueError("incumbents require top_r")
         self.config = (
             self.param_groups,
             selection,
@@ -451,6 +494,8 @@ class WorkStealingScheduler:
             max_memory_bytes,
             self.backend,
             self.model,
+            top_r,
+            tuple(incumbents),
         )
         self.deadline = deadline
         self.max_memory_bytes = max_memory_bytes

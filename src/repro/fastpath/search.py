@@ -343,6 +343,7 @@ def decompose_root(
     max_tasks: int,
     seed_mask: int = 0,
     guard: Optional[ResourceGuard] = None,
+    top_r: Optional[int] = None,
 ) -> List[Tuple[int, int]]:
     """Split one component's search into up to *max_tasks* root frames.
 
@@ -365,8 +366,14 @@ def decompose_root(
     same way — the residual frame is shipped whole so no subtree is
     lost, and the caller's deadline handling decides whether it still
     runs. Returns ``(candidates, included)`` mask pairs.
+
+    With *top_r*, the spine walk itself prunes against the caller's
+    (possibly warm-started) *size_heap*: a spine frame cut by the size
+    bound roots only subtrees whose cliques are all smaller than the
+    current cutoff, so ending the walk there drops no top-r answer —
+    seeded decompositions produce a prefix of the unseeded task list.
     """
-    searcher = FrameSearch(msce, stats, found, size_heap, None, None)
+    searcher = FrameSearch(msce, stats, found, size_heap, top_r, None)
     tasks: List[Tuple[int, int]] = []
     frame: Frame = (component_mask, seed_mask, None)
     while True:

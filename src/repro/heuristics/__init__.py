@@ -1,0 +1,54 @@
+"""Warm-start heuristics: spectral balanced regions + a seeding portfolio.
+
+The exact top-r search (:meth:`repro.core.bbe.MSCE.top_r`) prunes
+subspaces against its r-th incumbent's size, so a strong lower bound
+found *before* the search starts pays for itself many times over. This
+package builds that bound:
+
+* :mod:`repro.heuristics.spectral` — leading-eigenvector 2-partition of
+  the signed adjacency with greedy sign-consistent polishing, locating
+  the dominant balanced region (after Ordozgoiti et al.,
+  arXiv:2002.00775);
+* :mod:`repro.heuristics.portfolio` — races ``{unseeded, degree,
+  spectral}`` greedy passes under one deadline, certifies every grown
+  set as a maximal clique of the active model, and hands the best
+  incumbents to the enumerator's size heap.
+
+Soundness contract: a warm start may only ever make the search
+*faster*, never change its answers. Every incumbent that reaches the
+heap is a distinct genuine maximal clique (validated here), so the
+heap's r-th smallest entry always under-estimates the true r-th
+largest clique size and the pruning cutoff stays conservative —
+``tests/test_seeding.py`` holds seeded and unseeded runs bit-identical
+across workers, backends and models.
+"""
+
+from repro.heuristics.portfolio import (
+    DEFAULT_BUDGET_SECONDS,
+    MAX_SEEDS_PER_ARM,
+    WARM_START_STRATEGIES,
+    WarmStart,
+    grow_balanced_cliques,
+    prepare_warm_start,
+    validate_warm_start,
+    warm_start_cliques,
+)
+from repro.heuristics.spectral import (
+    polish_partition,
+    spectral_scores,
+    spectral_seed_order,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET_SECONDS",
+    "MAX_SEEDS_PER_ARM",
+    "WARM_START_STRATEGIES",
+    "WarmStart",
+    "grow_balanced_cliques",
+    "polish_partition",
+    "prepare_warm_start",
+    "spectral_scores",
+    "spectral_seed_order",
+    "validate_warm_start",
+    "warm_start_cliques",
+]

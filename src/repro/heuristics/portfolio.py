@@ -1,0 +1,397 @@
+"""Warm-start portfolio: race seeding heuristics, hand over incumbents.
+
+The top-r search prunes subspaces against the size of the r-th largest
+clique found so far, so its cost is dominated by how quickly strong
+incumbents appear. This module builds those incumbents *before* the
+exact search starts, by racing three cheap greedy passes under one
+deadline:
+
+* ``unseeded`` — the greedy grower seeded in plain ``repr`` order (the
+  no-information baseline);
+* ``degree`` — the grower's default descending positive-degree
+  seeding;
+* ``spectral`` — seeds ordered by the leading eigenvector of the
+  signed adjacency (:mod:`repro.heuristics.spectral`), which ranks
+  nodes by how centrally they sit in the dominant balanced region.
+
+Every arm produces **certified maximal** cliques of the active model
+only, so preloading them into the top-r size heap is sound: the heap
+then underestimates the true r-th-largest size at every point of the
+search, and the seeded run returns the *identical* clique set (the
+differential battery in ``tests/test_seeding.py`` proves this across
+workers, backends and models).
+
+Explicit warm starts (caller-supplied cliques) go through
+:func:`validate_warm_start`, which raises
+:class:`~repro.exceptions.ParameterError` on anything that is not a
+distinct, maximal, reportable clique of the model — an invalid
+incumbent would silently corrupt answers, so it must never reach the
+heap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.cliques import SignedClique, sort_cliques
+from repro.core.heuristic import greedy_signed_cliques
+from repro.core.params import AlphaK
+from repro.exceptions import ParameterError
+from repro.graphs.signed_graph import Node, SignedGraph
+from repro.heuristics.spectral import spectral_seed_order
+from repro.models.base import make_constraint, resolve_model
+from repro.obs import runtime as obs
+
+#: Accepted ``warm_start=`` strategy names, in portfolio order.
+WARM_START_STRATEGIES = ("portfolio", "spectral", "degree", "unseeded")
+
+#: Default wall-clock budget for one warm-start call, in seconds. The
+#: heuristics are a *bound seeder*, not the search — they must stay a
+#: small fraction of the exact run they accelerate.
+DEFAULT_BUDGET_SECONDS = 1.0
+
+#: Per-arm seed cap so a single arm cannot starve the others of the
+#: shared deadline on large reduced regions.
+MAX_SEEDS_PER_ARM = 48
+
+
+@dataclass
+class WarmStart:
+    """Validated incumbents plus the report block the caller surfaces."""
+
+    cliques: List[SignedClique] = field(default_factory=list)
+    report: Dict[str, object] = field(default_factory=dict)
+
+
+def _balanced_candidates(
+    graph: SignedGraph,
+    members: Set[Node],
+    side_a: Set[Node],
+    side_b: Set[Node],
+    pool: Set[Node],
+) -> Dict[Node, int]:
+    """Nodes of *pool* that extend the balanced clique, mapped to a side.
+
+    A node joins side ``+1`` (resp. ``-1``) iff its positive neighbours
+    inside the clique are exactly ``side_a`` (resp. ``side_b``) and its
+    negatives exactly the other side.
+    """
+    out: Dict[Node, int] = {}
+    for node in pool:
+        if node in members:
+            continue
+        pos = graph.positive_neighbors(node) & members
+        neg = graph.negative_neighbors(node) & members
+        if pos | neg != members:
+            continue
+        if pos == side_a:
+            out[node] = 1
+        elif pos == side_b:
+            out[node] = -1
+    return out
+
+
+def grow_balanced_cliques(
+    graph: SignedGraph,
+    tau: int,
+    seeds: Optional[Iterable[Node]] = None,
+    max_seeds: Optional[int] = None,
+    within: Optional[Iterable[Node]] = None,
+    deadline: Optional[float] = None,
+) -> List[Set[Node]]:
+    """Greedily grow balanced cliques (both sides >= *tau*) from seeds.
+
+    The balanced analogue of the (alpha, k) grower: starting from a
+    single node, repeatedly add a candidate that keeps the set a
+    balanced clique, preferring the smaller side (the ``tau`` floor
+    binds on the *minimum* side). Growth stops when no candidate
+    remains; because balancedness is hereditary, a stalled set is
+    maximal over *within* — maximality over the whole graph is the
+    caller's certification step when a region was given.
+
+    Returns grown node sets (deduplicated, unordered); the caller
+    filters by the side threshold and certifies maximality.
+    """
+    pool: Set[Node] = set(graph.nodes()) if within is None else set(within)
+    ordered = (
+        sorted(pool, key=lambda n: (-len(graph.neighbor_keys(n) & pool), repr(n)))
+        if seeds is None
+        else [node for node in seeds if node in pool]
+    )
+    if max_seeds is not None:
+        ordered = ordered[:max_seeds]
+    grown_sets: Dict[frozenset, Set[Node]] = {}
+    for seed in ordered:
+        if deadline is not None and time.perf_counter() >= deadline:
+            break
+        members: Set[Node] = {seed}
+        side_a: Set[Node] = {seed}
+        side_b: Set[Node] = set()
+        candidates = _balanced_candidates(graph, members, side_a, side_b, pool)
+        while candidates:
+            # Feed the smaller side first; ties by degree-in-pool, repr.
+            deficit_side = 1 if len(side_a) <= len(side_b) else -1
+            best = min(
+                candidates,
+                key=lambda n: (
+                    candidates[n] != deficit_side,
+                    -len(graph.neighbor_keys(n) & pool),
+                    repr(n),
+                ),
+            )
+            (side_a if candidates[best] == 1 else side_b).add(best)
+            members.add(best)
+            candidates = _balanced_candidates(graph, members, side_a, side_b, pool)
+        grown_sets.setdefault(frozenset(members), members)
+    return list(grown_sets.values())
+
+
+def _arm_seeds(
+    arm: str, graph: SignedGraph, spectral_cache: Dict[str, object]
+) -> Optional[List[Node]]:
+    """Seed order for *arm* (``None`` = the grower's default order)."""
+    if arm == "unseeded":
+        return sorted(graph.nodes(), key=repr)
+    if arm == "spectral":
+        if "order" not in spectral_cache:
+            order, sides, frustrated = spectral_seed_order(graph)
+            spectral_cache["order"] = order
+            spectral_cache["frustrated"] = frustrated
+            spectral_cache["sides"] = sorted(
+                (
+                    sum(1 for s in sides.values() if s > 0),
+                    sum(1 for s in sides.values() if s < 0),
+                ),
+                reverse=True,
+            )
+        return list(spectral_cache["order"])
+    return None  # "degree": the grower's default descending-degree order
+
+
+def _run_arm(
+    arm: str,
+    graph: SignedGraph,
+    params: AlphaK,
+    model: str,
+    reduction: str,
+    deadline: float,
+    spectral_cache: Dict[str, object],
+) -> List[SignedClique]:
+    """One greedy pass; returns certified maximal cliques of *model*."""
+    constraint = make_constraint(model, params)
+    seeds = _arm_seeds(arm, graph, spectral_cache)
+    if model == "balanced":
+        maxtest = constraint.make_maxtest("exact")
+        grown = grow_balanced_cliques(
+            graph,
+            constraint.tau,
+            seeds=seeds,
+            max_seeds=MAX_SEEDS_PER_ARM,
+            deadline=deadline,
+        )
+        out = []
+        for members in grown:
+            if not constraint.feasible(graph, members):
+                continue
+            if not maxtest(graph, members, params):
+                continue
+            out.append(SignedClique.from_nodes(graph, members, params))
+        return sort_cliques(out)
+    return greedy_signed_cliques(
+        graph,
+        params.alpha,
+        params.k,
+        seeds=seeds,
+        max_seeds=MAX_SEEDS_PER_ARM,
+        reduction=reduction,
+        certify=True,
+        deadline=deadline,
+    )
+
+
+def validate_warm_start(
+    graph: SignedGraph,
+    params: AlphaK,
+    incumbents: Iterable,
+    model: Optional[str] = None,
+    min_size: Optional[int] = None,
+) -> List[SignedClique]:
+    """Validate caller-supplied incumbents; raise ``ParameterError`` if bad.
+
+    Every incumbent must be a **distinct maximal reportable clique of
+    the active model** whose nodes exist in the graph, and at least
+    *min_size* large when a floor is active. Anything less would poison
+    the top-r size heap: a non-maximal or oversized-bound incumbent
+    makes the seeded search prune subspaces the unseeded search keeps,
+    silently changing answers. Accepts ``SignedClique`` objects or bare
+    node collections; returns normalised ``SignedClique`` rows.
+    """
+    resolved = resolve_model(model)
+    constraint = make_constraint(resolved, params)
+    maxtest = constraint.make_maxtest("exact")
+    seen: Set[frozenset] = set()
+    validated: List[SignedClique] = []
+    for item in incumbents:
+        nodes = item.nodes if isinstance(item, SignedClique) else frozenset(item)
+        if not nodes:
+            raise ParameterError("warm-start incumbent is empty")
+        missing = [node for node in nodes if not graph.has_node(node)]
+        if missing:
+            raise ParameterError(
+                f"warm-start incumbent contains unknown nodes {sorted(map(repr, missing))}"
+            )
+        if nodes in seen:
+            raise ParameterError(
+                f"duplicate warm-start incumbent {sorted(map(repr, nodes))}"
+            )
+        member_set = set(nodes)
+        if not constraint.feasible(graph, member_set) or not constraint.reportable(
+            graph, member_set
+        ):
+            raise ParameterError(
+                f"warm-start incumbent {sorted(map(repr, nodes))} is not a valid "
+                f"clique of the {resolved!r} model"
+            )
+        if not maxtest(graph, member_set, params):
+            raise ParameterError(
+                f"warm-start incumbent {sorted(map(repr, nodes))} is not maximal"
+            )
+        if min_size is not None and len(nodes) < min_size:
+            raise ParameterError(
+                f"warm-start incumbent {sorted(map(repr, nodes))} is below "
+                f"min_size={min_size}"
+            )
+        seen.add(nodes)
+        validated.append(SignedClique.from_nodes(graph, member_set, params))
+    return validated
+
+
+def warm_start_cliques(
+    graph: SignedGraph,
+    params: AlphaK,
+    r: int,
+    strategy: str = "portfolio",
+    model: Optional[str] = None,
+    reduction: str = "mcnew",
+    budget_seconds: float = DEFAULT_BUDGET_SECONDS,
+    min_size: Optional[int] = None,
+) -> WarmStart:
+    """Run the seeding portfolio and return incumbents + report.
+
+    *strategy* is one of :data:`WARM_START_STRATEGIES`: a single arm
+    name runs just that arm; ``"portfolio"`` races all three under the
+    shared *budget_seconds* deadline. The returned cliques are
+    certified maximal cliques of the model, deduplicated across arms,
+    sorted largest-first and truncated to the *r* best (more would
+    never tighten the heap further).
+    """
+    if strategy not in WARM_START_STRATEGIES:
+        raise ParameterError(
+            f"unknown warm_start strategy {strategy!r}; "
+            f"expected one of {', '.join(WARM_START_STRATEGIES)}"
+        )
+    resolved = resolve_model(model)
+    arms = (
+        ("unseeded", "degree", "spectral")
+        if strategy == "portfolio"
+        else (strategy,)
+    )
+    deadline = time.perf_counter() + budget_seconds
+    spectral_cache: Dict[str, object] = {}
+    merged: Dict[frozenset, SignedClique] = {}
+    arm_reports: List[Dict[str, object]] = []
+    with obs.span(
+        "heuristic_portfolio", strategy=strategy, model=resolved, r=r
+    ):
+        for arm in arms:
+            arm_started = time.perf_counter()
+            with obs.span("heuristic_arm", arm=arm):
+                cliques = _run_arm(
+                    arm, graph, params, resolved, reduction, deadline, spectral_cache
+                )
+            obs.counter("heuristic_arm_runs").inc()
+            fresh = 0
+            for clique in cliques:
+                if min_size is not None and clique.size < min_size:
+                    continue
+                if clique.nodes not in merged:
+                    merged[clique.nodes] = clique
+                    fresh += 1
+            arm_reports.append(
+                {
+                    "arm": arm,
+                    "cliques": len(cliques),
+                    "fresh": fresh,
+                    "best": max((c.size for c in cliques), default=0),
+                    "seconds": round(time.perf_counter() - arm_started, 6),
+                }
+            )
+            if time.perf_counter() >= deadline:
+                break
+        incumbents = sort_cliques(merged.values())[: max(r, 0)]
+        obs.counter("heuristic_incumbents").inc(len(incumbents))
+    report: Dict[str, object] = {
+        "strategy": strategy,
+        "model": resolved,
+        "arms": arm_reports,
+        "incumbents": len(incumbents),
+        "best_size": incumbents[0].size if incumbents else 0,
+    }
+    if "frustrated" in spectral_cache:
+        report["spectral"] = {
+            "frustrated_edges": spectral_cache["frustrated"],
+            "sides": list(spectral_cache["sides"]),
+        }
+    return WarmStart(cliques=incumbents, report=report)
+
+
+def prepare_warm_start(
+    graph: SignedGraph,
+    params: AlphaK,
+    r: int,
+    warm_start,
+    model: Optional[str] = None,
+    reduction: str = "mcnew",
+    min_size: Optional[int] = None,
+    budget_seconds: float = DEFAULT_BUDGET_SECONDS,
+) -> Optional[WarmStart]:
+    """Normalise a ``warm_start=`` argument into a validated WarmStart.
+
+    ``None`` passes through (no seeding); a strategy name runs the
+    portfolio; any other iterable is treated as explicit incumbents and
+    strictly validated (:func:`validate_warm_start` — raises
+    ``ParameterError`` rather than letting a bad bound corrupt the
+    search). Explicit incumbents are also truncated to the *r* largest.
+    """
+    if warm_start is None:
+        return None
+    if isinstance(warm_start, str):
+        return warm_start_cliques(
+            graph,
+            params,
+            r,
+            strategy=warm_start,
+            model=model,
+            reduction=reduction,
+            budget_seconds=budget_seconds,
+            min_size=min_size,
+        )
+    if not isinstance(warm_start, Iterable):
+        raise ParameterError(
+            f"warm_start must be a strategy name or an iterable of cliques, "
+            f"got {type(warm_start).__name__}"
+        )
+    validated = validate_warm_start(
+        graph, params, list(warm_start), model=model, min_size=min_size
+    )
+    incumbents = sort_cliques(validated)[: max(r, 0)]
+    report = {
+        "strategy": "explicit",
+        "model": resolve_model(model),
+        "arms": [],
+        "incumbents": len(incumbents),
+        "best_size": incumbents[0].size if incumbents else 0,
+    }
+    return WarmStart(cliques=incumbents, report=report)

@@ -1,0 +1,168 @@
+"""Signed-spectral balanced-region detection.
+
+A (nearly) balanced region of a signed graph — two camps, positive
+inside each camp, negative across — shows up as a large leading
+eigenvalue of the *signed* adjacency matrix ``A`` (``A[u][v]`` is the
+edge sign): for a perfectly balanced subgraph the switching that flips
+one camp turns ``A`` into the all-positive adjacency, whose Perron
+vector is positive. The leading eigenvector of the signed matrix
+therefore 2-partitions the graph by sign, and its magnitudes rank nodes
+by how strongly they sit inside the dominant coherent region (the
+spectral relaxation used by Ordozgoiti et al., arXiv:2002.00775).
+
+This module keeps everything deterministic — fixed iteration counts, a
+hash-seeded start vector, ``repr``-ordered tie-breaks — because the
+warm-start layer built on top must be reproducible run to run.
+
+Pure Python on the ``SignedGraph`` adjacency sets: the graphs this
+feeds (reduced candidate regions) are small, and determinism across
+platforms matters more than constant factors here.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.signed_graph import Node, SignedGraph
+
+#: Power-iteration steps; enough for the ranking (not the eigenvalue)
+#: to stabilise on the region sizes the warm-start layer feeds in.
+DEFAULT_ITERATIONS = 60
+
+
+def _start_vector(nodes: List[Node]) -> Dict[Node, float]:
+    """Deterministic pseudo-random start vector, never the zero vector.
+
+    Hash-seeded (crc32 of each node's ``repr``) rather than uniform so
+    the start is essentially never orthogonal to the leading
+    eigenvector — the all-ones vector *is* orthogonal to it on exactly
+    bipartite-balanced instances, which are the interesting ones here.
+    """
+    vector = {}
+    for node in nodes:
+        raw = zlib.crc32(repr(node).encode("utf-8"))
+        # In [-0.5, 0.5); never exactly 0 (the modulus is odd).
+        vector[node] = ((raw % 2000003) / 2000003.0) - 0.5
+    return vector
+
+
+def _normalize(vector: Dict[Node, float]) -> float:
+    norm = math.sqrt(sum(value * value for value in vector.values()))
+    if norm > 0:
+        for node in vector:
+            vector[node] /= norm
+    return norm
+
+
+def spectral_scores(
+    graph: SignedGraph,
+    within: Optional[Iterable[Node]] = None,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> Dict[Node, float]:
+    """Leading-eigenvector scores of the signed adjacency (power iteration).
+
+    Iterates ``x <- (A + (d_max + 1) I) x`` so the dominant eigenvalue
+    of the shifted operator is the *largest* (not largest-magnitude)
+    eigenvalue of ``A`` — the one that certifies a balanced region.
+    Returns a node -> score map over *within* (default: all nodes);
+    the sign of a score is the node's camp, its magnitude the node's
+    centrality inside the dominant coherent region.
+    """
+    region: Set[Node] = set(graph.nodes()) if within is None else set(within)
+    nodes = sorted(region, key=repr)
+    if not nodes:
+        return {}
+    degree_cap = max(len(graph.neighbor_keys(node) & region) for node in nodes)
+    shift = float(degree_cap + 1)
+    vector = _start_vector(nodes)
+    _normalize(vector)
+    for _ in range(max(1, iterations)):
+        nxt: Dict[Node, float] = {}
+        for node in nodes:
+            total = shift * vector[node]
+            for other in graph.positive_neighbors(node):
+                if other in region:
+                    total += vector[other]
+            for other in graph.negative_neighbors(node):
+                if other in region:
+                    total -= vector[other]
+            nxt[node] = total
+        if _normalize(nxt) == 0.0:  # pragma: no cover - shift keeps it nonzero
+            break
+        vector = nxt
+    return vector
+
+
+def polish_partition(
+    graph: SignedGraph,
+    scores: Dict[Node, float],
+    max_moves: Optional[int] = None,
+) -> Tuple[Dict[Node, int], int]:
+    """Greedy sign-consistent polish of the spectral 2-partition.
+
+    Starts from ``side(v) = sign(score(v))`` and repeatedly flips the
+    node whose flip most reduces *frustration* (edges inconsistent with
+    the partition: positive across camps, negative within a camp),
+    until no flip improves. Deterministic: best gain first, ties by
+    ``repr``. Returns the polished side map and the remaining number
+    of frustrated edges inside the scored region.
+    """
+    nodes = sorted(scores, key=repr)
+    region = set(nodes)
+    sides: Dict[Node, int] = {
+        node: 1 if scores[node] >= 0 else -1 for node in nodes
+    }
+
+    def gain(node: Node) -> int:
+        # Flipping turns each incident consistent edge inconsistent and
+        # vice versa, so the gain is (#inconsistent - #consistent).
+        balance = 0
+        for other in graph.positive_neighbors(node):
+            if other in region:
+                balance += 1 if sides[node] != sides[other] else -1
+        for other in graph.negative_neighbors(node):
+            if other in region:
+                balance += 1 if sides[node] == sides[other] else -1
+        return balance
+
+    budget = 2 * len(nodes) if max_moves is None else max_moves
+    for _ in range(budget):
+        best_node = None
+        best_gain = 0
+        for node in nodes:
+            node_gain = gain(node)
+            if node_gain > best_gain:
+                best_node, best_gain = node, node_gain
+        if best_node is None:
+            break
+        sides[best_node] = -sides[best_node]
+
+    frustrated = 0
+    for node in nodes:
+        for other in graph.positive_neighbors(node):
+            if other in region and repr(other) > repr(node) and sides[node] != sides[other]:
+                frustrated += 1
+        for other in graph.negative_neighbors(node):
+            if other in region and repr(other) > repr(node) and sides[node] == sides[other]:
+                frustrated += 1
+    return sides, frustrated
+
+
+def spectral_seed_order(
+    graph: SignedGraph,
+    within: Optional[Iterable[Node]] = None,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> Tuple[List[Node], Dict[Node, int], int]:
+    """Seeds for the greedy grower, strongest spectral nodes first.
+
+    Returns ``(order, sides, frustrated)``: nodes by descending
+    eigenvector magnitude (ties by ``repr``), the polished camp
+    assignment, and the post-polish frustrated-edge count — the latter
+    two feed the warm-start report.
+    """
+    scores = spectral_scores(graph, within=within, iterations=iterations)
+    sides, frustrated = polish_partition(graph, scores)
+    order = sorted(scores, key=lambda node: (-abs(scores[node]), repr(node)))
+    return order, sides, frustrated

@@ -1,9 +1,13 @@
 """Tests for the greedy heuristic signed clique search."""
 
 import random
+import time
 
 from repro.core import MSCE, AlphaK
+from repro.core.cliques import is_alpha_k_clique
 from repro.core.heuristic import greedy_signed_cliques
+from repro.core.maxtest import is_maximal
+from repro.graphs import SignedGraph
 from tests.conftest import make_random_signed_graph
 
 
@@ -61,3 +65,70 @@ class TestGreedySignedCliques:
         first = [c.nodes for c in greedy_signed_cliques(graph, 1.5, 1)]
         second = [c.nodes for c in greedy_signed_cliques(graph, 1.5, 1)]
         assert first == second
+
+    def test_deadline_stops_seeding(self):
+        rng = random.Random(155)
+        graph = make_random_signed_graph(rng, n_range=(12, 14))
+        # A deadline already in the past: no seed may start growing.
+        assert greedy_signed_cliques(graph, 1, 0, deadline=time.perf_counter() - 1) == []
+
+
+class TestTwoNodeLiftRegression:
+    """The certify pass must catch *multi-node* lifts under ``within=``.
+
+    For unrestricted growth the discard is dead code: a stalled grow
+    means no viable single extension exists, and single-extension
+    stalling plus the constraint's monotonicity imply maximality. A
+    ``within=`` region changes that — the grower can stall against the
+    region boundary while a lift of two *outside* nodes still extends
+    the clique, so ``certify=True`` becomes load-bearing.
+
+    Instance (alpha=1.5, k=2, positive threshold ceil(3) = 3):
+    K4 = {1,2,3,4} all-positive; node 5 has +1, +2, -3, -4; node 6 has
+    +3, +4, -1, -2; edge (5, 6) is positive. K4 is a valid
+    (1.5, 2)-clique, K4 + {5} and K4 + {6} are invalid (only two
+    positive neighbours each), but K4 + {5, 6} is valid — so K4 is
+    *not* maximal even though no single node extends it.
+    """
+
+    ALPHA, K = 1.5, 2
+    K4 = frozenset({1, 2, 3, 4})
+
+    def _graph(self) -> SignedGraph:
+        edges = [(u, v, "+") for u in (1, 2, 3, 4) for v in (1, 2, 3, 4) if u < v]
+        edges += [(5, 1, "+"), (5, 2, "+"), (5, 3, "-"), (5, 4, "-")]
+        edges += [(6, 3, "+"), (6, 4, "+"), (6, 1, "-"), (6, 2, "-")]
+        edges += [(5, 6, "+")]
+        return SignedGraph(edges)
+
+    def test_instance_shape(self):
+        graph = self._graph()
+        params = AlphaK(self.ALPHA, self.K)
+        assert is_alpha_k_clique(graph, self.K4, params)
+        # No single node lifts K4...
+        for extra in (5, 6):
+            assert not is_alpha_k_clique(graph, self.K4 | {extra}, params)
+        # ...but the two-node lift does, so K4 is not maximal.
+        assert is_alpha_k_clique(graph, self.K4 | {5, 6}, params)
+        assert not is_maximal(graph, set(self.K4), params)
+
+    def test_certify_discards_the_stalled_grow(self):
+        graph = self._graph()
+        certified = greedy_signed_cliques(
+            graph, self.ALPHA, self.K, within=self.K4, certify=True
+        )
+        assert self.K4 not in {c.nodes for c in certified}
+
+    def test_uncertified_mislabels_it(self):
+        # Without certification the stalled grow is reported as maximal
+        # — the mislabel the certify pass exists to prevent.
+        graph = self._graph()
+        uncertified = greedy_signed_cliques(
+            graph, self.ALPHA, self.K, within=self.K4, certify=False
+        )
+        assert self.K4 in {c.nodes for c in uncertified}
+
+    def test_unrestricted_growth_recovers_the_lift(self):
+        graph = self._graph()
+        cliques = greedy_signed_cliques(graph, self.ALPHA, self.K, certify=True)
+        assert self.K4 | {5, 6} in {c.nodes for c in cliques}
